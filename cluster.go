@@ -1,0 +1,175 @@
+package ccp
+
+import (
+	"fmt"
+	"time"
+
+	"ccp/internal/control"
+	"ccp/internal/dist"
+	"ccp/internal/partition"
+)
+
+// ClusterOptions configures a distributed deployment.
+type ClusterOptions struct {
+	// UseCache serves sites not storing the query endpoints from their
+	// pre-computed query-independent reductions.
+	UseCache bool
+	// SiteWorkers is each site's reduction parallelism (0 = GOMAXPROCS).
+	SiteWorkers int
+	// CoordinatorWorkers is the merge-reduction parallelism.
+	CoordinatorWorkers int
+}
+
+// QueryMetrics reports where a distributed query's time and traffic went.
+type QueryMetrics struct {
+	// MaxSiteTime is the slowest site's evaluation time; sites evaluate in
+	// parallel.
+	MaxSiteTime time.Duration
+	// CoordinatorTime covers merging the partial answers and the final
+	// reduction.
+	CoordinatorTime time.Duration
+	// BytesTransferred counts partial-answer payload bytes.
+	BytesTransferred int64
+	// PartialNodes / PartialEdges total the returned reduced partitions.
+	PartialNodes, PartialEdges int
+	// MergedNodes / MergedEdges size the assembled graph at the coordinator.
+	MergedNodes, MergedEdges int
+	// DecidedBySite is the id of the site that answered alone, or -1 when
+	// the coordinator had to merge.
+	DecidedBySite int
+	// CacheHits counts sites served from the pre-computed cache.
+	CacheHits int
+}
+
+// Cluster is a distributed company-control deployment: one coordinator over
+// a set of partition sites (in-process, or remote over TCP).
+type Cluster struct {
+	coord    *dist.Coordinator
+	numSites int
+	sites    []*dist.Site // non-nil only for in-process clusters
+}
+
+// NewLocalCluster partitions g into k contiguous-range partitions served by
+// in-process sites — the simplest way to exercise the distributed algorithm.
+func NewLocalCluster(g *Graph, k int, opts ClusterOptions) (*Cluster, error) {
+	pi, err := partition.ByContiguous(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewClusterFromPartitioning(pi, opts)
+}
+
+// NewClusterFromAssignment partitions g by an explicit node-to-site mapping
+// (for example, the country of each company) and serves it in-process.
+func NewClusterFromAssignment(g *Graph, assign []int, k int, opts ClusterOptions) (*Cluster, error) {
+	pi, err := partition.Split(g, assign, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewClusterFromPartitioning(pi, opts)
+}
+
+// NewClusterFromPartitioning serves an existing partitioning in-process.
+func NewClusterFromPartitioning(pi *partition.Partitioning, opts ClusterOptions) (*Cluster, error) {
+	clients := make([]dist.SiteClient, len(pi.Parts))
+	sites := make([]*dist.Site, len(pi.Parts))
+	for i, p := range pi.Parts {
+		sites[i] = dist.NewSite(p, opts.SiteWorkers)
+		clients[i] = &dist.LocalClient{Site: sites[i], MeasureBytes: true}
+	}
+	coord := dist.NewCoordinator(clients, dist.Options{
+		UseCache: opts.UseCache,
+		Workers:  opts.CoordinatorWorkers,
+	})
+	return &Cluster{coord: coord, numSites: len(sites), sites: sites}, nil
+}
+
+// ConnectCluster builds a coordinator over remote worker sites (started with
+// ServeSite or the ccpd command) at the given addresses.
+func ConnectCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
+	clients := make([]dist.SiteClient, len(addrs))
+	for i, addr := range addrs {
+		c, err := dist.Dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("ccp: connecting site %s: %w", addr, err)
+		}
+		clients[i] = c
+	}
+	coord := dist.NewCoordinator(clients, dist.Options{
+		UseCache: opts.UseCache,
+		Workers:  opts.CoordinatorWorkers,
+	})
+	return &Cluster{coord: coord, numSites: len(addrs)}, nil
+}
+
+// Precompute builds every site's query-independent reduction offline, so
+// that later queries touch at most the two sites storing their endpoints.
+func (c *Cluster) Precompute() error { return c.coord.PrecomputeAll() }
+
+// Controls answers q_c(s, t) over the distributed graph.
+func (c *Cluster) Controls(s, t NodeID) (bool, QueryMetrics, error) {
+	ans, m, err := c.coord.Answer(control.Query{S: s, T: t})
+	if err != nil {
+		return false, QueryMetrics{}, err
+	}
+	return ans, QueryMetrics{
+		MaxSiteTime:      m.SiteElapsedMax,
+		CoordinatorTime:  m.CoordElapsed,
+		BytesTransferred: m.Bytes,
+		PartialNodes:     m.PartialNodes,
+		PartialEdges:     m.PartialEdges,
+		MergedNodes:      m.MGraphNodes,
+		MergedEdges:      m.MGraphEdges,
+		DecidedBySite:    m.DecidedBy,
+		CacheHits:        m.CacheHits,
+	}, nil
+}
+
+// ControlsBatch answers a batch of queries, amortizing the pre-computed
+// partial answers across all of them (the paper's thousands-of-queries-per-
+// minute production setting). Queries are given as (s, t) pairs.
+func (c *Cluster) ControlsBatch(queries [][2]NodeID) ([]bool, QueryMetrics, error) {
+	qs := make([]control.Query, len(queries))
+	for i, q := range queries {
+		qs[i] = control.Query{S: q[0], T: q[1]}
+	}
+	ans, m, err := c.coord.AnswerBatch(qs)
+	if err != nil {
+		return nil, QueryMetrics{}, err
+	}
+	return ans, QueryMetrics{
+		MaxSiteTime:      m.SiteElapsedMax,
+		CoordinatorTime:  m.CoordElapsed,
+		BytesTransferred: m.Bytes,
+		DecidedBySite:    -1,
+		CacheHits:        m.CacheHits,
+	}, nil
+}
+
+// AddStake records that owner takes the fraction w of owned, routing the
+// change to the sites concerned and invalidating their cached partial
+// answers. Parallel stakes merge by summing.
+func (c *Cluster) AddStake(owner, owned NodeID, w float64) error {
+	return c.coord.ApplyUpdate(dist.StakeUpdate{Owner: owner, Owned: owned, Weight: w})
+}
+
+// RemoveStake divests owner's stake in owned entirely.
+func (c *Cluster) RemoveStake(owner, owned NodeID) error {
+	return c.coord.ApplyUpdate(dist.StakeUpdate{Owner: owner, Owned: owned, Remove: true})
+}
+
+// Invalidate marks site i's data as changed, dropping its cached partial
+// answer (in-process clusters only).
+func (c *Cluster) Invalidate(site int) error {
+	if c.sites == nil {
+		return fmt.Errorf("ccp: Invalidate is only available on in-process clusters")
+	}
+	if site < 0 || site >= len(c.sites) {
+		return fmt.Errorf("ccp: no site %d", site)
+	}
+	c.sites[site].Invalidate()
+	return nil
+}
+
+// Sites returns the number of worker sites.
+func (c *Cluster) Sites() int { return c.numSites }

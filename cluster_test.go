@@ -1,0 +1,82 @@
+package ccp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccp"
+)
+
+func TestClusterBatchQueries(t *testing.T) {
+	g := ccp.GenerateScaleFree(ccp.ScaleFreeConfig{Nodes: 3000, AvgOutDegree: 2, Seed: 77})
+	cl, err := ccp.NewLocalCluster(g, 3, ccp.ClusterOptions{UseCache: true, SiteWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	var queries [][2]ccp.NodeID
+	var want []bool
+	for i := 0; i < 25; i++ {
+		s := ccp.NodeID(rng.Intn(3000))
+		tt := ccp.NodeID(rng.Intn(3000))
+		queries = append(queries, [2]ccp.NodeID{s, tt})
+		want = append(want, ccp.Controls(g, s, tt))
+	}
+	got, m, err := cl.ControlsBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch[%d] %v: got %v, want %v", i, queries[i], got[i], want[i])
+		}
+	}
+	if m.CacheHits == 0 {
+		t.Fatal("warm batch should hit the cache")
+	}
+}
+
+func TestClusterStakeUpdates(t *testing.T) {
+	g := ccp.NewGraph(8)
+	if err := g.AddEdge(0, 1, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(4, 5, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ccp.NewLocalCluster(g, 2, ccp.ClusterOptions{UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	// Before: 0 does not control 5.
+	if ans, _, err := cl.Controls(0, 5); err != nil || ans {
+		t.Fatalf("pre-update: ans=%v err=%v", ans, err)
+	}
+	// 1 (site 0) takes 70% of 4 (site 1): now 0 -> 1 -> 4 -> 5.
+	if err := cl.AddStake(1, 4, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if ans, _, err := cl.Controls(0, 5); err != nil || !ans {
+		t.Fatalf("post-update: ans=%v err=%v", ans, err)
+	}
+	// Divest: control collapses again.
+	if err := cl.RemoveStake(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if ans, _, err := cl.Controls(0, 5); err != nil || ans {
+		t.Fatalf("post-divest: ans=%v err=%v", ans, err)
+	}
+	// Error paths.
+	if err := cl.AddStake(99, 0, 0.3); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+	if err := cl.RemoveStake(1, 4); err == nil {
+		t.Fatal("double divestment accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"ccp/internal/experiments"
+)
+
+func TestNamesAreKnown(t *testing.T) {
+	cfg := experiments.Config{Scale: 0.02, Seed: 1, Workers: 1, Repeats: 1,
+		PathBudget: 1}
+	// Every advertised experiment must dispatch (tiny scale keeps this
+	// fast); unknown names must error.
+	for _, name := range names() {
+		if err := run(name, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := run("nope", cfg); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

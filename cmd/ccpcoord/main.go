@@ -1,0 +1,91 @@
+// Command ccpcoord runs the coordinator of a distributed company-control
+// deployment: it connects to ccpd worker sites and answers control queries
+// by partial evaluation and merging (Algorithm 2 of the paper).
+//
+// Usage:
+//
+//	ccpcoord -sites host:7001,host:7002 [-cache] [-precompute] -s 12 -t 9441
+//
+// Pass several queries as trailing "s:t" arguments to amortize the
+// connections, e.g.:
+//
+//	ccpcoord -sites a:7001,b:7001 -cache -precompute 12:9441 7:15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccp"
+)
+
+func main() {
+	sites := flag.String("sites", "", "comma-separated worker addresses")
+	cache := flag.Bool("cache", false, "serve non-endpoint sites from their pre-computed reductions")
+	precompute := flag.Bool("precompute", false, "ask all sites to pre-compute before querying")
+	s := flag.Int("s", -1, "source company (alternative to trailing s:t args)")
+	t := flag.Int("t", -1, "target company")
+	workers := flag.Int("workers", 0, "coordinator reduction parallelism")
+	flag.Parse()
+	if *sites == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cluster, err := ccp.ConnectCluster(strings.Split(*sites, ","), ccp.ClusterOptions{
+		UseCache:           *cache,
+		CoordinatorWorkers: *workers,
+	})
+	if err != nil {
+		log.Fatalf("ccpcoord: %v", err)
+	}
+	fmt.Printf("ccpcoord: connected to %d sites\n", cluster.Sites())
+
+	if *precompute {
+		start := time.Now()
+		if err := cluster.Precompute(); err != nil {
+			log.Fatalf("ccpcoord: precompute: %v", err)
+		}
+		fmt.Printf("ccpcoord: pre-computed all partial answers in %v\n", time.Since(start))
+	}
+
+	var queries [][2]int
+	if *s >= 0 && *t >= 0 {
+		queries = append(queries, [2]int{*s, *t})
+	}
+	for _, arg := range flag.Args() {
+		parts := strings.SplitN(arg, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("ccpcoord: bad query %q, want s:t", arg)
+		}
+		qs, err1 := strconv.Atoi(parts[0])
+		qt, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			log.Fatalf("ccpcoord: bad query %q, want s:t", arg)
+		}
+		queries = append(queries, [2]int{qs, qt})
+	}
+	if len(queries) == 0 {
+		log.Fatal("ccpcoord: no queries (use -s/-t or trailing s:t args)")
+	}
+
+	for _, q := range queries {
+		start := time.Now()
+		ans, m, err := cluster.Controls(ccp.NodeID(q[0]), ccp.NodeID(q[1]))
+		if err != nil {
+			log.Fatalf("ccpcoord: q_c(%d,%d): %v", q[0], q[1], err)
+		}
+		where := "merged at coordinator"
+		if m.DecidedBySite >= 0 {
+			where = fmt.Sprintf("decided by site %d", m.DecidedBySite)
+		}
+		fmt.Printf("q_c(%d,%d) = %-5v  %-12v  %s  site-max=%v coord=%v traffic=%dB cache-hits=%d\n",
+			q[0], q[1], ans, time.Since(start), where,
+			m.MaxSiteTime, m.CoordinatorTime, m.BytesTransferred, m.CacheHits)
+	}
+}

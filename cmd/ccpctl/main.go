@@ -1,0 +1,388 @@
+// Command ccpctl generates, inspects and queries company shareholding
+// graphs from the command line.
+//
+// Usage:
+//
+//	ccpctl gen    -type scalefree|italian|eu|riad|random -nodes n [-degree d] [-rate r] [-countries k] [-seed n] -out file
+//	ccpctl stats  -in file
+//	ccpctl query  -in file -s id -t id [-solver cbe|reduce|datalog|pathenum]
+//	ccpctl owned  -in file -s id [-list]
+//
+// Graph files use the compact CCPG1 binary format with a .ccpg extension, or
+// CSV ("from,to,weight" lines) with any other extension.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ccp"
+	"ccp/internal/datalog"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "owned":
+		err = cmdOwned(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "split":
+		err = cmdSplit(os.Args[2:])
+	case "groups":
+		err = cmdGroups(os.Args[2:])
+	case "datalog":
+		err = cmdDatalog(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccpctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ccpctl gen     -type scalefree|italian|eu|riad|random -nodes n [-degree d] [-rate r] [-countries k] [-seed n] -out file
+  ccpctl stats   -in file
+  ccpctl query   -in file -s id -t id [-solver cbe|reduce|datalog|pathenum]
+  ccpctl owned   -in file -s id [-list]
+  ccpctl explain -in file -s id -t id
+  ccpctl split   -in file -parts k -outprefix p       (writes p0.ccpp, p1.ccpp, ...)
+  ccpctl groups  -in file [-top n]                    (control groups by ultimate controller)
+  ccpctl datalog -in file -s id [-t id] [-program f]  (evaluate the logic program)`)
+}
+
+func saveGraph(g *ccp.Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".ccpg") {
+		if err := g.WriteBinary(f); err != nil {
+			return err
+		}
+	} else if err := g.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func loadGraph(path string) (*ccp.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".ccpg") {
+		return ccp.ReadBinaryGraph(f)
+	}
+	return ccp.ReadCSVGraph(f)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	typ := fs.String("type", "scalefree", "scalefree|italian|eu|riad|random")
+	nodes := fs.Int("nodes", 100_000, "number of companies (per country for eu)")
+	degree := fs.Float64("degree", 2, "average out-degree (scalefree, eu)")
+	rate := fs.Float64("rate", 0.01, "interconnection rate (eu)")
+	countries := fs.Int("countries", 4, "countries (eu)")
+	seed := fs.Int64("seed", 42, "random seed")
+	out := fs.String("out", "", "output file (.ccpg = binary, else CSV)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	var g *ccp.Graph
+	switch *typ {
+	case "scalefree":
+		g = ccp.GenerateScaleFree(ccp.ScaleFreeConfig{Nodes: *nodes, AvgOutDegree: *degree, Seed: *seed})
+	case "italian":
+		g = ccp.GenerateItalian(ccp.ItalianConfig{Nodes: *nodes, Seed: *seed})
+	case "eu":
+		g = ccp.GenerateEU(ccp.EUConfig{
+			Countries:        *countries,
+			NodesPerCountry:  *nodes,
+			InterconnectRate: *rate,
+			AvgOutDegree:     *degree,
+			Seed:             *seed,
+		}).G
+	case "riad":
+		g = ccp.GenerateRIAD(ccp.RIADConfig{Nodes: *nodes, Seed: *seed})
+	case "random":
+		g = ccp.GenerateRandom(*nodes, int(float64(*nodes)**degree), *seed)
+	default:
+		return fmt.Errorf("gen: unknown type %q", *typ)
+	}
+	if err := saveGraph(g, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d companies, %d shareholdings\n", *out, g.NumNodes(), g.NumEdges())
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "graph file")
+	verbose := fs.Bool("v", false, "degree and component distributions, top owners")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		_, err := ccp.Report(g).WriteTo(os.Stdout)
+		return err
+	}
+	s := ccp.Summarize(g)
+	fmt.Printf("nodes        %d\n", s.Nodes)
+	fmt.Printf("edges        %d\n", s.Edges)
+	fmt.Printf("avg out-deg  %.3f (max %d)\n", s.AvgOut, s.MaxOut)
+	fmt.Printf("SCCs         %d (largest %d)\n", s.SCCs, s.LargestSCC)
+	fmt.Printf("WCCs         %d (largest %d)\n", s.WCCs, s.LargestWCC)
+	fmt.Printf("alpha (fit)  %.2f\n", s.Alpha)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "graph file")
+	s := fs.Int("s", -1, "source company")
+	t := fs.Int("t", -1, "target company")
+	solver := fs.String("solver", "cbe", "cbe|reduce|datalog|pathenum")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *s < 0 || *t < 0 {
+		return fmt.Errorf("query: -in, -s and -t are required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var ans bool
+	switch *solver {
+	case "cbe":
+		ans = ccp.Controls(g, ccp.NodeID(*s), ccp.NodeID(*t))
+	case "reduce":
+		res := ccp.Reduce(g, ccp.NodeID(*s), ccp.NodeID(*t), nil, 0)
+		ans = res.Controls
+	case "datalog":
+		ans, err = ccp.ControlsDeclarative(g, ccp.NodeID(*s), ccp.NodeID(*t))
+		if err != nil {
+			return err
+		}
+	case "pathenum":
+		var truncated bool
+		ans, truncated = ccp.ControlsByPathEnumeration(g, ccp.NodeID(*s), ccp.NodeID(*t), 0)
+		if truncated {
+			return fmt.Errorf("query: path enumeration truncated")
+		}
+	default:
+		return fmt.Errorf("query: unknown solver %q", *solver)
+	}
+	fmt.Printf("q_c(%d,%d) = %v  [%s, %v]\n", *s, *t, ans, *solver, time.Since(start))
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("in", "", "graph file")
+	s := fs.Int("s", -1, "source company")
+	t := fs.Int("t", -1, "target company")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *s < 0 || *t < 0 {
+		return fmt.Errorf("explain: -in, -s and -t are required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	steps, ok := ccp.Explain(g, ccp.NodeID(*s), ccp.NodeID(*t))
+	if !ok {
+		fmt.Printf("%d does not control %d\n", *s, *t)
+		return nil
+	}
+	fmt.Printf("%d controls %d through %d takeovers:\n", *s, *t, len(steps))
+	for _, st := range steps {
+		fmt.Printf("  company %d (%.1f%%):", st.Company, st.Total*100)
+		for _, e := range st.Stakes {
+			fmt.Printf(" %.1f%% from %d,", e.Weight*100, e.From)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdSplit(args []string) error {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	in := fs.String("in", "", "graph file")
+	parts := fs.Int("parts", 0, "number of partitions")
+	prefix := fs.String("outprefix", "", "output file prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *parts <= 0 || *prefix == "" {
+		return fmt.Errorf("split: -in, -parts and -outprefix are required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	pi, err := ccp.PartitionContiguous(g, *parts)
+	if err != nil {
+		return err
+	}
+	for i, p := range pi.Parts {
+		path := fmt.Sprintf("%s%d.ccpp", *prefix, i)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteBinary(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d members, %d boundary nodes, %d edges\n",
+			path, len(p.Members), len(p.Boundary()), p.Local.NumEdges())
+	}
+	return nil
+}
+
+// cmdDatalog evaluates a recursive Datalog program over the graph's own/
+// source facts — by default the paper's company control program.
+func cmdDatalog(args []string) error {
+	fs := flag.NewFlagSet("datalog", flag.ExitOnError)
+	in := fs.String("in", "", "graph file")
+	s := fs.Int("s", -1, "source company (seeds source/1)")
+	t := fs.Int("t", -1, "optional target; omit to print the controlled count")
+	program := fs.String("program", "", "program file (default: the company control program)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *s < 0 {
+		return fmt.Errorf("datalog: -in and -s are required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	e := datalog.NewEngine()
+	src := datalog.ProgramText(0.5)
+	if *program != "" {
+		data, err := os.ReadFile(*program)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	if err := e.Load(src); err != nil {
+		return err
+	}
+	var loadErr error
+	g.EachNode(func(v ccp.NodeID) {
+		g.EachOut(v, func(u ccp.NodeID, w float64) {
+			if err := e.AddFact("own", w, int64(v), int64(u)); err != nil && loadErr == nil {
+				loadErr = err
+			}
+		})
+	})
+	if loadErr != nil {
+		return loadErr
+	}
+	if err := e.AddFact("source", 0, int64(*s)); err != nil {
+		return err
+	}
+	start := time.Now()
+	iters := e.Run()
+	elapsed := time.Since(start)
+	if *t >= 0 {
+		fmt.Printf("control(%d,%d) = %v  [%d iterations, %v]\n",
+			*s, *t, e.Has("control", int64(*s), int64(*t)), iters, elapsed)
+		return nil
+	}
+	fmt.Printf("control(%d, _) has %d tuples  [%d iterations, %v]\n",
+		*s, e.Count("control"), iters, elapsed)
+	return nil
+}
+
+func cmdGroups(args []string) error {
+	fs := flag.NewFlagSet("groups", flag.ExitOnError)
+	in := fs.String("in", "", "graph file")
+	top := fs.Int("top", 20, "print the n largest groups")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("groups: -in is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	groups := ccp.ControlGroups(g)
+	fmt.Printf("%d control groups with 2+ members\n", len(groups))
+	if *top > len(groups) {
+		*top = len(groups)
+	}
+	for _, gr := range groups[:*top] {
+		fmt.Printf("  head %-8d members %d\n", gr.Head, len(gr.Members))
+	}
+	return nil
+}
+
+func cmdOwned(args []string) error {
+	fs := flag.NewFlagSet("owned", flag.ExitOnError)
+	in := fs.String("in", "", "graph file")
+	s := fs.Int("s", -1, "source company")
+	list := fs.Bool("list", false, "print every controlled company id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *s < 0 {
+		return fmt.Errorf("owned: -in and -s are required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	set := ccp.ControlledSet(g, ccp.NodeID(*s))
+	fmt.Printf("company %d controls %d companies\n", *s, len(set)-1)
+	if *list {
+		for v := range set {
+			if v != ccp.NodeID(*s) {
+				fmt.Println(v)
+			}
+		}
+	}
+	return nil
+}

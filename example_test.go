@@ -1,0 +1,106 @@
+package ccp_test
+
+import (
+	"fmt"
+	"sort"
+
+	"ccp"
+)
+
+// The quickstart of the README: direct and indirect control.
+func ExampleControls() {
+	g := ccp.NewGraph(4)
+	g.AddEdge(0, 1, 0.60) // 0 owns 60% of 1
+	g.AddEdge(0, 2, 0.55) // 0 owns 55% of 2
+	g.AddEdge(1, 3, 0.30) // 1 owns 30% of 3
+	g.AddEdge(2, 3, 0.25) // 2 owns 25% of 3
+
+	fmt.Println(ccp.Controls(g, 0, 3)) // via controlled 1 and 2: 30+25 > 50
+	fmt.Println(ccp.Controls(g, 1, 3)) // 30% alone is not control
+	// Output:
+	// true
+	// false
+}
+
+func ExampleControlledSet() {
+	g := ccp.NewGraph(3)
+	g.AddEdge(0, 1, 0.7)
+	g.AddEdge(1, 2, 0.7)
+
+	set := ccp.ControlledSet(g, 0)
+	ids := make([]int, 0, len(set))
+	for v := range set {
+		ids = append(ids, int(v))
+	}
+	sort.Ints(ids)
+	fmt.Println(ids)
+	// Output:
+	// [0 1 2]
+}
+
+func ExampleExplain() {
+	g := ccp.NewGraph(4)
+	g.AddEdge(0, 1, 0.60)
+	g.AddEdge(0, 2, 0.55)
+	g.AddEdge(1, 3, 0.30)
+	g.AddEdge(2, 3, 0.25)
+
+	steps, ok := ccp.Explain(g, 0, 3)
+	fmt.Println(ok, len(steps))
+	last := steps[len(steps)-1]
+	fmt.Printf("company %d via %d stakes totalling %.0f%%\n",
+		last.Company, len(last.Stakes), last.Total*100)
+	// Output:
+	// true 3
+	// company 3 via 2 stakes totalling 55%
+}
+
+func ExampleReduce() {
+	g := ccp.NewGraph(5)
+	g.AddEdge(0, 1, 0.9) // chain of majorities
+	g.AddEdge(1, 2, 0.8)
+	g.AddEdge(2, 3, 0.7)
+	g.AddEdge(3, 4, 0.6)
+
+	res := ccp.Reduce(g, 0, 4, nil, 1)
+	fmt.Println(res.Decided, res.Controls)
+	fmt.Println(res.Reduced.NumNodes()) // only s and t survive
+	// Output:
+	// true true
+	// 2
+}
+
+func ExampleNamed() {
+	n := ccp.NewNamed()
+	n.AddStake("HoldCo", "AlphaBank", 0.6)
+	n.AddStake("AlphaBank", "TargetCorp", 0.8)
+
+	s, _ := n.Lookup("HoldCo")
+	t, _ := n.Lookup("TargetCorp")
+	fmt.Println(ccp.Controls(n.G, s, t))
+	// Output:
+	// true
+}
+
+func ExampleCoalitionControls() {
+	g := ccp.NewGraph(3)
+	g.AddEdge(0, 2, 0.3) // neither shareholder controls alone...
+	g.AddEdge(1, 2, 0.3)
+
+	fmt.Println(ccp.Controls(g, 0, 2))
+	fmt.Println(ccp.CoalitionControls(g, []ccp.NodeID{0, 1}, 2)) // ...jointly they do
+	// Output:
+	// false
+	// true
+}
+
+func ExampleUltimateControllers() {
+	g := ccp.NewGraph(3)
+	g.AddEdge(0, 1, 0.6)
+	g.AddEdge(1, 2, 0.6)
+
+	heads := ccp.UltimateControllers(g)
+	fmt.Println(heads[2])
+	// Output:
+	// 0
+}

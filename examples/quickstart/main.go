@@ -1,0 +1,63 @@
+// Quickstart: build a small shareholding graph and ask company control
+// questions through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccp"
+)
+
+func main() {
+	// A small holding structure:
+	//
+	//	HoldCo(0) owns 60% of AlphaBank(1) and 55% of BetaFin(2);
+	//	AlphaBank owns 30% and BetaFin 25% of TargetCorp(3);
+	//	an unrelated investor(4) owns the remaining 45% of TargetCorp.
+	g := ccp.NewGraph(5)
+	shareholdings := []ccp.Edge{
+		{From: 0, To: 1, Weight: 0.60},
+		{From: 0, To: 2, Weight: 0.55},
+		{From: 1, To: 3, Weight: 0.30},
+		{From: 2, To: 3, Weight: 0.25},
+		{From: 4, To: 3, Weight: 0.45},
+	}
+	for _, e := range shareholdings {
+		if err := g.AddEdge(e.From, e.To, e.Weight); err != nil {
+			log.Fatal(err)
+		}
+	}
+	names := []string{"HoldCo", "AlphaBank", "BetaFin", "TargetCorp", "Investor"}
+
+	// Direct and indirect control queries.
+	fmt.Println("Control queries:")
+	for _, q := range [][2]ccp.NodeID{{0, 1}, {0, 3}, {4, 3}, {1, 3}} {
+		fmt.Printf("  does %-10s control %-10s? %v\n",
+			names[q[0]], names[q[1]], ccp.Controls(g, q[0], q[1]))
+	}
+
+	// HoldCo controls TargetCorp even though it owns none of it directly:
+	// it controls AlphaBank and BetaFin, whose stakes sum to 55%.
+	fmt.Println("\nEverything HoldCo controls:")
+	for v := range ccp.ControlledSet(g, 0) {
+		fmt.Printf("  %s\n", names[v])
+	}
+
+	// The evidence trail: why does HoldCo control TargetCorp?
+	steps, ok := ccp.Explain(g, 0, 3)
+	fmt.Printf("\nWhy does %s control %s? (%v)\n", names[0], names[3], ok)
+	for _, st := range steps {
+		fmt.Printf("  takes over %-10s with", names[st.Company])
+		for _, e := range st.Stakes {
+			fmt.Printf(" %.0f%% held by %s,", e.Weight*100, names[e.From])
+		}
+		fmt.Printf(" totalling %.0f%%\n", st.Total*100)
+	}
+
+	// The reduction view: the same answer, plus the control-equivalent
+	// reduced graph the distributed algorithm ships between sites.
+	res := ccp.Reduce(g, 0, 3, nil, 0)
+	fmt.Printf("\nReduce: controls=%v removed=%d contracted=%d rounds=%d\n",
+		res.Controls, res.Removed, res.Contracted, res.Rounds)
+}

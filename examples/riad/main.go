@@ -1,0 +1,75 @@
+// RIAD scenario: company control as a predictor of collateral eligibility
+// over the Register of Intermediaries and Affiliates (Section II of the
+// paper). An asset-backed security is not eligible as collateral when its
+// originator has close links with the counterparty pledging it — which the
+// register detects as a control relationship in either direction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ccp"
+)
+
+// closeLinks reports whether two intermediaries are linked by control in
+// either direction — the eligibility-blocking condition.
+func closeLinks(g *ccp.Graph, a, b ccp.NodeID) bool {
+	return a == b || ccp.Controls(g, a, b) || ccp.Controls(g, b, a)
+}
+
+func main() {
+	fmt.Println("generating a RIAD-like register of financial intermediaries...")
+	g := ccp.GenerateRIAD(ccp.RIADConfig{Nodes: 40_000, Seed: 99})
+	s := ccp.Summarize(g)
+	fmt.Printf("  %d intermediaries, %d ownership relations\n", s.Nodes, s.Edges)
+	fmt.Printf("  SCCs: %d (largest %d) — WCCs: %d (largest %d)\n",
+		s.SCCs, s.LargestSCC, s.WCCs, s.LargestWCC)
+
+	// The register's biggest group head: the intermediary with the largest
+	// directly-held portfolio.
+	var head ccp.NodeID
+	best := -1
+	g.EachNode(func(v ccp.NodeID) {
+		if d := g.OutDegree(v); d > best {
+			head, best = v, d
+		}
+	})
+	group := ccp.ControlledSet(g, head)
+	fmt.Printf("\ngroup head %d directly holds %d stakes and controls %d companies\n",
+		head, best, len(group)-1)
+
+	// Eligibility screening: counterparty `head` pledges securities
+	// originated by a sample of intermediaries; any originator inside the
+	// control group (either direction) is ineligible.
+	rng := rand.New(rand.NewSource(1))
+	eligible, blocked := 0, 0
+	fmt.Println("\nscreening sampled originators against the counterparty's control group:")
+	for i := 0; i < 12; i++ {
+		var originator ccp.NodeID
+		if i%3 == 0 && len(group) > 1 {
+			// Sample inside the group to show blocking.
+			for v := range group {
+				if v != head {
+					originator = v
+					break
+				}
+			}
+		} else {
+			originator = ccp.NodeID(rng.Intn(g.Cap()))
+		}
+		if closeLinks(g, head, originator) {
+			blocked++
+			fmt.Printf("  originator %-8d BLOCKED (close links with counterparty)\n", originator)
+		} else {
+			eligible++
+			fmt.Printf("  originator %-8d eligible\n", originator)
+		}
+	}
+	fmt.Printf("\n%d eligible, %d blocked\n", eligible, blocked)
+
+	if _, err := g.CheckOwnership(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package ccp_test
+
+import (
+	"strings"
+	"testing"
+
+	"ccp"
+)
+
+func TestFromEdges(t *testing.T) {
+	g, err := ccp.FromEdges(3, []ccp.Edge{
+		{From: 0, To: 1, Weight: 0.4},
+		{From: 0, To: 1, Weight: 0.3}, // merges to 0.7
+		{From: 1, To: 2, Weight: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ccp.Controls(g, 0, 2) {
+		t.Fatal("merged stakes should give control")
+	}
+	if _, err := ccp.FromEdges(2, []ccp.Edge{{From: 0, To: 9, Weight: 0.5}}); err == nil {
+		t.Fatal("bad edge accepted")
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	g := holding(t)
+	steps, ok := ccp.Explain(g, 0, 3)
+	if !ok || len(steps) == 0 {
+		t.Fatalf("steps=%v ok=%v", steps, ok)
+	}
+	if steps[len(steps)-1].Company != 3 {
+		t.Fatalf("witness must end at t: %v", steps)
+	}
+	if _, ok := ccp.Explain(g, 1, 0); ok {
+		t.Fatal("no control, no witness")
+	}
+}
+
+func TestReadWriteFacades(t *testing.T) {
+	g := holding(t)
+	var bin, csv strings.Builder
+	if err := g.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ccp.ReadBinaryGraph(strings.NewReader(bin.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := ccp.ReadCSVGraph(strings.NewReader(csv.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.NumEdges() != g.NumEdges() || gc.NumEdges() != g.NumEdges() {
+		t.Fatal("round trips lost edges")
+	}
+}
+
+func TestGraphStringer(t *testing.T) {
+	g := ccp.NewGraph(2)
+	if s := g.String(); !strings.Contains(s, "nodes=2") {
+		t.Fatalf("String = %s", s)
+	}
+}
+
+func TestFrozenGraphMatchesLive(t *testing.T) {
+	g := ccp.GenerateScaleFree(ccp.ScaleFreeConfig{Nodes: 2000, AvgOutDegree: 2, Seed: 5})
+	f := ccp.Freeze(g)
+	if f.NumNodes() != g.NumNodes() || f.NumEdges() != g.NumEdges() {
+		t.Fatal("snapshot counters differ")
+	}
+	for s := ccp.NodeID(0); s < 40; s++ {
+		for _, tt := range []ccp.NodeID{100, 500, 1999} {
+			if f.Controls(s, tt) != ccp.Controls(g, s, tt) {
+				t.Fatalf("frozen Controls(%d,%d) differs", s, tt)
+			}
+		}
+		a, b := f.ControlledSet(s), ccp.ControlledSet(g, s)
+		if len(a) != len(b) {
+			t.Fatalf("frozen ControlledSet(%d) differs: %d vs %d", s, len(a), len(b))
+		}
+	}
+}
+
+func TestControlGroupsFacade(t *testing.T) {
+	g := ccp.GenerateItalian(ccp.ItalianConfig{Nodes: 20_000, Seed: 9})
+	heads := ccp.UltimateControllers(g)
+	if len(heads) != g.NumNodes() {
+		t.Fatalf("heads = %d", len(heads))
+	}
+	groups := ccp.ControlGroups(g)
+	if len(groups) == 0 {
+		t.Fatal("no control groups in an Italian-like graph")
+	}
+	for i := 1; i < len(groups); i++ {
+		if len(groups[i].Members) > len(groups[i-1].Members) {
+			t.Fatal("groups not ordered by size")
+		}
+	}
+	// The head genuinely controls a member.
+	gr := groups[0]
+	for _, m := range gr.Members[:minInt(len(gr.Members), 5)] {
+		if m != gr.Head && !ccp.Controls(g, gr.Head, m) {
+			t.Fatalf("head %d does not control member %d", gr.Head, m)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCoalitionAndOwnershipFacades(t *testing.T) {
+	g := holding(t)
+	if !ccp.CoalitionControls(g, []ccp.NodeID{1, 2}, 3) {
+		t.Fatal("the two intermediaries jointly control the target")
+	}
+	set := ccp.CoalitionControlledSet(g, []ccp.NodeID{1, 2})
+	if !set.Has(3) {
+		t.Fatalf("set = %v", set)
+	}
+	if own := ccp.OwnershipViaControl(g, 0, 3); own < 0.54 || own > 0.56 {
+		t.Fatalf("commanded ownership = %g", own)
+	}
+}
+
+func TestReduceFullyExhausts(t *testing.T) {
+	// A chain where the plain Reduce answers via T3 after one contraction
+	// but ReduceFully keeps reducing to just {s, t}.
+	g := ccp.GenerateScaleFree(ccp.ScaleFreeConfig{Nodes: 4000, AvgOutDegree: 2, Seed: 61})
+	s, tt := ccp.NodeID(0), ccp.NodeID(3999)
+	quick := ccp.Reduce(g, s, tt, nil, 2)
+	full := ccp.ReduceFully(g, s, tt, nil, 2)
+	if !quick.Decided || !full.Decided {
+		t.Fatalf("undecided: %+v %+v", quick.Decided, full.Decided)
+	}
+	if quick.Controls != full.Controls {
+		t.Fatal("variants disagree")
+	}
+	if full.Reduced.NumNodes() > quick.Reduced.NumNodes() {
+		t.Fatalf("exhaustive left more nodes (%d) than early-exit (%d)",
+			full.Reduced.NumNodes(), quick.Reduced.NumNodes())
+	}
+	if full.Reduced.NumNodes() > 40 {
+		t.Fatalf("exhaustive reduction left %d nodes", full.Reduced.NumNodes())
+	}
+}
+
+func TestDispersionAndBulkFacades(t *testing.T) {
+	g := ccp.GenerateScaleFree(ccp.ScaleFreeConfig{Nodes: 3000, AvgOutDegree: 2, Seed: 19})
+	rep := ccp.Dispersion(g)
+	if rep.Companies != 3000 || rep.Groups == 0 {
+		t.Fatalf("dispersion = %+v", rep)
+	}
+	sets := ccp.ControlledSets(g, []ccp.NodeID{0, 1, 2}, 2)
+	if len(sets) != 3 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	for i, s := range []ccp.NodeID{0, 1, 2} {
+		if len(sets[i]) != len(ccp.ControlledSet(g, s)) {
+			t.Fatalf("bulk set %d differs", i)
+		}
+	}
+	r := ccp.Report(g)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil || !strings.Contains(sb.String(), "top owners") {
+		t.Fatalf("report: %v", err)
+	}
+	n, err := ccp.ReadNamedCSV(strings.NewReader("A,B,0.7\nB,C,0.7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.Lookup("A")
+	c, _ := n.Lookup("C")
+	if !ccp.Controls(n.G, a, c) {
+		t.Fatal("named chain control missed")
+	}
+}

@@ -1,0 +1,43 @@
+package ccp
+
+import (
+	"ccp/internal/gen"
+)
+
+// ScaleFreeConfig parameterizes GenerateScaleFree.
+type ScaleFreeConfig = gen.ScaleFreeConfig
+
+// ItalianConfig parameterizes GenerateItalian.
+type ItalianConfig = gen.ItalianConfig
+
+// EUConfig parameterizes GenerateEU.
+type EUConfig = gen.EUConfig
+
+// EUGraph is a generated multi-country graph with its country labels.
+type EUGraph = gen.EUGraph
+
+// RIADConfig parameterizes GenerateRIAD.
+type RIADConfig = gen.RIADConfig
+
+// GenerateScaleFree produces a directed scale-free ownership graph by
+// preferential attachment on shareholders, the topology of real company
+// graphs (Section II of the paper).
+func GenerateScaleFree(cfg ScaleFreeConfig) *Graph { return gen.ScaleFree(cfg) }
+
+// GenerateItalian produces a proxy of the Bank of Italy's company graph:
+// scale-free body plus the "lung" of 12 hub shareholders owned by 7 foreign
+// holdings.
+func GenerateItalian(cfg ItalianConfig) *Graph { return gen.Italian(cfg) }
+
+// GenerateEU produces the paper's EU proxy graph: one scale-free national
+// graph per country, interconnected by border companies.
+func GenerateEU(cfg EUConfig) *EUGraph { return gen.EU(cfg) }
+
+// GenerateRIAD produces a proxy of the European Register of Intermediaries
+// and Affiliates: sparse, with one planted 88-company strongly connected
+// component.
+func GenerateRIAD(cfg RIADConfig) *Graph { return gen.RIAD(cfg) }
+
+// GenerateRandom produces a uniformly random valid ownership graph with n
+// companies and about m shareholdings — handy for tests and fuzzing.
+func GenerateRandom(n, m int, seed int64) *Graph { return gen.Random(n, m, seed) }

@@ -1,0 +1,3 @@
+module ccp
+
+go 1.22

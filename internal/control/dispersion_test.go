@@ -1,0 +1,99 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+)
+
+func TestDispersionSimple(t *testing.T) {
+	// One group of 3 (head 0) and one of 2 (head 5); 6 is independent.
+	g := build(t, 7,
+		graph.Edge{From: 0, To: 1, Weight: 0.6},
+		graph.Edge{From: 0, To: 2, Weight: 0.6},
+		graph.Edge{From: 5, To: 6, Weight: 0.9},
+	)
+	rep := Dispersion(g)
+	if rep.Companies != 7 || rep.Groups != 2 || rep.Grouped != 5 || rep.LargestGroup != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.TopShare) != 2 {
+		t.Fatalf("top share = %v", rep.TopShare)
+	}
+	if rep.TopShare[0] != 3.0/5 || rep.TopShare[1] != 1 {
+		t.Fatalf("top share = %v", rep.TopShare)
+	}
+	if rep.Gini < 0 || rep.Gini >= 1 {
+		t.Fatalf("gini = %g", rep.Gini)
+	}
+}
+
+func TestDispersionEmpty(t *testing.T) {
+	g := graph.New(4) // no edges, no groups
+	rep := Dispersion(g)
+	if rep.Groups != 0 || rep.Grouped != 0 || rep.Gini != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]int{5, 5, 5, 5}); g > 1e-9 {
+		t.Fatalf("equal sizes should have gini 0, got %g", g)
+	}
+	// One giant, many tiny: strongly concentrated.
+	concentrated := gini([]int{1000, 1, 1, 1, 1, 1, 1, 1})
+	spread := gini([]int{10, 9, 11, 10, 10, 9, 11, 10})
+	if concentrated <= spread {
+		t.Fatalf("concentrated %g <= spread %g", concentrated, spread)
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("gini(nil) = %g", g)
+	}
+}
+
+func TestDispersionItalianIsConcentrated(t *testing.T) {
+	// The Italian proxy has hub shareholders: control must concentrate —
+	// the few largest groups hold a sizable share of all grouped companies.
+	g := gen.Italian(gen.ItalianConfig{Nodes: 30_000, Seed: 2})
+	rep := Dispersion(g)
+	if rep.Groups == 0 {
+		t.Fatal("no groups in an Italian-like graph")
+	}
+	if rep.Gini < 0.1 {
+		t.Fatalf("gini = %g: scale-free control should be concentrated", rep.Gini)
+	}
+	if rep.TopShare[len(rep.TopShare)-1] <= 0 {
+		t.Fatalf("top share = %v", rep.TopShare)
+	}
+}
+
+func TestControlledSetsParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := gen.Random(60, 180, 7)
+	var sources []graph.NodeID
+	for i := 0; i < 25; i++ {
+		sources = append(sources, graph.NodeID(rng.Intn(60)))
+	}
+	for _, workers := range []int{1, 3, 8, 100} {
+		sets := ControlledSetsParallel(g, sources, workers)
+		if len(sets) != len(sources) {
+			t.Fatalf("workers %d: %d sets", workers, len(sets))
+		}
+		for i, s := range sources {
+			want := ControlledSet(g, s)
+			if len(sets[i]) != len(want) {
+				t.Fatalf("workers %d: source %d: %d vs %d", workers, s, len(sets[i]), len(want))
+			}
+			for v := range want {
+				if !sets[i].Has(v) {
+					t.Fatalf("workers %d: source %d misses %d", workers, s, v)
+				}
+			}
+		}
+	}
+	if out := ControlledSetsParallel(g, nil, 4); len(out) != 0 {
+		t.Fatalf("empty sources = %v", out)
+	}
+}

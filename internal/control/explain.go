@@ -1,0 +1,98 @@
+package control
+
+import (
+	"sort"
+
+	"ccp/internal/graph"
+)
+
+// WitnessStep records how one company entered the controlled set of the
+// source: the stakes held by already-controlled companies that jointly
+// exceed half of its equity.
+type WitnessStep struct {
+	// Company is the company being brought under control.
+	Company graph.NodeID
+	// Stakes are the contributing shareholdings; every holder is the source
+	// itself or a company of an earlier step.
+	Stakes []graph.Edge
+	// Total is the summed fraction, strictly above 0.5.
+	Total float64
+}
+
+// Explain answers q_c(s, t) and, when true, returns a witness: a sequence
+// of steps, each justified entirely by s and earlier steps, ending with t.
+// Supervisors use such chains as the evidence trail behind a control
+// decision. The returned steps are pruned to those t actually depends on.
+func Explain(g *graph.Graph, q Query) ([]WitnessStep, bool) {
+	if q.S == q.T {
+		return nil, true
+	}
+	if !g.Alive(q.S) || !g.Alive(q.T) {
+		return nil, false
+	}
+
+	// Forward closure, recording for every newly controlled company the
+	// stakes that were accumulated for it.
+	type pending struct {
+		stakes []graph.Edge
+		total  float64
+	}
+	acc := make(map[graph.NodeID]*pending)
+	controlled := graph.NewNodeSet(q.S)
+	order := []graph.NodeID{} // closure order of controlled companies
+	steps := make(map[graph.NodeID]WitnessStep)
+	queue := []graph.NodeID{q.S}
+	for len(queue) > 0 && !controlled.Has(q.T) {
+		y := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.EachOut(y, func(z graph.NodeID, w float64) {
+			if controlled.Has(z) {
+				return
+			}
+			p := acc[z]
+			if p == nil {
+				p = &pending{}
+				acc[z] = p
+			}
+			p.stakes = append(p.stakes, graph.Edge{From: y, To: z, Weight: w})
+			p.total += w
+			if graph.ExceedsControl(p.total) {
+				controlled.Add(z)
+				order = append(order, z)
+				steps[z] = WitnessStep{Company: z, Stakes: p.stakes, Total: p.total}
+				queue = append(queue, z)
+			}
+		})
+	}
+	if !controlled.Has(q.T) {
+		return nil, false
+	}
+
+	// Backward pruning: keep only the steps t transitively depends on.
+	needed := graph.NewNodeSet(q.T)
+	work := []graph.NodeID{q.T}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range steps[v].Stakes {
+			if e.From == q.S || needed.Has(e.From) {
+				continue
+			}
+			needed.Add(e.From)
+			work = append(work, e.From)
+		}
+	}
+	var out []WitnessStep
+	for _, v := range order {
+		if needed.Has(v) {
+			out = append(out, steps[v])
+		}
+	}
+	// Deterministic stake order inside each step.
+	for i := range out {
+		sort.Slice(out[i].Stakes, func(a, b int) bool {
+			return out[i].Stakes[a].From < out[i].Stakes[b].From
+		})
+	}
+	return out, true
+}

@@ -1,0 +1,84 @@
+package datalog
+
+import (
+	"ccp/internal/graph"
+)
+
+// ControlProgram builds an engine loaded with the company control program of
+// Section III over the ownership graph g, seeded with source company s:
+//
+//	control(x,x) :- source(x).
+//	control(x,z) :- control(x,y), own(y,z,w), msum(w,<y>) > 0.5.
+func ControlProgram(g *graph.Graph, s graph.NodeID) (*Engine, error) {
+	e := NewEngine()
+	if err := e.Relation("own", 2, true); err != nil {
+		return nil, err
+	}
+	if err := e.Relation("source", 1, false); err != nil {
+		return nil, err
+	}
+	if err := e.Relation("control", 2, false); err != nil {
+		return nil, err
+	}
+	var addErr error
+	g.EachNode(func(v graph.NodeID) {
+		g.EachOut(v, func(u graph.NodeID, w float64) {
+			if err := e.AddFact("own", w, Value(v), Value(u)); err != nil && addErr == nil {
+				addErr = err
+			}
+		})
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	if g.Alive(s) {
+		if err := e.AddFact("source", 0, Value(s)); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.AddRule(Rule{
+		Head: Atom{Pred: "control", Terms: []Term{V("x"), V("x")}},
+		Body: []Atom{{Pred: "source", Terms: []Term{V("x")}}},
+	}); err != nil {
+		return nil, err
+	}
+	if err := e.AddRule(Rule{
+		Head: Atom{Pred: "control", Terms: []Term{V("x"), V("z")}},
+		Body: []Atom{
+			{Pred: "control", Terms: []Term{V("x"), V("y")}},
+			{Pred: "own", Terms: []Term{V("y"), V("z")}, WeightVar: "w"},
+		},
+		Agg: &MSum{WeightVar: "w", ContribVar: "y", Threshold: graph.ControlThreshold + graph.ControlEps},
+	}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Controls answers q_c(s, t) by running the logic program to fixpoint — the
+// declarative reference implementation of the company control problem.
+func Controls(g *graph.Graph, s, t graph.NodeID) (bool, error) {
+	if s == t {
+		return true, nil
+	}
+	e, err := ControlProgram(g, s)
+	if err != nil {
+		return false, err
+	}
+	e.Run()
+	return e.Has("control", Value(s), Value(t)), nil
+}
+
+// ControlledSet computes the full Control(s, ·) relation declaratively.
+func ControlledSet(g *graph.Graph, s graph.NodeID) (graph.NodeSet, error) {
+	e, err := ControlProgram(g, s)
+	if err != nil {
+		return nil, err
+	}
+	e.Run()
+	set := graph.NewNodeSet()
+	for _, tup := range e.Facts("control") {
+		set.Add(graph.NodeID(tup[1]))
+	}
+	return set, nil
+}

@@ -1,0 +1,443 @@
+// Package datalog is a small recursive-query engine standing in for the
+// Vadalog system the paper uses to state the company control program:
+//
+//	Control(x,x) :- Source(x).                                   (1)
+//	Control(x,z) :- Control(x,y), Own(y,z,w),
+//	                v = msum(w, <y>), v > 0.5.                   (2)
+//
+// The engine evaluates stratified-recursion-free programs of Horn rules by
+// semi-naive fixpoint iteration, with one extension: a rule may carry a
+// monotonic-sum aggregate (msum) that accumulates a weight over distinct
+// contributor bindings per head tuple and fires the head only when the sum
+// crosses a threshold. msum is monotone, so the semi-naive strategy stays
+// sound: every (group, contributor) pair is counted exactly once, and fired
+// heads are never retracted.
+package datalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Value is a constant of the Herbrand universe (company ids, etc.).
+type Value = int64
+
+// Term is a variable or a constant appearing in an atom.
+type Term struct {
+	Var   string // non-empty for variables
+	Const Value  // used when Var is empty
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v Value) Term { return Term{Const: v} }
+
+// Atom is a predicate applied to terms. For weighted relations, WeightVar
+// optionally binds the tuple's weight in rule bodies.
+type Atom struct {
+	Pred      string
+	Terms     []Term
+	WeightVar string
+}
+
+// MSum describes the monotonic-sum aggregate of a rule: the weight bound by
+// WeightVar is summed over distinct bindings of the contributor variable
+// ContribVar, grouped by the head variables; the head fires when the sum
+// exceeds Threshold.
+type MSum struct {
+	WeightVar  string
+	ContribVar string
+	Threshold  float64
+}
+
+// Rule is a Horn rule with an optional msum aggregate.
+type Rule struct {
+	Head Atom
+	Body []Atom
+	Agg  *MSum
+}
+
+// relation stores the tuples of one predicate.
+type relation struct {
+	name     string
+	arity    int
+	weighted bool
+
+	tuples map[string]float64 // encoded tuple -> weight (0 when unweighted)
+	list   [][]Value          // insertion order, for scans and deltas
+	// index[pos][value] lists tuple indices with that value at pos.
+	index []map[Value][]int
+}
+
+func newRelation(name string, arity int, weighted bool) *relation {
+	r := &relation{
+		name:     name,
+		arity:    arity,
+		weighted: weighted,
+		tuples:   make(map[string]float64),
+		index:    make([]map[Value][]int, arity),
+	}
+	for i := range r.index {
+		r.index[i] = make(map[Value][]int)
+	}
+	return r
+}
+
+func encode(t []Value) string {
+	buf := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return string(buf)
+}
+
+// insert adds a tuple if new; it reports whether it was added.
+func (r *relation) insert(t []Value, w float64) bool {
+	k := encode(t)
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	r.tuples[k] = w
+	idx := len(r.list)
+	own := make([]Value, len(t))
+	copy(own, t)
+	r.list = append(r.list, own)
+	for pos, v := range own {
+		r.index[pos][v] = append(r.index[pos][v], idx)
+	}
+	return true
+}
+
+func (r *relation) has(t []Value) bool {
+	_, ok := r.tuples[encode(t)]
+	return ok
+}
+
+// Engine holds relations and rules and runs the fixpoint.
+type Engine struct {
+	rels  map[string]*relation
+	rules []Rule
+
+	// aggregate state, per rule index: group key -> accumulated sum,
+	// and group|contrib key -> seen.
+	aggSum  []map[string]float64
+	aggSeen []map[string]bool
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{rels: make(map[string]*relation)}
+}
+
+// Relation declares a predicate with the given arity. Weighted relations
+// carry a float64 payload per tuple, bindable in rule bodies.
+func (e *Engine) Relation(name string, arity int, weighted bool) error {
+	if _, dup := e.rels[name]; dup {
+		return fmt.Errorf("datalog: relation %s already declared", name)
+	}
+	if arity < 1 {
+		return fmt.Errorf("datalog: relation %s must have positive arity", name)
+	}
+	e.rels[name] = newRelation(name, arity, weighted)
+	return nil
+}
+
+// AddFact inserts a tuple into a declared relation.
+func (e *Engine) AddFact(name string, weight float64, tuple ...Value) error {
+	r, ok := e.rels[name]
+	if !ok {
+		return fmt.Errorf("datalog: unknown relation %s", name)
+	}
+	if len(tuple) != r.arity {
+		return fmt.Errorf("datalog: %s has arity %d, got %d values", name, r.arity, len(tuple))
+	}
+	r.insert(tuple, weight)
+	return nil
+}
+
+// AddRule registers a rule after validating it.
+func (e *Engine) AddRule(rule Rule) error {
+	if err := e.validateRule(rule); err != nil {
+		return err
+	}
+	e.rules = append(e.rules, rule)
+	return nil
+}
+
+func (e *Engine) validateRule(rule Rule) error {
+	head, ok := e.rels[rule.Head.Pred]
+	if !ok {
+		return fmt.Errorf("datalog: head predicate %s undeclared", rule.Head.Pred)
+	}
+	if len(rule.Head.Terms) != head.arity {
+		return fmt.Errorf("datalog: head arity mismatch for %s", rule.Head.Pred)
+	}
+	if len(rule.Body) == 0 {
+		return fmt.Errorf("datalog: rule for %s has empty body", rule.Head.Pred)
+	}
+	bound := map[string]bool{}
+	for _, a := range rule.Body {
+		r, ok := e.rels[a.Pred]
+		if !ok {
+			return fmt.Errorf("datalog: body predicate %s undeclared", a.Pred)
+		}
+		if len(a.Terms) != r.arity {
+			return fmt.Errorf("datalog: body arity mismatch for %s", a.Pred)
+		}
+		if a.WeightVar != "" && !r.weighted {
+			return fmt.Errorf("datalog: %s is not weighted", a.Pred)
+		}
+		for _, t := range a.Terms {
+			if t.Var != "" {
+				bound[t.Var] = true
+			}
+		}
+		if a.WeightVar != "" {
+			bound[a.WeightVar] = true
+		}
+	}
+	for _, t := range rule.Head.Terms {
+		if t.Var != "" && !bound[t.Var] {
+			return fmt.Errorf("datalog: head variable %s unbound in %s", t.Var, rule.Head.Pred)
+		}
+	}
+	if rule.Agg != nil {
+		if !bound[rule.Agg.WeightVar] {
+			return fmt.Errorf("datalog: msum weight variable %s unbound", rule.Agg.WeightVar)
+		}
+		if !bound[rule.Agg.ContribVar] {
+			return fmt.Errorf("datalog: msum contributor variable %s unbound", rule.Agg.ContribVar)
+		}
+	}
+	return nil
+}
+
+// Facts returns a copy of the tuples of a relation, sorted lexicographically
+// (deterministic for tests and output).
+func (e *Engine) Facts(name string) [][]Value {
+	r, ok := e.rels[name]
+	if !ok {
+		return nil
+	}
+	out := make([][]Value, len(r.list))
+	for i, t := range r.list {
+		c := make([]Value, len(t))
+		copy(c, t)
+		out[i] = c
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Has reports whether a tuple has been derived.
+func (e *Engine) Has(name string, tuple ...Value) bool {
+	r, ok := e.rels[name]
+	return ok && r.has(tuple)
+}
+
+// Count returns the number of tuples of a relation.
+func (e *Engine) Count(name string) int {
+	r, ok := e.rels[name]
+	if !ok {
+		return 0
+	}
+	return len(r.list)
+}
+
+// binding is a variable assignment during rule evaluation.
+type binding struct {
+	vars    map[string]Value
+	weights map[string]float64
+}
+
+// Run evaluates all rules to fixpoint with semi-naive iteration and returns
+// the number of iterations performed.
+func (e *Engine) Run() int {
+	e.aggSum = make([]map[string]float64, len(e.rules))
+	e.aggSeen = make([]map[string]bool, len(e.rules))
+	for i := range e.rules {
+		e.aggSum[i] = make(map[string]float64)
+		e.aggSeen[i] = make(map[string]bool)
+	}
+	// delta[pred] holds the tuple indices that are new since the previous
+	// iteration. Initially everything is new.
+	delta := make(map[string][2]int) // pred -> [from, to) index range
+	for name, r := range e.rels {
+		delta[name] = [2]int{0, len(r.list)}
+	}
+	iterations := 0
+	for {
+		iterations++
+		// Remember current sizes: anything appended this round is the next
+		// delta.
+		before := make(map[string]int, len(e.rels))
+		for name, r := range e.rels {
+			before[name] = len(r.list)
+		}
+		for ri, rule := range e.rules {
+			e.evalRule(ri, rule, delta)
+		}
+		changed := false
+		next := make(map[string][2]int, len(e.rels))
+		for name, r := range e.rels {
+			next[name] = [2]int{before[name], len(r.list)}
+			if len(r.list) > before[name] {
+				changed = true
+			}
+		}
+		delta = next
+		if !changed {
+			return iterations
+		}
+	}
+}
+
+// evalRule joins the rule body in every semi-naive configuration: for each
+// body position p, delta(p) ⋈ full(other positions). Aggregate rules route
+// the join results through the msum state instead of asserting directly.
+func (e *Engine) evalRule(ri int, rule Rule, delta map[string][2]int) {
+	for p := range rule.Body {
+		dr := delta[rule.Body[p].Pred]
+		if dr[0] == dr[1] {
+			continue // no new tuples for this position
+		}
+		b := binding{vars: map[string]Value{}, weights: map[string]float64{}}
+		e.join(ri, rule, p, 0, b, dr)
+	}
+}
+
+// join extends bindings over body atoms left to right; atom deltaPos is
+// restricted to the delta range.
+func (e *Engine) join(ri int, rule Rule, deltaPos, atomIdx int, b binding, dr [2]int) {
+	if atomIdx == len(rule.Body) {
+		e.fire(ri, rule, b)
+		return
+	}
+	atom := rule.Body[atomIdx]
+	rel := e.rels[atom.Pred]
+	lo, hi := 0, len(rel.list)
+	if atomIdx == deltaPos {
+		lo, hi = dr[0], dr[1]
+	}
+	// Prefer an index lookup on the first position bound by the current
+	// bindings or a constant.
+	candidates := e.candidates(rel, atom, b, lo, hi)
+	for _, ti := range candidates {
+		tuple := rel.list[ti]
+		nb, ok := match(atom, tuple, rel, b)
+		if !ok {
+			continue
+		}
+		e.join(ri, rule, deltaPos, atomIdx+1, nb, dr)
+	}
+}
+
+// candidates returns tuple indices of rel within [lo, hi) worth matching
+// against atom under bindings b, using a positional index when possible.
+func (e *Engine) candidates(rel *relation, atom Atom, b binding, lo, hi int) []int {
+	for pos, t := range atom.Terms {
+		var v Value
+		var bound bool
+		if t.Var == "" {
+			v, bound = t.Const, true
+		} else if bv, ok := b.vars[t.Var]; ok {
+			v, bound = bv, true
+		}
+		if !bound {
+			continue
+		}
+		idxs := rel.index[pos][v]
+		if lo == 0 && hi == len(rel.list) {
+			return idxs
+		}
+		out := idxs[:0:0]
+		for _, i := range idxs {
+			if i >= lo && i < hi {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	// Full scan of the range.
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// match unifies atom against tuple, extending b; it returns the extended
+// binding and whether unification succeeded. b is not mutated.
+func match(atom Atom, tuple []Value, rel *relation, b binding) (binding, bool) {
+	nb := binding{
+		vars:    make(map[string]Value, len(b.vars)+len(tuple)),
+		weights: b.weights,
+	}
+	for k, v := range b.vars {
+		nb.vars[k] = v
+	}
+	for i, t := range atom.Terms {
+		if t.Var == "" {
+			if tuple[i] != t.Const {
+				return b, false
+			}
+			continue
+		}
+		if v, ok := nb.vars[t.Var]; ok {
+			if v != tuple[i] {
+				return b, false
+			}
+			continue
+		}
+		nb.vars[t.Var] = tuple[i]
+	}
+	if atom.WeightVar != "" {
+		w := rel.tuples[encode(tuple)]
+		nw := make(map[string]float64, len(b.weights)+1)
+		for k, v := range b.weights {
+			nw[k] = v
+		}
+		nw[atom.WeightVar] = w
+		nb.weights = nw
+	}
+	return nb, true
+}
+
+// fire processes one complete body binding: plain rules assert the head;
+// msum rules accumulate and assert when the threshold is crossed.
+func (e *Engine) fire(ri int, rule Rule, b binding) {
+	head := make([]Value, len(rule.Head.Terms))
+	for i, t := range rule.Head.Terms {
+		if t.Var == "" {
+			head[i] = t.Const
+		} else {
+			head[i] = b.vars[t.Var]
+		}
+	}
+	rel := e.rels[rule.Head.Pred]
+	if rule.Agg == nil {
+		rel.insert(head, 0)
+		return
+	}
+	group := encode(head)
+	contrib := b.vars[rule.Agg.ContribVar]
+	key := group + "\x00" + encode([]Value{contrib})
+	if e.aggSeen[ri][key] {
+		return // msum counts each contributor once
+	}
+	e.aggSeen[ri][key] = true
+	e.aggSum[ri][group] += b.weights[rule.Agg.WeightVar]
+	if e.aggSum[ri][group] > rule.Agg.Threshold {
+		rel.insert(head, 0)
+	}
+}

@@ -1,0 +1,186 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+)
+
+func TestLoadControlProgramText(t *testing.T) {
+	e := NewEngine()
+	src := ProgramText(graph.ControlThreshold+graph.ControlEps) + `
+own(0, 1) @ 0.6.
+own(0, 2) @ 0.6.
+own(1, 3) @ 0.3.
+own(2, 3) @ 0.3.
+source(0).
+`
+	if err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	for _, want := range [][2]Value{{0, 0}, {0, 1}, {0, 2}, {0, 3}} {
+		if !e.Has("control", want[0], want[1]) {
+			t.Fatalf("control%v not derived", want)
+		}
+	}
+	if e.Count("control") != 4 {
+		t.Fatalf("control count = %d", e.Count("control"))
+	}
+}
+
+func TestLoadMatchesStructAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		g := gen.Random(n, rng.Intn(3*n), rng.Int63())
+		s := graph.NodeID(rng.Intn(n))
+
+		// Struct-built engine.
+		want, err := Controls(g, s, graph.NodeID((int(s)+1)%n))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Text-built engine over the same data.
+		e := NewEngine()
+		src := ProgramText(graph.ControlThreshold + graph.ControlEps)
+		if err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		var loadErr error
+		g.EachNode(func(v graph.NodeID) {
+			g.EachOut(v, func(u graph.NodeID, w float64) {
+				if err := e.AddFact("own", w, Value(v), Value(u)); err != nil && loadErr == nil {
+					loadErr = err
+				}
+			})
+		})
+		if loadErr != nil {
+			t.Fatal(loadErr)
+		}
+		if err := e.AddFact("source", 0, Value(s)); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		got := e.Has("control", Value(s), Value((int64(s)+1)%int64(n)))
+		if got != want {
+			t.Fatalf("trial %d: text program %v, struct program %v", trial, got, want)
+		}
+	}
+}
+
+func TestLoadFactsAndComments(t *testing.T) {
+	e := NewEngine()
+	src := `
+% transitive closure
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+edge(1, 2).   % a chain
+edge(2, 3).
+`
+	if err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.Has("path", 1, 3) {
+		t.Fatal("closure via text program failed")
+	}
+}
+
+func TestLoadNegativeConstants(t *testing.T) {
+	e := NewEngine()
+	if err := e.Load(`f(-3). g(x) :- f(x).`); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.Has("g", -3) {
+		t.Fatal("negative constant lost")
+	}
+}
+
+func TestLoadSyntaxErrors(t *testing.T) {
+	bad := []string{
+		`p(x`,                           // unterminated atom
+		`p(x) :-`,                       // empty body
+		`p(x) :- q(x)`,                  // missing '.'
+		`p(x,y) :- q(x). p(x) :- q(x).`, // arity conflict
+		`p(1.5).`,                       // non-integer constant
+		`p(x) :- q(x), msum(w, <y>) > 0.5, msum(w, <y>) > 0.5.`, // two aggregates
+		`p(x) q(x).`,               // missing operator
+		`p(x) :- msum(w y) > 0.5.`, // malformed msum
+		`p(x) :- q(x) @ .`,         // missing weight var
+		`?(x).`,                    // bad predicate
+	}
+	for i, src := range bad {
+		e := NewEngine()
+		if err := e.Load(src); err == nil {
+			t.Errorf("bad program %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestLoadVariableInFactRejected(t *testing.T) {
+	e := NewEngine()
+	if err := e.Load(`p(x).`); err == nil {
+		t.Fatal("fact with variable accepted")
+	}
+}
+
+func TestLoadIntoPredeclaredEngine(t *testing.T) {
+	e := NewEngine()
+	if err := e.Relation("edge", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("edge", 0, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(`path(x, y) :- edge(x, y).`); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.Has("path", 5, 6) {
+		t.Fatal("pre-declared relation not joined")
+	}
+	// Conflicting re-declaration is rejected.
+	if err := e.Load(`edge(1).`); err == nil {
+		t.Fatal("arity conflict with declared relation accepted")
+	}
+}
+
+// TestQuickLoadNeverPanics feeds the parser random byte soup; it must
+// return errors, never panic.
+func TestQuickLoadNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		e := NewEngine()
+		_ = e.Load(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Structured fragments that once looked plausible to mis-parse.
+	for _, src := range []string{
+		"p(", ")", ":-", "msum", "msum(", "p(x)@", "p(x)@1e9.",
+		"p(x):-msum(w,<y>)>", "p(x):-q(y),", "....", "p()", "@",
+		"p(x) :- q(x) @ w, msum(w, <x>) > -0.5.",
+	} {
+		e := NewEngine()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Load(%q) panicked: %v", src, r)
+				}
+			}()
+			_ = e.Load(src)
+		}()
+	}
+}

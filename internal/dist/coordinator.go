@@ -1,0 +1,283 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ccp/internal/control"
+	"ccp/internal/graph"
+)
+
+// SiteClient is the coordinator's handle to one worker site, local or
+// remote. Implementations must be safe for sequential reuse; the coordinator
+// issues at most one call at a time per client.
+type SiteClient interface {
+	// SiteID returns the partition id served by the site.
+	SiteID() int
+	// Evaluate posts q to the site and returns its partial answer together
+	// with the bytes that crossed the transport for this exchange.
+	Evaluate(q control.Query, opts EvalOptions) (*PartialAnswer, int64, error)
+	// Precompute asks the site to build its query-independent reduction
+	// offline.
+	Precompute() error
+	// Update offers the edge half of a stake update to the site.
+	Update(up StakeUpdate) (UpdateResult, error)
+	// AdjustCrossIn offers an in-node bookkeeping adjustment to the site.
+	AdjustCrossIn(v graph.NodeID, delta int) (bool, error)
+}
+
+// Options configures one distributed query evaluation.
+type Options struct {
+	// UseCache serves partial answers of sites not storing s or t from
+	// their query-independent caches (Figure 6's setting).
+	UseCache bool
+	// ForcePartial makes every site return its reduced partition instead of
+	// an early answer, exercising the full merge pipeline (measurement
+	// runs).
+	ForcePartial bool
+	// SequentialSites queries the sites one at a time instead of
+	// concurrently. In a real deployment every site is its own machine, so
+	// concurrency costs nothing; when all sites share one process on a
+	// small host, concurrent evaluation inflates each site's measured time
+	// through time sharing. Measurement runs set this so that
+	// Metrics.SiteElapsedMax reflects true per-site compute.
+	SequentialSites bool
+	// Workers is the coordinator-side reduction parallelism.
+	Workers int
+}
+
+// Metrics reports where the time and bytes of a distributed query went —
+// the quantities plotted in Figures 8.a–8.h and the network-traffic table.
+type Metrics struct {
+	// SiteElapsedMax is the slowest site's evaluation time (sites run in
+	// parallel, so this is the site-side wall-clock contribution).
+	SiteElapsedMax time.Duration
+	// SiteElapsedSum totals every site's evaluation time — the "total
+	// computation cost" the pre-caching experiment of the paper measures.
+	SiteElapsedSum time.Duration
+	// CoordElapsed is the time spent merging and reducing at the
+	// coordinator.
+	CoordElapsed time.Duration
+	// Bytes counts all payload bytes returned by sites.
+	Bytes int64
+	// PartialNodes/PartialEdges total the sizes of the returned reduced
+	// partitions (column R of the traffic table).
+	PartialNodes, PartialEdges int
+	// MGraphNodes/MGraphEdges size the merged graph before the final
+	// reduction (column MGraph).
+	MGraphNodes, MGraphEdges int
+	// DecidedBy is the site id whose trusted termination condition decided
+	// the query, or -1 when the coordinator decided after merging.
+	DecidedBy int
+	// CacheHits counts sites answered from their pre-computed reduction.
+	CacheHits int
+	// CoordCacheHits counts sites whose partial answer was served from the
+	// coordinator's own copy after an epoch revalidation (no payload
+	// crossed the network) — the Figure 6 setting.
+	CoordCacheHits int
+	// SitesQueried counts sites contacted.
+	SitesQueried int
+	// Stats accumulates the reduction work across sites and coordinator.
+	Stats control.Stats
+}
+
+// Coordinator implements Algorithm 2: it posts q_c(s,t) to every site,
+// collects partial answers, merges them and reduces the merged graph.
+// With caching enabled it also keeps its own copy of each site's
+// query-independent partial answer, revalidated per query by data epoch, so
+// unchanged sites ship no payload at all.
+type Coordinator struct {
+	clients []SiteClient
+	opts    Options
+
+	mu     sync.Mutex
+	pcache map[int]*coordCached
+}
+
+// coordCached is the coordinator's copy of one site's partial answer.
+type coordCached struct {
+	epoch   uint64
+	reduced *graph.Graph
+	stats   control.Stats
+}
+
+// NewCoordinator builds a coordinator over the given site clients.
+func NewCoordinator(clients []SiteClient, opts Options) *Coordinator {
+	return &Coordinator{
+		clients: clients,
+		opts:    opts,
+		pcache:  make(map[int]*coordCached),
+	}
+}
+
+// cachedEpoch returns the coordinator's stored epoch for a site, if any.
+func (c *Coordinator) cachedEpoch(siteID int) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.pcache[siteID]
+	if !ok {
+		return 0, false
+	}
+	return e.epoch, true
+}
+
+// PrecomputeAll asks every site to build its query-independent reduction,
+// the offline phase of the pre-caching setting.
+func (c *Coordinator) PrecomputeAll() error {
+	errs := make(chan error, len(c.clients))
+	for _, cl := range c.clients {
+		go func(cl SiteClient) { errs <- cl.Precompute() }(cl)
+	}
+	for range c.clients {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Answer evaluates q_c(s, t) over the distributed graph.
+func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
+	m := &Metrics{DecidedBy: -1}
+	if len(c.clients) == 0 {
+		return false, m, fmt.Errorf("dist: no sites")
+	}
+
+	type reply struct {
+		pa    *PartialAnswer
+		bytes int64
+		err   error
+	}
+	replies := make(chan reply, len(c.clients))
+	ask := func(cl SiteClient) {
+		opts := EvalOptions{
+			UseCache:     c.opts.UseCache,
+			ForcePartial: c.opts.ForcePartial,
+		}
+		if c.opts.UseCache {
+			if epoch, ok := c.cachedEpoch(cl.SiteID()); ok {
+				opts.IfEpoch, opts.HasIfEpoch = epoch, true
+			}
+		}
+		pa, n, err := cl.Evaluate(q, opts)
+		replies <- reply{pa, n, err}
+	}
+	for _, cl := range c.clients {
+		if c.opts.SequentialSites {
+			ask(cl)
+		} else {
+			go ask(cl)
+		}
+	}
+
+	var partials []*PartialAnswer
+	decided := control.Unknown
+	decidedBy := -1
+	for range c.clients {
+		r := <-replies
+		if r.err != nil {
+			return false, m, fmt.Errorf("dist: site evaluation: %w", r.err)
+		}
+		m.SitesQueried++
+		m.Bytes += r.bytes
+		m.SiteElapsedSum += r.pa.Elapsed
+		if r.pa.Elapsed > m.SiteElapsedMax {
+			m.SiteElapsedMax = r.pa.Elapsed
+		}
+		if r.pa.FromCache {
+			m.CacheHits++
+		}
+		if r.pa.NotModified {
+			// Serve from the coordinator's own copy.
+			c.mu.Lock()
+			cached := c.pcache[r.pa.SiteID]
+			c.mu.Unlock()
+			if cached == nil {
+				return false, m, fmt.Errorf("dist: site %d replied not-modified without a coordinator copy", r.pa.SiteID)
+			}
+			m.CoordCacheHits++
+			m.Stats.Add(cached.stats)
+			partials = append(partials, &PartialAnswer{
+				SiteID:    r.pa.SiteID,
+				Reduced:   cached.reduced,
+				FromCache: true,
+			})
+			continue
+		}
+		if r.pa.FromCache && r.pa.Reduced != nil {
+			c.mu.Lock()
+			c.pcache[r.pa.SiteID] = &coordCached{
+				epoch:   r.pa.Epoch,
+				reduced: r.pa.Reduced,
+				stats:   r.pa.Stats,
+			}
+			c.mu.Unlock()
+		}
+		m.Stats.Add(r.pa.Stats)
+		if r.pa.Ans != control.Unknown {
+			if decided != control.Unknown && decided != r.pa.Ans {
+				return false, m, fmt.Errorf("dist: sites %d and %d decided the query inconsistently",
+					decidedBy, r.pa.SiteID)
+			}
+			decided = r.pa.Ans
+			decidedBy = r.pa.SiteID
+			continue
+		}
+		partials = append(partials, r.pa)
+	}
+	if decided != control.Unknown {
+		m.DecidedBy = decidedBy
+		return decided.Bool(), m, nil
+	}
+
+	// Assemble: MGraph := ∪ R_i, then reduce once more with X = {s, t}.
+	start := time.Now()
+	mg := graph.New(0)
+	for _, pa := range partials {
+		if pa.Reduced == nil {
+			continue
+		}
+		m.PartialNodes += pa.Reduced.NumNodes()
+		m.PartialEdges += pa.Reduced.NumEdges()
+		mg.Merge(pa.Reduced)
+	}
+	m.MGraphNodes = mg.NumNodes()
+	m.MGraphEdges = mg.NumEdges()
+	res := control.ParallelReduction(mg, q, graph.NewNodeSet(q.S, q.T), control.Options{
+		Workers: c.opts.Workers,
+		Trust:   control.FullTrust,
+	})
+	m.CoordElapsed = time.Since(start)
+	m.Stats.Add(res.Stats)
+	if res.Ans == control.Unknown {
+		return false, m, fmt.Errorf("dist: merged reduction could not decide %v", q)
+	}
+	return res.Ans.Bool(), m, nil
+}
+
+// AnswerBatch evaluates a batch of queries — the paper's production setting
+// serves thousands of control queries per minute, where the pre-computed
+// partial answers amortize across the whole batch. It returns one answer
+// per query and aggregate metrics.
+func (c *Coordinator) AnswerBatch(qs []control.Query) ([]bool, *Metrics, error) {
+	total := &Metrics{DecidedBy: -1}
+	out := make([]bool, len(qs))
+	for i, q := range qs {
+		ans, m, err := c.Answer(q)
+		if err != nil {
+			return nil, total, fmt.Errorf("dist: query %d (%v): %w", i, q, err)
+		}
+		out[i] = ans
+		total.SitesQueried += m.SitesQueried
+		total.CacheHits += m.CacheHits
+		total.Bytes += m.Bytes
+		total.SiteElapsedSum += m.SiteElapsedSum
+		total.CoordElapsed += m.CoordElapsed
+		if m.SiteElapsedMax > total.SiteElapsedMax {
+			total.SiteElapsedMax = m.SiteElapsedMax
+		}
+		total.Stats.Add(m.Stats)
+	}
+	return out, total, nil
+}

@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ccp/internal/control"
+	"ccp/internal/graph"
+)
+
+func durationNS(ns int64) time.Duration { return time.Duration(ns) }
+
+// Serve runs a worker site on l until the listener is closed. Each accepted
+// connection serves a stream of requests; site evaluation happens with the
+// site's own parallelism. Serve returns nil when l is closed.
+func Serve(l net.Listener, site *Site) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, site)
+	}
+}
+
+func serveConn(conn net.Conn, site *Site) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // client hung up (io.EOF) or is broken; drop the conn
+		}
+		resp := handle(site, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func handle(site *Site, req *request) *response {
+	switch req.Op {
+	case opInfo:
+		return &response{SiteID: site.ID()}
+	case opPrecompute:
+		site.Precompute()
+		return &response{SiteID: site.ID()}
+	case opEvaluate:
+		q := control.Query{S: graph.NodeID(req.S), T: graph.NodeID(req.T)}
+		pa := site.Evaluate(q, EvalOptions{
+			UseCache:     req.UseCache,
+			ForcePartial: req.ForcePartial,
+			IfEpoch:      req.IfEpoch,
+			HasIfEpoch:   req.HasIfEpoch,
+		})
+		resp, err := encodePartial(pa)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return resp
+	case opUpdate:
+		res, err := site.ApplyEdgeUpdate(req.Update)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{SiteID: site.ID(), UpdateRes: res}
+	case opCrossIn:
+		acted := site.AdjustCrossIn(graph.NodeID(req.S), req.Delta)
+		return &response{SiteID: site.ID(), Acted: acted}
+	default:
+		return &response{Err: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+}
+
+// countConn wraps a net.Conn counting the bytes read (the traffic the
+// coordinator receives from the site).
+type countConn struct {
+	net.Conn
+	read *int64
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	*c.read += int64(n)
+	return n, err
+}
+
+// RemoteClient talks to a worker site over TCP. It is safe for concurrent
+// use; calls on one connection are serialized.
+type RemoteClient struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	read   int64
+	siteID int
+}
+
+// Dial connects to a worker site and fetches its identity.
+func Dial(addr string) (*RemoteClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing site %s: %w", addr, err)
+	}
+	c := &RemoteClient{conn: conn}
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(countConn{Conn: conn, read: &c.read})
+	resp, _, err := c.roundTrip(&request{Op: opInfo})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.siteID = resp.SiteID
+	return c, nil
+}
+
+// Close releases the connection.
+func (c *RemoteClient) Close() error { return c.conn.Close() }
+
+// SiteID implements SiteClient.
+func (c *RemoteClient) SiteID() int { return c.siteID }
+
+// Precompute implements SiteClient.
+func (c *RemoteClient) Precompute() error {
+	_, _, err := c.roundTrip(&request{Op: opPrecompute})
+	return err
+}
+
+// Evaluate implements SiteClient.
+func (c *RemoteClient) Evaluate(q control.Query, opts EvalOptions) (*PartialAnswer, int64, error) {
+	resp, n, err := c.roundTrip(&request{
+		Op:           opEvaluate,
+		S:            int32(q.S),
+		T:            int32(q.T),
+		UseCache:     opts.UseCache,
+		ForcePartial: opts.ForcePartial,
+		IfEpoch:      opts.IfEpoch,
+		HasIfEpoch:   opts.HasIfEpoch,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	pa, err := decodePartial(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pa, n, nil
+}
+
+// Update implements SiteClient.
+func (c *RemoteClient) Update(up StakeUpdate) (UpdateResult, error) {
+	resp, _, err := c.roundTrip(&request{Op: opUpdate, Update: up})
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return resp.UpdateRes, nil
+}
+
+// AdjustCrossIn implements SiteClient.
+func (c *RemoteClient) AdjustCrossIn(v graph.NodeID, delta int) (bool, error) {
+	resp, _, err := c.roundTrip(&request{Op: opCrossIn, S: int32(v), Delta: delta})
+	if err != nil {
+		return false, err
+	}
+	return resp.Acted, nil
+}
+
+// roundTrip sends one request and reads its response, returning the bytes
+// read off the wire for this exchange.
+func (c *RemoteClient) roundTrip(req *request) (*response, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.read
+	if err := c.enc.Encode(req); err != nil {
+		return nil, 0, fmt.Errorf("dist: sending request: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, 0, errors.New("dist: site closed the connection")
+		}
+		return nil, 0, fmt.Errorf("dist: reading response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, 0, errors.New(resp.Err)
+	}
+	return &resp, c.read - before, nil
+}

@@ -1,0 +1,202 @@
+// Package dist implements the distributed company-control runtime of
+// Section VII: worker sites that compute partial answers by reducing their
+// partition (partial evaluation), and a coordinator that assembles the
+// partial answers, reduces the merged graph, and produces the final answer.
+// Query-independent partial answers can be pre-computed and cached, so that
+// at query time at most the two sites storing s and t evaluate anything.
+//
+// Sites and coordinator can run in one process (LocalClient) or as separate
+// processes speaking a gob protocol over TCP (Serve / Dial), with byte-level
+// accounting of everything that crosses the wire.
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"ccp/internal/control"
+	"ccp/internal/graph"
+	"ccp/internal/partition"
+)
+
+// PartialAnswer is a site's reply to a posted query: either a decided global
+// answer (a trusted termination condition fired locally) or the reduced
+// partition to be merged at the coordinator.
+type PartialAnswer struct {
+	SiteID int
+	// Ans is True/False if the site decided the query, Unknown otherwise.
+	Ans control.Answer
+	// Reduced is the reduced partition; nil when Ans is decided.
+	Reduced *graph.Graph
+	// Stats reports the local reduction work.
+	Stats control.Stats
+	// Elapsed is the site-side evaluation time.
+	Elapsed time.Duration
+	// FromCache reports that the answer came from the query-independent
+	// cache rather than a live evaluation.
+	FromCache bool
+	// Epoch is the site's data version the answer was computed at; it
+	// changes whenever the site's partition changes. Only meaningful for
+	// cached answers.
+	Epoch uint64
+	// NotModified reports that the coordinator's copy (requested via
+	// EvalOptions.IfEpoch) is still valid; Reduced is nil.
+	NotModified bool
+}
+
+// Site evaluates queries over one partition — the per-site half of
+// Algorithm 2. A Site is safe for concurrent use.
+type Site struct {
+	mu      sync.Mutex
+	part    *partition.Partition
+	workers int
+
+	cache      *graph.Graph // query-independent reduction of the partition
+	cacheStats control.Stats
+	epoch      uint64 // bumped by Invalidate
+	cacheEpoch uint64 // epoch the cache was computed at
+}
+
+// NewSite wraps a partition. workers <= 0 means GOMAXPROCS.
+func NewSite(p *partition.Partition, workers int) *Site {
+	return &Site{part: p, workers: workers, cacheEpoch: ^uint64(0)}
+}
+
+// ID returns the partition id this site serves.
+func (s *Site) ID() int { return s.part.ID }
+
+// Members returns the number of companies stored at the site.
+func (s *Site) Members() int { return len(s.part.Members) }
+
+// HoldsMember reports whether v is stored at this site (not just virtual).
+func (s *Site) HoldsMember(v graph.NodeID) bool { return s.part.Members.Has(v) }
+
+// Invalidate marks the site's data as changed, dropping the cached
+// query-independent reduction.
+func (s *Site) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	s.cache = nil
+}
+
+// Precompute builds (or refreshes) the query-independent reduction: the
+// partition reduced with only the boundary nodes excluded. This is the
+// offline work of Figure 6's cached sites. It returns the reduction stats.
+func (s *Site) Precompute() control.Stats {
+	s.mu.Lock()
+	epoch := s.epoch
+	if s.cache != nil && s.cacheEpoch == epoch {
+		st := s.cacheStats
+		s.mu.Unlock()
+		return st
+	}
+	g := s.part.Local.Clone()
+	boundary := s.part.Boundary()
+	s.mu.Unlock()
+
+	res := control.ParallelReduction(g, control.Query{S: graph.None, T: graph.None},
+		boundary, control.Options{
+			Workers:            s.workers,
+			DisableTermination: true, // there is no query yet
+		})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch == epoch {
+		s.cache = g
+		s.cacheStats = res.Stats
+		s.cacheEpoch = epoch
+	}
+	return res.Stats
+}
+
+// EvalOptions selects how a site evaluates a query.
+type EvalOptions struct {
+	// UseCache serves the query-independent cached reduction when neither
+	// endpoint is stored at the site.
+	UseCache bool
+	// ForcePartial disables the early-termination answers, so the site
+	// always returns its reduced partition. Measurement runs use it to
+	// exercise the full assemble-and-merge pipeline on every query.
+	ForcePartial bool
+	// IfEpoch, when HasIfEpoch is set, asks the site to reply NotModified
+	// instead of re-shipping its cached partial answer if the site's data
+	// is still at that epoch — the conditional fetch behind the
+	// coordinator-side cache of Figure 6.
+	IfEpoch    uint64
+	HasIfEpoch bool
+}
+
+// Evaluate computes the partial answer to q (Algorithm 2, line 6). With
+// opts.UseCache set and neither endpoint stored here, the cached
+// query-independent reduction is returned (computing it on demand).
+func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
+	start := time.Now()
+	holdsS := s.part.Members.Has(q.S)
+	holdsT := s.part.Members.Has(q.T)
+
+	if opts.UseCache && !holdsS && !holdsT {
+		s.Precompute()
+		s.mu.Lock()
+		cached := s.cache
+		st := s.cacheStats
+		epoch := s.cacheEpoch
+		s.mu.Unlock()
+		if opts.HasIfEpoch && opts.IfEpoch == epoch {
+			return &PartialAnswer{
+				SiteID:      s.part.ID,
+				Ans:         control.Unknown,
+				Elapsed:     time.Since(start),
+				FromCache:   true,
+				Epoch:       epoch,
+				NotModified: true,
+			}
+		}
+		return &PartialAnswer{
+			SiteID:    s.part.ID,
+			Ans:       control.Unknown,
+			Reduced:   cached,
+			Stats:     st,
+			Elapsed:   time.Since(start),
+			FromCache: true,
+			Epoch:     epoch,
+		}
+	}
+
+	// Live evaluation. The exclusion set is {s, t} ∪ V^in ∪ V^virt; the
+	// early-termination conditions are trusted only where local knowledge
+	// is complete (see control.TerminationTrust). The snapshot is taken
+	// under the lock so concurrent updates cannot tear it.
+	s.mu.Lock()
+	x := s.part.Boundary()
+	x.Add(q.S)
+	x.Add(q.T)
+	g := s.part.Local.Clone()
+	tIsInNode := s.part.InNodes.Has(q.T)
+	s.mu.Unlock()
+	copts := control.Options{
+		Workers: s.workers,
+		Trust: control.TerminationTrust{
+			T1: holdsS,
+			T2: holdsT && !tIsInNode,
+		},
+	}
+	if opts.ForcePartial {
+		copts.DisableTermination = true
+	}
+	res := control.ParallelReduction(g, q, x, copts)
+	pa := &PartialAnswer{
+		SiteID:  s.part.ID,
+		Ans:     res.Ans,
+		Stats:   res.Stats,
+		Elapsed: time.Since(start),
+	}
+	if opts.ForcePartial {
+		pa.Ans = control.Unknown
+	}
+	if pa.Ans == control.Unknown {
+		pa.Reduced = g
+	}
+	return pa
+}

@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ccp/internal/control"
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+	"ccp/internal/partition"
+)
+
+// TestConcurrentQueriesAndUpdates hammers a cluster with parallel queries,
+// updates and precomputations. Run under -race it proves the site locking;
+// the final quiescent check proves no update was lost.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 800, AvgOutDegree: 2, Seed: 17})
+	pi, err := partition.ByContiguous(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := make([]*Site, 2)
+	clients := make([]SiteClient, 2)
+	for i, p := range pi.Parts {
+		sites[i] = NewSite(p, 2)
+		clients[i] = &LocalClient{Site: sites[i]}
+	}
+	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 2})
+
+	mirror := g.Clone()
+	var mirrorMu sync.Mutex
+
+	var wg sync.WaitGroup
+	// Writers: each adds a few stakes from a disjoint owner range so the
+	// mirror can track them deterministically.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 8; i++ {
+				owner := graph.NodeID(w*10 + i)
+				owned := graph.NodeID(400 + rng.Intn(400))
+				if owner == owned {
+					continue
+				}
+				mirrorMu.Lock()
+				// Keep the ownership invariant: skip if no budget.
+				if mirror.InSum(owned) > 0.85 || mirror.HasEdge(owner, owned) {
+					mirrorMu.Unlock()
+					continue
+				}
+				if err := mirror.AddEdge(owner, owned, 0.1); err != nil {
+					mirrorMu.Unlock()
+					continue
+				}
+				mirrorMu.Unlock()
+				if err := coord.ApplyUpdate(StakeUpdate{Owner: owner, Owned: owned, Weight: 0.1}); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: random queries; answers may reflect any prefix of the
+	// concurrent updates, so only errors are checked here.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for i := 0; i < 12; i++ {
+				q := control.Query{
+					S: graph.NodeID(rng.Intn(800)),
+					T: graph.NodeID(rng.Intn(800)),
+				}
+				if _, _, err := coord.Answer(q); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	// A precomputer racing with everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if err := coord.PrecomputeAll(); err != nil {
+				t.Errorf("precompute: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiescent: the cluster must now agree with the mirror everywhere.
+	rng := rand.New(rand.NewSource(999))
+	for i := 0; i < 30; i++ {
+		q := control.Query{S: graph.NodeID(rng.Intn(800)), T: graph.NodeID(rng.Intn(800))}
+		want := control.CBE(mirror, q)
+		got, _, err := coord.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v after quiescence: got %v, want %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"fmt"
+
+	"ccp/internal/graph"
+)
+
+// StakeUpdate is one change to the distributed shareholding data: owner
+// takes (or divests) the fraction Weight of owned.
+type StakeUpdate struct {
+	Owner, Owned graph.NodeID
+	Weight       float64
+	// Remove divests the stake entirely instead of adding Weight.
+	Remove bool
+}
+
+// UpdateResult reports what an edge update did at the owner's home site.
+type UpdateResult struct {
+	// Stored is true at exactly one site: the one holding the owner.
+	Stored bool
+	// EdgeCreated / EdgeRemoved report whether the physical edge appeared
+	// or disappeared (a merge into an existing stake creates nothing).
+	EdgeCreated, EdgeRemoved bool
+	// Cross reports that the stake crosses partitions, so the owned
+	// company's home site must adjust its in-node bookkeeping.
+	Cross bool
+}
+
+// ApplyEdgeUpdate applies the edge half of an update. Only the owner's home
+// site does anything; every other site returns a zero UpdateResult.
+func (s *Site) ApplyEdgeUpdate(up StakeUpdate) (UpdateResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res UpdateResult
+	if !s.part.Members.Has(up.Owner) {
+		return res, nil
+	}
+	res.Cross = !s.part.Members.Has(up.Owned)
+	if up.Remove {
+		if !s.part.Local.RemoveEdge(up.Owner, up.Owned) {
+			return res, nil // nothing to divest
+		}
+		res.Stored = true
+		res.EdgeRemoved = true
+		if res.Cross {
+			s.part.CrossOut--
+		}
+	} else {
+		existed := s.part.Local.HasEdge(up.Owner, up.Owned)
+		if res.Cross {
+			// The owned company lives elsewhere; ensure its virtual stub.
+			s.part.Local.Revive(up.Owned)
+			s.part.Virtual.Add(up.Owned)
+		} else if !s.part.Local.Alive(up.Owned) {
+			return res, fmt.Errorf("dist: site %d: owned company %d unknown", s.part.ID, up.Owned)
+		}
+		if err := s.part.Local.MergeEdge(up.Owner, up.Owned, up.Weight); err != nil {
+			return res, fmt.Errorf("dist: site %d applying stake: %w", s.part.ID, err)
+		}
+		res.Stored = true
+		res.EdgeCreated = !existed
+		if res.Cross && !existed {
+			s.part.CrossOut++
+		}
+	}
+	s.epoch++
+	s.cache = nil
+	return res, nil
+}
+
+// AdjustCrossIn records delta new (+1) or removed (-1) foreign cross edges
+// into company v. Only v's home site does anything; it reports whether it
+// acted.
+func (s *Site) AdjustCrossIn(v graph.NodeID, delta int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.part.Members.Has(v) {
+		return false
+	}
+	switch {
+	case delta > 0:
+		s.part.AddCrossIn(v)
+	case delta < 0:
+		if !s.part.DropCrossIn(v) {
+			return false
+		}
+	default:
+		return false
+	}
+	s.epoch++
+	s.cache = nil
+	return true
+}
+
+// ApplyUpdate routes one stake update through the cluster: every site is
+// offered the edge half (exactly the owner's site applies it), and if a
+// cross-partition edge appeared or disappeared, the owned company's site
+// adjusts its in-node bookkeeping. Affected sites drop their cached partial
+// answers.
+func (c *Coordinator) ApplyUpdate(up StakeUpdate) error {
+	var applied *UpdateResult
+	for _, cl := range c.clients {
+		res, err := cl.Update(up)
+		if err != nil {
+			return err
+		}
+		if res.Stored {
+			if applied != nil {
+				return fmt.Errorf("dist: update stored at two sites")
+			}
+			applied = &res
+		}
+	}
+	if applied == nil {
+		if up.Remove {
+			return fmt.Errorf("dist: stake (%d,%d) not found", up.Owner, up.Owned)
+		}
+		return fmt.Errorf("dist: no site stores company %d", up.Owner)
+	}
+	if applied.Cross && (applied.EdgeCreated || applied.EdgeRemoved) {
+		delta := 1
+		if applied.EdgeRemoved {
+			delta = -1
+		}
+		acted := false
+		for _, cl := range c.clients {
+			ok, err := cl.AdjustCrossIn(up.Owned, delta)
+			if err != nil {
+				return err
+			}
+			acted = acted || ok
+		}
+		if !acted {
+			// The owned company lives at no site: the update referenced an
+			// unknown company. Roll the edge back so no site is left with a
+			// dangling stake.
+			if applied.EdgeCreated {
+				rollback := StakeUpdate{Owner: up.Owner, Owned: up.Owned, Remove: true}
+				for _, cl := range c.clients {
+					if res, err := cl.Update(rollback); err == nil && res.Stored {
+						break
+					}
+				}
+			}
+			return fmt.Errorf("dist: no site hosts owned company %d", up.Owned)
+		}
+	}
+	return nil
+}

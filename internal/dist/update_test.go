@@ -1,0 +1,314 @@
+package dist
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"ccp/internal/control"
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+	"ccp/internal/partition"
+)
+
+// updateCluster builds a 2-partition in-process cluster over a small graph
+// and returns the coordinator plus a mirror graph that tracks the expected
+// centralized state.
+func updateCluster(t *testing.T, useCache bool) (*Coordinator, []*Site, *graph.Graph) {
+	t.Helper()
+	g := graph.New(6)
+	for _, e := range []graph.Edge{
+		{From: 0, To: 1, Weight: 0.6},
+		{From: 3, To: 4, Weight: 0.6},
+	} {
+		if err := g.AddEdge(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi, err := partition.Split(g, []int{0, 0, 0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := make([]*Site, 2)
+	clients := make([]SiteClient, 2)
+	for i, p := range pi.Parts {
+		sites[i] = NewSite(p, 1)
+		clients[i] = &LocalClient{Site: sites[i]}
+	}
+	return NewCoordinator(clients, Options{UseCache: useCache, Workers: 1}), sites, g
+}
+
+func TestApplyUpdateInternalEdge(t *testing.T) {
+	coord, _, mirror := updateCluster(t, false)
+	// 1 takes 70% of 2 (same partition): 0 now controls 2 transitively.
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 2, Weight: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.AddEdge(1, 2, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []control.Query{{S: 0, T: 2}, {S: 1, T: 2}, {S: 0, T: 4}} {
+		want := control.CBE(mirror, q)
+		got, _, err := coord.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v after update: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestApplyUpdateCrossEdgeAndRemove(t *testing.T) {
+	coord, sites, mirror := updateCluster(t, true)
+	if err := coord.PrecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 (partition 0) takes 80% of 3 (partition 1): a cross edge. Node 3
+	// must become an in-node of partition 1, and 0 now controls 4.
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Weight: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.AddEdge(1, 3, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if !sites[1].part.InNodes.Has(3) {
+		t.Fatal("in-node bookkeeping not updated")
+	}
+	if sites[0].part.CrossOut != 1 || !sites[0].part.Virtual.Has(3) {
+		t.Fatal("owner-side cross bookkeeping not updated")
+	}
+	for _, q := range []control.Query{{S: 0, T: 4}, {S: 1, T: 4}, {S: 0, T: 3}} {
+		want := control.CBE(mirror, q)
+		got, _, err := coord.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v after cross update: got %v, want %v", q, got, want)
+		}
+	}
+	// Divest: everything reverts.
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Remove: true}); err != nil {
+		t.Fatal(err)
+	}
+	mirror.RemoveEdge(1, 3)
+	if sites[1].part.InNodes.Has(3) {
+		t.Fatal("in-node not dropped after divestment")
+	}
+	if sites[0].part.CrossOut != 0 {
+		t.Fatalf("cross-out = %d after divestment", sites[0].part.CrossOut)
+	}
+	got, _, err := coord.Answer(control.Query{S: 0, T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != control.CBE(mirror, control.Query{S: 0, T: 4}) {
+		t.Fatal("answer did not revert after divestment")
+	}
+}
+
+func TestApplyUpdateMergeDoesNotDoubleCountInNode(t *testing.T) {
+	coord, sites, _ := updateCluster(t, false)
+	// Two increments of the same cross stake: only one in-node reference.
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Weight: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Weight: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if sites[1].part.CrossIn[3] != 1 {
+		t.Fatalf("cross-in refcount = %d, want 1", sites[1].part.CrossIn[3])
+	}
+	// One divestment clears it.
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Remove: true}); err != nil {
+		t.Fatal(err)
+	}
+	if sites[1].part.InNodes.Has(3) {
+		t.Fatal("in-node survived divestment")
+	}
+}
+
+func TestApplyUpdateErrors(t *testing.T) {
+	coord, _, _ := updateCluster(t, false)
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 99, Owned: 1, Weight: 0.2}); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 1, Remove: true, Weight: 0}); err != nil {
+		t.Fatal(err) // removing an existing stake is fine
+	}
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 1, Remove: true}); err == nil {
+		t.Fatal("removing a missing stake accepted")
+	}
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 2, Weight: 1.5}); err == nil {
+		t.Fatal("out-of-range stake accepted")
+	}
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 0, Weight: 0.2}); err == nil {
+		t.Fatal("self stake accepted")
+	}
+}
+
+func TestUpdatesOverTCP(t *testing.T) {
+	g := gen.EU(gen.EUConfig{Countries: 2, NodesPerCountry: 500, InterconnectRate: 0, Seed: 5}).G
+	pi, err := partition.ByContiguous(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]SiteClient, 2)
+	for i, p := range pi.Parts {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go Serve(l, NewSite(p, 1))
+		c, err := Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 1})
+	mirror := g.Clone()
+
+	// Find an uncontrolled company in country 1 and take it over from
+	// country 0, across the wire.
+	var target graph.NodeID = graph.None
+	for v := graph.NodeID(500); v < 1000; v++ {
+		if mirror.InSum(v) < 0.3 {
+			target = v
+			break
+		}
+	}
+	if target == graph.None {
+		t.Skip("no takeover candidate")
+	}
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: 7, Owned: target, Weight: 0.65}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.AddEdge(7, target, 0.65); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 6; i++ {
+		q := control.Query{S: 7, T: target}
+		if i > 0 {
+			q = control.Query{S: graph.NodeID(rng.Intn(1000)), T: graph.NodeID(rng.Intn(1000))}
+		}
+		want := control.CBE(mirror, q)
+		got, _, err := coord.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v over TCP after update: got %v want %v", q, got, want)
+		}
+	}
+}
+
+func TestAnswerBatch(t *testing.T) {
+	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 2000, AvgOutDegree: 2, Seed: 31})
+	pi, err := partition.ByContiguous(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]SiteClient, 3)
+	for i, p := range pi.Parts {
+		clients[i] = &LocalClient{Site: NewSite(p, 1), MeasureBytes: true}
+	}
+	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 1})
+	if err := coord.PrecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	var qs []control.Query
+	var want []bool
+	for i := 0; i < 20; i++ {
+		q := control.Query{S: graph.NodeID(rng.Intn(2000)), T: graph.NodeID(rng.Intn(2000))}
+		qs = append(qs, q)
+		want = append(want, control.CBE(g, q))
+	}
+	got, m, err := coord.AnswerBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch query %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if m.SitesQueried != 20*3 {
+		t.Fatalf("sites queried = %d", m.SitesQueried)
+	}
+}
+
+func TestCoordinatorCacheRevalidation(t *testing.T) {
+	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 3000, AvgOutDegree: 2, Seed: 45})
+	pi, err := partition.ByContiguous(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := make([]*Site, 3)
+	clients := make([]SiteClient, 3)
+	for i, p := range pi.Parts {
+		sites[i] = NewSite(p, 1)
+		clients[i] = &LocalClient{Site: sites[i], MeasureBytes: true}
+	}
+	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 1})
+	if err := coord.PrecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Endpoints in partitions 0 and 2: site 1 serves from cache.
+	q := control.Query{S: 5, T: graph.NodeID(g.Cap() - 5)}
+	want := control.CBE(g, q)
+
+	got1, m1, err := coord.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != want {
+		t.Fatalf("first answer %v, want %v", got1, want)
+	}
+	if m1.CacheHits != 1 || m1.CoordCacheHits != 0 {
+		t.Fatalf("first query: cacheHits=%d coordHits=%d", m1.CacheHits, m1.CoordCacheHits)
+	}
+
+	// Second query: the coordinator revalidates by epoch; site 1 replies
+	// not-modified and ships nothing.
+	got2, m2, err := coord.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want || m2.CoordCacheHits != 1 {
+		t.Fatalf("second query: got=%v coordHits=%d", got2, m2.CoordCacheHits)
+	}
+	if m2.Bytes >= m1.Bytes {
+		t.Fatalf("revalidated query shipped %dB, first shipped %dB", m2.Bytes, m1.Bytes)
+	}
+
+	// An update to site 1 bumps its epoch: the copy is refetched and
+	// answers stay correct.
+	mid := graph.NodeID(1000 + 1) // a member of partition 1
+	if err := coord.ApplyUpdate(StakeUpdate{Owner: mid, Owned: mid + 1, Weight: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	got3, m3, err := coord.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3 != control.CBE(pi.Merge(), q) {
+		t.Fatalf("post-update answer wrong")
+	}
+	if m3.CoordCacheHits != 0 {
+		t.Fatalf("stale coordinator copy served after update: %+v", m3)
+	}
+	// And the fourth query revalidates again.
+	_, m4, err := coord.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.CoordCacheHits != 1 {
+		t.Fatalf("revalidation broken after refetch: %+v", m4)
+	}
+}

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+
+	"ccp/internal/control"
+	"ccp/internal/graph"
+)
+
+// The wire protocol: a client sends requests and reads responses over one
+// connection, both gob-encoded. Graphs travel as the compact CCPG1 binary
+// format produced by graph.WriteBinary, so wire size equals what the
+// network-traffic table reports.
+
+// op selects the request kind.
+type op uint8
+
+const (
+	opEvaluate op = iota + 1
+	opPrecompute
+	opInfo
+	opUpdate
+	opCrossIn
+)
+
+// request is the client -> site message.
+type request struct {
+	Op           op
+	S, T         int32
+	UseCache     bool
+	ForcePartial bool
+	// IfEpoch/HasIfEpoch carry the coordinator's conditional-fetch epoch.
+	IfEpoch    uint64
+	HasIfEpoch bool
+	// opUpdate / opCrossIn payloads.
+	Update StakeUpdate
+	Delta  int
+}
+
+// response is the site -> client message.
+type response struct {
+	// Err is non-empty when the site failed to serve the request.
+	Err string
+	// SiteID identifies the partition (opInfo and opEvaluate).
+	SiteID int
+	// Ans is the encoded control.Answer for opEvaluate.
+	Ans int8
+	// GraphBytes is the reduced partition in CCPG1 format, empty when the
+	// answer was decided locally.
+	GraphBytes []byte
+	// Stats, ElapsedNS and FromCache mirror PartialAnswer.
+	Stats     control.Stats
+	ElapsedNS int64
+	FromCache bool
+	// UpdateRes and Acted answer opUpdate and opCrossIn.
+	UpdateRes UpdateResult
+	Acted     bool
+	// Epoch and NotModified support the coordinator-side cache.
+	Epoch       uint64
+	NotModified bool
+}
+
+// encodePartial converts a PartialAnswer for the wire.
+func encodePartial(pa *PartialAnswer) (*response, error) {
+	resp := &response{
+		SiteID:      pa.SiteID,
+		Ans:         int8(pa.Ans),
+		Stats:       pa.Stats,
+		ElapsedNS:   pa.Elapsed.Nanoseconds(),
+		FromCache:   pa.FromCache,
+		Epoch:       pa.Epoch,
+		NotModified: pa.NotModified,
+	}
+	if pa.Reduced != nil {
+		var buf bytes.Buffer
+		if err := pa.Reduced.WriteBinary(&buf); err != nil {
+			return nil, fmt.Errorf("dist: encoding reduced graph: %w", err)
+		}
+		resp.GraphBytes = buf.Bytes()
+	}
+	return resp, nil
+}
+
+// decodePartial converts a wire response back to a PartialAnswer.
+func decodePartial(resp *response) (*PartialAnswer, error) {
+	if resp.Err != "" {
+		return nil, fmt.Errorf("dist: site error: %s", resp.Err)
+	}
+	pa := &PartialAnswer{
+		SiteID:      resp.SiteID,
+		Ans:         control.Answer(resp.Ans),
+		Stats:       resp.Stats,
+		Elapsed:     durationNS(resp.ElapsedNS),
+		FromCache:   resp.FromCache,
+		Epoch:       resp.Epoch,
+		NotModified: resp.NotModified,
+	}
+	if len(resp.GraphBytes) > 0 {
+		g, err := graph.ReadBinary(bytes.NewReader(resp.GraphBytes))
+		if err != nil {
+			return nil, fmt.Errorf("dist: decoding reduced graph: %w", err)
+		}
+		pa.Reduced = g
+	}
+	return pa, nil
+}
+
+// LocalClient drives a Site in-process. Payload bytes are still accounted by
+// serializing the reduced graph, so local runs report the same traffic
+// numbers a TCP deployment would.
+type LocalClient struct {
+	Site *Site
+	// MeasureBytes disables payload serialization when false (faster, but
+	// Bytes will read 0).
+	MeasureBytes bool
+}
+
+// SiteID implements SiteClient.
+func (c *LocalClient) SiteID() int { return c.Site.ID() }
+
+// Precompute implements SiteClient.
+func (c *LocalClient) Precompute() error {
+	c.Site.Precompute()
+	return nil
+}
+
+// Evaluate implements SiteClient.
+func (c *LocalClient) Evaluate(q control.Query, opts EvalOptions) (*PartialAnswer, int64, error) {
+	pa := c.Site.Evaluate(q, opts)
+	var n int64
+	if c.MeasureBytes && pa.Reduced != nil {
+		var cw countWriter
+		if err := pa.Reduced.WriteBinary(&cw); err != nil {
+			return nil, 0, err
+		}
+		n = cw.n
+	}
+	return pa, n, nil
+}
+
+// Update implements SiteClient.
+func (c *LocalClient) Update(up StakeUpdate) (UpdateResult, error) {
+	return c.Site.ApplyEdgeUpdate(up)
+}
+
+// AdjustCrossIn implements SiteClient.
+func (c *LocalClient) AdjustCrossIn(v graph.NodeID, delta int) (bool, error) {
+	return c.Site.AdjustCrossIn(v, delta), nil
+}
+
+// countWriter counts bytes written to it.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

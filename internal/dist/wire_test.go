@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ccp/internal/control"
+	"ccp/internal/graph"
+	"ccp/internal/partition"
+)
+
+func testSite(t *testing.T) *Site {
+	t.Helper()
+	g := graph.New(4)
+	if err := g.AddEdge(0, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := partition.ByHash(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSite(pi.Parts[0], 1)
+}
+
+func startServer(t *testing.T, site *Site) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, site)
+	return l.Addr().String()
+}
+
+func TestServeUnknownOp(t *testing.T) {
+	addr := startServer(t, testSite(t))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&request{Op: 99}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || !strings.Contains(resp.Err, "unknown op") {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// The connection stays usable after a bad request. (Fresh struct: gob
+	// does not reset zero-valued fields on decode.)
+	if err := enc.Encode(&request{Op: opInfo}); err != nil {
+		t.Fatal(err)
+	}
+	var resp2 response
+	if err := dec.Decode(&resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Err != "" {
+		t.Fatalf("info after bad op: %+v", resp2)
+	}
+}
+
+func TestServeSurvivesGarbage(t *testing.T) {
+	addr := startServer(t, testSite(t))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage bytes: gob reads them as a bogus length prefix; the server
+	// goroutine must not crash the listener. Close and move on.
+	if _, err := conn.Write([]byte("this is not gob at all, not even close")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The server still accepts and serves well-formed clients.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			defer c.Close()
+			if c.SiteID() != 0 {
+				t.Fatalf("site id = %d", c.SiteID())
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server unreachable after garbage: %v", err)
+		}
+	}
+}
+
+func TestRemoteSiteErrorPropagates(t *testing.T) {
+	addr := startServer(t, testSite(t))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A self stake is rejected at the site; the error must travel back.
+	if _, err := c.Update(StakeUpdate{Owner: 0, Owned: 0, Weight: 0.2}); err == nil {
+		t.Fatal("remote site error lost")
+	}
+	// The client survives and can still evaluate.
+	pa, _, err := c.Evaluate(control.Query{S: 0, T: 1}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Ans != control.True {
+		t.Fatalf("answer = %v", pa.Ans)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dialing a closed port succeeded")
+	}
+}
+
+func TestClientAfterServerGone(t *testing.T) {
+	site := testSite(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, site)
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	l.Close()
+	// Give in-flight conns a moment, then the existing connection still
+	// works (Serve only stops accepting); killing the conn itself is the
+	// real test:
+	c.conn.Close()
+	if _, _, err := c.Evaluate(control.Query{S: 0, T: 1}, EvalOptions{}); err == nil {
+		t.Fatal("evaluate on a dead connection succeeded")
+	}
+}
+
+func TestLocalClientWithoutByteMeasuring(t *testing.T) {
+	site := testSite(t)
+	lc := &LocalClient{Site: site} // MeasureBytes off
+	pa, n, err := lc.Evaluate(control.Query{S: 2, T: 3}, EvalOptions{ForcePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("bytes = %d without measuring", n)
+	}
+	if pa.Reduced == nil {
+		t.Fatal("forced partial missing")
+	}
+	if lc.SiteID() != 0 {
+		t.Fatalf("site id = %d", lc.SiteID())
+	}
+}

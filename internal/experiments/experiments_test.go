@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+)
+
+// tiny keeps experiment smoke tests fast.
+var tiny = Config{Scale: 0.02, Seed: 7, Workers: 2, Repeats: 1}
+
+func TestFig8aSmoke(t *testing.T) {
+	pts, err := Fig8a(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatalf("x not increasing: %v", pts)
+		}
+	}
+	for _, p := range pts {
+		if p.Total <= 0 {
+			t.Fatalf("non-positive total: %v", p)
+		}
+	}
+}
+
+func TestFig8bSmoke(t *testing.T) {
+	pts, err := Fig8b(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 || pts[0].X != 2 || pts[4].X != 10 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestFig8cSmoke(t *testing.T) {
+	pts, err := Fig8c(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Higher interconnection → more traffic.
+	if pts[len(pts)-1].Bytes <= pts[0].Bytes {
+		t.Fatalf("traffic did not grow with the interconnection rate: first %d last %d",
+			pts[0].Bytes, pts[len(pts)-1].Bytes)
+	}
+}
+
+func TestFig8dSmoke(t *testing.T) {
+	pts, err := Fig8d(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestFig8eSmoke(t *testing.T) {
+	pts, err := Fig8e(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestFig8fSmoke(t *testing.T) {
+	pts, err := Fig8f(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	series := map[string]bool{}
+	for _, p := range pts {
+		series[p.Series] = true
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestFig8gSmoke(t *testing.T) {
+	pts, err := Fig8g(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Speedup <= 0 {
+			t.Fatalf("bad speedup: %v", p)
+		}
+	}
+}
+
+func TestFig8hSmoke(t *testing.T) {
+	pts, err := Fig8h(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestNetworkTrafficSmoke(t *testing.T) {
+	rows, err := NetworkTraffic(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PartialNodes > r.PartitionNodes {
+			t.Fatalf("partial answer bigger than partition: %v", r)
+		}
+		if r.Bytes <= 0 {
+			t.Fatalf("no traffic: %v", r)
+		}
+	}
+}
+
+func TestRIADSmoke(t *testing.T) {
+	r, err := RIAD(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes <= 0 || r.Parallel <= 0 || r.Serial <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestSerialSpeedupSmoke(t *testing.T) {
+	rows, err := SerialSpeedup(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Fatalf("bad speedup row: %v", r)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	rows, err := Ablations(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	a, err := Fig9a(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 5 {
+		t.Fatalf("fig9a points = %d", len(a))
+	}
+	b, err := Fig9b(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("fig9b empty")
+	}
+}
+
+func TestPickQueryPrefersNonTrivialEndpoints(t *testing.T) {
+	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 5000, AvgOutDegree: 2, Seed: 3})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		q := pickQuery(g, rng)
+		if !g.Alive(q.S) || !g.Alive(q.T) {
+			t.Fatalf("dead endpoints: %v", q)
+		}
+		hasCtl := false
+		g.EachOut(q.S, func(u graph.NodeID, w float64) {
+			if graph.ExceedsControl(w) {
+				hasCtl = true
+			}
+		})
+		if !hasCtl {
+			t.Fatalf("source %d has no controlling stake", q.S)
+		}
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	r, err := Throughput(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries == 0 || r.QueriesPerMinute <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.CacheHitRate <= 0 {
+		t.Fatalf("no cache hits in a pre-cached run: %+v", r)
+	}
+}
+
+func TestContrastSmoke(t *testing.T) {
+	rows, err := Contrast(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReachTime <= 0 || r.ControlTime <= 0 {
+			t.Fatalf("row = %+v", r)
+		}
+	}
+}
+
+func TestUpdateLatencySmoke(t *testing.T) {
+	r, err := UpdateLatency(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Warm <= 0 || r.AfterUpdate <= 0 || r.Recovered <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestRowStringers(t *testing.T) {
+	rows := []fmt.Stringer{
+		DistPoint{X: 4000, SiteTime: time.Millisecond, CoordTime: time.Millisecond, Total: 2 * time.Millisecond, Bytes: 100},
+		ParPoint{X: 8, Elapsed: time.Millisecond},
+		ParPoint{X: 8, Series: "deg=2", Elapsed: time.Millisecond},
+		SpeedupPoint{PartitionNodes: 4000, Rate: 0.01, Baseline: time.Second, Improved: time.Millisecond, Speedup: 1000},
+		TrafficRow{PartitionNodes: 10, PartitionEdges: 20, Bytes: 2048},
+		RIADResult{Nodes: 10, Edges: 20, Parallel: time.Millisecond, Serial: time.Second, Speedup: 1000},
+		SerialRow{Degree: 2, Nodes: 10, Edges: 20},
+		AblationRow{Variant: "x", Elapsed: time.Millisecond},
+		Fig9Point{X: 10, Paths: 5, DNF: true},
+		Fig9Point{X: 10, Series: "deg=2", Paths: 5},
+		ContrastRow{PartitionNodes: 10},
+		ThroughputResult{Queries: 5, Elapsed: time.Second, QueriesPerMinute: 300, CacheHitRate: 0.5},
+		UpdateLatencyResult{Warm: time.Millisecond, AfterUpdate: time.Millisecond, Recovered: time.Millisecond},
+	}
+	for i, r := range rows {
+		if r.String() == "" {
+			t.Fatalf("row %d renders empty", i)
+		}
+	}
+}

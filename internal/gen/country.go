@@ -1,0 +1,241 @@
+package gen
+
+import (
+	"math/rand"
+
+	"ccp/internal/graph"
+)
+
+// ItalianConfig parameterizes the Italian-graph proxy generator.
+type ItalianConfig struct {
+	// Nodes scales the graph; the real graph has 4.059M nodes. Defaults to
+	// 100k when 0.
+	Nodes int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// Italian generates a proxy of the Italian ownership graph of Section II:
+// a scale-free body fitted to the published statistics (average out-degree
+// 1.43, mostly tiny SCCs, one dominant WCC) plus the "lung" structure —
+// 12 hub shareholders each owning hundreds of companies, themselves owned
+// (but not controlled) by 7 foreign holding companies.
+func Italian(cfg ItalianConfig) *graph.Graph {
+	n := cfg.Nodes
+	if n <= 0 {
+		n = 100_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// One dominant WCC with ~39% of the companies, the rest scattered in
+	// components of ~6 nodes — the published structure of the real graph.
+	g := Fragmented(ScaleFreeConfig{
+		Nodes:        n,
+		AvgOutDegree: 1.43,
+		Seed:         cfg.Seed + 1,
+	}, 0.39, 6)
+	// The lung: 12 hubs with the highest out-degrees...
+	const hubs = 12
+	const foreign = 7
+	if n < hubs+foreign+hubs*300 {
+		return g
+	}
+	// The lung nodes are foreign-owned only: drop whatever in-edges the
+	// scale-free pass gave them so the foreign holdings wired below are
+	// their entire ownership.
+	for i := 0; i < hubs+foreign; i++ {
+		v := graph.NodeID(i)
+		for _, p := range g.Predecessors(v) {
+			g.RemoveEdge(p, v)
+		}
+	}
+	b := make(budget, n)
+	for i := 0; i < n; i++ {
+		b[i] = 1 - g.InSum(graph.NodeID(i))
+	}
+	hubIDs := make([]graph.NodeID, hubs)
+	for i := range hubIDs {
+		hubIDs[i] = graph.NodeID(i)
+	}
+	// ...each owning a proportional slice of the companies (≈200+ each on
+	// the real graph; scaled to the generated size, at least 16).
+	per := n / 200
+	if per < 16 {
+		per = 16
+	}
+	// Hub portfolios stay inside the dominant component so that the small
+	// WCCs remain small, as in the real graph.
+	main := int(0.39 * float64(n))
+	if main <= hubs+foreign+1 {
+		main = n
+	}
+	for _, h := range hubIDs {
+		for j := 0; j < per; j++ {
+			v := graph.NodeID(hubs + foreign + rng.Intn(main-hubs-foreign))
+			w := b.drawWeight(rng, v, rng.Float64() < 0.5)
+			if !addEdge(g, b, h, v, w) {
+				b[v] += w
+			}
+		}
+	}
+	// The 7 foreign companies own, but do not control, the 12 hubs: each
+	// hub's equity is split among several foreigners in minority stakes.
+	for _, h := range hubIDs {
+		owners := 2 + rng.Intn(3)
+		for j := 0; j < owners; j++ {
+			f := graph.NodeID(hubs + rng.Intn(foreign))
+			w := b.drawWeight(rng, h, false)
+			if !addEdge(g, b, f, h, w) {
+				b[h] += w
+			}
+		}
+	}
+	return g
+}
+
+// EUConfig parameterizes the EU-graph proxy of Section VIII-A.
+type EUConfig struct {
+	// Countries is the number of national partitions (the paper assumes 30).
+	Countries int
+	// NodesPerCountry is the size of each national graph (the paper assumes
+	// 5M; experiments sweep it).
+	NodesPerCountry int
+	// InterconnectRate is the fraction of each country's companies that are
+	// border companies holding a cross-country stake (the paper reports
+	// ≈1% in Europe and sweeps 0.1%–5%).
+	InterconnectRate float64
+	// AvgOutDegree of each national scale-free graph; defaults to 5 (the
+	// EU-experiment graphs have ~5 edges per node: 4M nodes / 20M edges).
+	AvgOutDegree float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// EUGraph is a generated multi-country ownership graph. Node ids are global;
+// Country[v] gives the home country of company v. Countries are contiguous
+// id ranges: country c owns ids [c*NodesPerCountry, (c+1)*NodesPerCountry).
+type EUGraph struct {
+	G               *graph.Graph
+	Country         []int
+	Countries       int
+	NodesPerCountry int
+	CrossEdges      int
+}
+
+// EU generates the paper's EU proxy: one scale-free national graph per
+// country, interconnected by cross-country stakes held by randomly chosen
+// border companies.
+func EU(cfg EUConfig) *EUGraph {
+	if cfg.Countries <= 0 {
+		cfg.Countries = 30
+	}
+	if cfg.NodesPerCountry <= 0 {
+		cfg.NodesPerCountry = 10_000
+	}
+	if cfg.AvgOutDegree <= 0 {
+		cfg.AvgOutDegree = 5
+	}
+	if cfg.InterconnectRate < 0 {
+		cfg.InterconnectRate = 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := cfg.Countries * cfg.NodesPerCountry
+	g := graph.New(total)
+	country := make([]int, total)
+	b := newBudget(total)
+
+	for c := 0; c < cfg.Countries; c++ {
+		base := graph.NodeID(c * cfg.NodesPerCountry)
+		nat := ScaleFree(ScaleFreeConfig{
+			Nodes:        cfg.NodesPerCountry,
+			AvgOutDegree: cfg.AvgOutDegree,
+			Seed:         cfg.Seed + int64(c)*7919,
+		})
+		for _, e := range nat.Edges() {
+			u, v := base+e.From, base+e.To
+			if g.AddEdge(u, v, e.Weight) == nil {
+				b[v] -= e.Weight
+			}
+		}
+		for i := 0; i < cfg.NodesPerCountry; i++ {
+			country[int(base)+i] = c
+		}
+	}
+
+	// Border companies: a fraction of each country's companies buys a stake
+	// in a company of another country.
+	cross := 0
+	perCountry := int(cfg.InterconnectRate * float64(cfg.NodesPerCountry))
+	for c := 0; c < cfg.Countries; c++ {
+		base := c * cfg.NodesPerCountry
+		for j := 0; j < perCountry; j++ {
+			u := graph.NodeID(base + rng.Intn(cfg.NodesPerCountry))
+			oc := rng.Intn(cfg.Countries - 1)
+			if oc >= c {
+				oc++
+			}
+			v := graph.NodeID(oc*cfg.NodesPerCountry + rng.Intn(cfg.NodesPerCountry))
+			w := b.drawWeight(rng, v, rng.Float64() < 0.4)
+			if addEdge(g, b, u, v, w) {
+				cross++
+			} else {
+				b[v] += w
+			}
+		}
+	}
+	return &EUGraph{
+		G:               g,
+		Country:         country,
+		Countries:       cfg.Countries,
+		NodesPerCountry: cfg.NodesPerCountry,
+		CrossEdges:      cross,
+	}
+}
+
+// RIADConfig parameterizes the RIAD-register proxy.
+type RIADConfig struct {
+	// Nodes scales the register; defaults to 50k when 0.
+	Nodes int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// RIAD generates a proxy of the Register of Intermediaries and Affiliates of
+// Section II: sparser and less dense than the Italian graph, with 91% of
+// nodes in singleton SCCs, one planted large SCC (88 nodes on the real
+// register), and one WCC holding roughly half the nodes.
+func RIAD(cfg RIADConfig) *graph.Graph {
+	n := cfg.Nodes
+	if n <= 0 {
+		n = 50_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// One WCC with ~57% of the intermediaries, the rest in ~12-node
+	// components (Section II).
+	g := Fragmented(ScaleFreeConfig{
+		Nodes:         n,
+		AvgOutDegree:  1.1,
+		MajorFraction: 0.5,
+		Seed:          cfg.Seed + 1,
+	}, 0.57, 12)
+	b := make(budget, n)
+	for i := 0; i < n; i++ {
+		b[i] = 1 - g.InSum(graph.NodeID(i))
+	}
+	// Plant the large SCC: an 88-node controlling cycle (capped by n).
+	sccSize := 88
+	if sccSize > n/4 {
+		sccSize = n / 4
+	}
+	if sccSize >= 2 {
+		members := rng.Perm(n)[:sccSize]
+		for i := range members {
+			u := graph.NodeID(members[i])
+			v := graph.NodeID(members[(i+1)%sccSize])
+			w := b.drawWeight(rng, v, true)
+			if !addEdge(g, b, u, v, w) {
+				b[v] += w
+			}
+		}
+	}
+	return g
+}

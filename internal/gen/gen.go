@@ -1,0 +1,249 @@
+// Package gen generates synthetic ownership graphs: directed scale-free
+// networks fitted to the published statistics of the Italian company graph,
+// EU-style multi-country graphs connected through border companies, a
+// RIAD-like register of financial intermediaries, and uniformly random
+// ownership graphs for property-based testing.
+//
+// All generators maintain the ownership invariant (the incoming labels of a
+// node sum to at most 1), produce no self loops and no parallel edges, and
+// are deterministic for a fixed seed.
+package gen
+
+import (
+	"math/rand"
+
+	"ccp/internal/graph"
+)
+
+// budget tracks how much of each company's equity is still unassigned.
+type budget []float64
+
+func newBudget(n int) budget {
+	b := make(budget, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+// margin keeps generated labels away from the 0.5 control threshold and from
+// the exhausted-budget boundary so float rounding never flips a decision.
+const margin = 0.005
+
+// drawWeight draws an edge label into node v. If major is set and the
+// remaining budget allows, the label exceeds the control threshold (a
+// direct-control edge); otherwise it is a minority stake. It returns 0 if no
+// meaningful label fits the remaining budget.
+func (b budget) drawWeight(rng *rand.Rand, v graph.NodeID, major bool) float64 {
+	rem := b[v] - margin
+	if rem <= 0.01 {
+		return 0
+	}
+	var w float64
+	if major && rem > graph.ControlThreshold+2*margin {
+		lo := graph.ControlThreshold + margin
+		w = lo + rng.Float64()*(rem-lo)
+	} else {
+		hi := rem
+		if hi > graph.ControlThreshold-margin {
+			hi = graph.ControlThreshold - margin
+		}
+		w = 0.01 + rng.Float64()*(hi-0.01)
+		if w <= 0 {
+			return 0
+		}
+	}
+	b[v] -= w
+	return w
+}
+
+// addEdge inserts (u, v, w), tolerating duplicates by merging only when the
+// merged label stays within v's budget; it reports whether an edge was added.
+func addEdge(g *graph.Graph, b budget, u, v graph.NodeID, w float64) bool {
+	if u == v || w <= 0 {
+		return false
+	}
+	if g.HasEdge(u, v) {
+		return false
+	}
+	if err := g.AddEdge(u, v, w); err != nil {
+		return false
+	}
+	return true
+}
+
+// ScaleFreeConfig parameterizes the directed scale-free generator.
+type ScaleFreeConfig struct {
+	// Nodes is the number of companies.
+	Nodes int
+	// AvgOutDegree is the mean number of companies each shareholder owns
+	// (the paper sweeps 2..20 in Figure 8.f).
+	AvgOutDegree float64
+	// MajorFraction is the probability that a generated stake is a
+	// controlling (> 50%) one. Realistic ownership graphs mix majority and
+	// minority stakes; the default (used when 0) is 0.35.
+	MajorFraction float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+func (c ScaleFreeConfig) withDefaults() ScaleFreeConfig {
+	if c.AvgOutDegree <= 0 {
+		c.AvgOutDegree = 1.43 // the Italian graph's average
+	}
+	if c.MajorFraction <= 0 {
+		c.MajorFraction = 0.35
+	}
+	return c
+}
+
+// ScaleFree generates a directed scale-free ownership graph by preferential
+// attachment on shareholders: each new company's equity is bought by
+// existing companies chosen proportionally to how many companies they
+// already own. Busy shareholders get busier, which yields the power-law
+// out-degree tail of real company graphs — the Italian graph has 30 nodes
+// owning more than 225 firms each while the average company owns 1.43 and is
+// owned by a handful of shareholders [Garlaschelli et al.; Romei et al.].
+func ScaleFree(cfg ScaleFreeConfig) *graph.Graph {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Nodes)
+	b := newBudget(cfg.Nodes)
+	scaleFreeInto(g, b, rng, 0, cfg.Nodes, cfg)
+	return g
+}
+
+// scaleFreeInto runs the preferential-attachment process over the id range
+// [base, base+n), so that several independent scale-free components can be
+// packed into one graph (the fragmented WCC structure of the real graphs).
+func scaleFreeInto(g *graph.Graph, b budget, rng *rand.Rand, base, n int, cfg ScaleFreeConfig) {
+	if n < 2 {
+		return
+	}
+	// Preferential-attachment pool: a shareholder appears once per company
+	// it owns, plus once unconditionally (smoothing term).
+	pool := make([]graph.NodeID, 0, n*2)
+	pool = append(pool, graph.NodeID(base))
+	whole := int(cfg.AvgOutDegree)
+	frac := cfg.AvgOutDegree - float64(whole)
+	for i := 1; i < n; i++ {
+		v := graph.NodeID(base + i) // the company being incorporated
+		k := whole
+		if rng.Float64() < frac {
+			k++
+		}
+		if k > i {
+			k = i // no more shareholders than existing companies
+		}
+		stakes := splitEquity(rng, k, rng.Float64() < cfg.MajorFraction)
+		for _, w := range stakes {
+			for attempt := 0; attempt < 8; attempt++ {
+				u := pool[rng.Intn(len(pool))]
+				if attempt >= 4 {
+					u = graph.NodeID(base + rng.Intn(i)) // fall back to uniform
+				}
+				b[v] -= w
+				if addEdge(g, b, u, v, w) {
+					pool = append(pool, u)
+					break
+				}
+				b[v] += w
+			}
+		}
+		pool = append(pool, v)
+	}
+}
+
+// Fragmented generates a graph made of one dominant scale-free component
+// holding mainFrac of the nodes plus many small independent components of
+// geometric size around smallAvg — the weakly-connected-component structure
+// of the real Italian graph (one WCC with 39% of the nodes, the rest
+// scattered in components of ~6 nodes) and of RIAD (57% / ~12).
+func Fragmented(cfg ScaleFreeConfig, mainFrac float64, smallAvg int) *graph.Graph {
+	cfg = cfg.withDefaults()
+	if mainFrac <= 0 || mainFrac > 1 {
+		mainFrac = 0.5
+	}
+	if smallAvg < 2 {
+		smallAvg = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Nodes)
+	b := newBudget(cfg.Nodes)
+	main := int(float64(cfg.Nodes) * mainFrac)
+	scaleFreeInto(g, b, rng, 0, main, cfg)
+	for base := main; base < cfg.Nodes; {
+		// Geometric-ish component sizes around smallAvg.
+		size := 2 + rng.Intn(2*smallAvg-2)
+		if base+size > cfg.Nodes {
+			size = cfg.Nodes - base
+		}
+		scaleFreeInto(g, b, rng, base, size, cfg)
+		base += size
+	}
+	return g
+}
+
+// splitEquity draws k ownership stakes of one company. If major is set the
+// first stake is a controlling one (> 50%); every other stake is a minority
+// stake, and the total stays below 1 with slack. The distributed total is
+// itself random, so some companies end up uncontrollable (in-sum <= 0.5) and
+// others indirectly controllable — the C2/C4 mix the reduction thrives on.
+func splitEquity(rng *rand.Rand, k int, major bool) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	stakes := make([]float64, 0, k)
+	total := 0.15 + rng.Float64()*0.8 // in (0.15, 0.95)
+	if major {
+		m := graph.ControlThreshold + margin + rng.Float64()*0.35
+		stakes = append(stakes, m)
+		k--
+		// The minority shareholders split most of the remaining equity.
+		total = (0.97 - m) * (0.4 + 0.6*rng.Float64())
+	}
+	if k > 0 && total > 0.02 {
+		// Split `total` among k minority stakes with random proportions,
+		// capping each strictly below the control threshold.
+		parts := make([]float64, k)
+		sum := 0.0
+		for j := range parts {
+			parts[j] = 0.05 + rng.Float64()
+			sum += parts[j]
+		}
+		for _, p := range parts {
+			w := total * p / sum
+			if w > graph.ControlThreshold-margin {
+				w = graph.ControlThreshold - margin
+			}
+			if w > 0.001 {
+				stakes = append(stakes, w)
+			}
+		}
+	}
+	return stakes
+}
+
+// Random generates a uniformly random ownership graph with n nodes and about
+// m edges, mixing majority and minority stakes. It is the workhorse of the
+// property-based tests: small, dense, full of control chains and cycles.
+func Random(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	b := newBudget(n)
+	if n < 2 {
+		return g
+	}
+	for tries := 0; g.NumEdges() < m && tries < 20*m; tries++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		w := b.drawWeight(rng, v, rng.Float64() < 0.5)
+		if !addEdge(g, b, u, v, w) {
+			b[v] += w
+		}
+	}
+	return g
+}

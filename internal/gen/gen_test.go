@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccp/internal/graph"
+)
+
+// checkInvariants verifies the ownership-graph invariants every generator
+// must maintain.
+func checkInvariants(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	if v, err := g.CheckOwnership(); err != nil {
+		t.Fatalf("ownership invariant broken at node %d: %v", v, err)
+	}
+	g.EachNode(func(v graph.NodeID) {
+		g.EachOut(v, func(u graph.NodeID, w float64) {
+			if u == v {
+				t.Fatalf("self loop on %d", v)
+			}
+			if w <= 0 || w > 1 {
+				t.Fatalf("label %g out of range on (%d,%d)", w, v, u)
+			}
+		})
+	})
+}
+
+func TestScaleFreeInvariants(t *testing.T) {
+	for _, deg := range []float64{1, 1.43, 2, 5, 10} {
+		g := ScaleFree(ScaleFreeConfig{Nodes: 5000, AvgOutDegree: deg, Seed: 7})
+		checkInvariants(t, g)
+		got := float64(g.NumEdges()) / float64(g.NumNodes())
+		if got < deg*0.8 || got > deg*1.05 {
+			t.Errorf("deg %g: edges/node = %g", deg, got)
+		}
+	}
+}
+
+func TestScaleFreeDeterministic(t *testing.T) {
+	a := ScaleFree(ScaleFreeConfig{Nodes: 2000, AvgOutDegree: 2, Seed: 5})
+	b := ScaleFree(ScaleFreeConfig{Nodes: 2000, AvgOutDegree: 2, Seed: 5})
+	if !graph.Equal(a, b, 0) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := ScaleFree(ScaleFreeConfig{Nodes: 2000, AvgOutDegree: 2, Seed: 6})
+	if graph.Equal(a, c, 0) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestScaleFreeTiny(t *testing.T) {
+	if g := ScaleFree(ScaleFreeConfig{Nodes: 0}); g.NumNodes() != 0 {
+		t.Fatal("empty graph expected")
+	}
+	if g := ScaleFree(ScaleFreeConfig{Nodes: 1}); g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatal("singleton graph expected")
+	}
+}
+
+func TestScaleFreeHasControlChains(t *testing.T) {
+	// MajorFraction > 0 must produce directly-controlled companies, or the
+	// reduction benchmarks would be trivial.
+	g := ScaleFree(ScaleFreeConfig{Nodes: 5000, AvgOutDegree: 2, Seed: 11})
+	c3 := 0
+	g.EachNode(func(v graph.NodeID) {
+		if g.DirectController(v) != graph.None {
+			c3++
+		}
+	})
+	if c3 < 500 {
+		t.Fatalf("only %d directly-controlled companies in 5000", c3)
+	}
+}
+
+func TestRandomInvariants(t *testing.T) {
+	f := func(seed int64, nn, mm uint16) bool {
+		n := 2 + int(nn%200)
+		g := Random(n, int(mm)%(6*n), seed)
+		if v, err := g.CheckOwnership(); err != nil {
+			t.Logf("node %d: %v", v, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItalianInvariantsAndLung(t *testing.T) {
+	g := Italian(ItalianConfig{Nodes: 30_000, Seed: 3})
+	checkInvariants(t, g)
+	// The 12 hub shareholders own large slices.
+	for h := graph.NodeID(0); h < 12; h++ {
+		if g.OutDegree(h) < 30 {
+			t.Fatalf("hub %d owns only %d companies", h, g.OutDegree(h))
+		}
+	}
+	// Hubs are owned but not controlled by the foreign companies.
+	for h := graph.NodeID(0); h < 12; h++ {
+		if g.InDegree(h) == 0 {
+			t.Fatalf("hub %d has no owner", h)
+		}
+		if dc := g.DirectController(h); dc != graph.None {
+			t.Fatalf("hub %d is directly controlled by %d", h, dc)
+		}
+	}
+}
+
+func TestEUInvariantsAndCrossEdges(t *testing.T) {
+	eu := EU(EUConfig{Countries: 5, NodesPerCountry: 2000, InterconnectRate: 0.02, Seed: 9})
+	checkInvariants(t, eu.G)
+	if eu.G.NumNodes() != 10_000 {
+		t.Fatalf("nodes = %d", eu.G.NumNodes())
+	}
+	if len(eu.Country) != 10_000 {
+		t.Fatalf("country labels = %d", len(eu.Country))
+	}
+	// Count actual cross-country edges and compare with the reported count.
+	cross := 0
+	eu.G.EachNode(func(v graph.NodeID) {
+		eu.G.EachOut(v, func(u graph.NodeID, w float64) {
+			if eu.Country[v] != eu.Country[u] {
+				cross++
+			}
+		})
+	})
+	if cross != eu.CrossEdges {
+		t.Fatalf("cross = %d, reported %d", cross, eu.CrossEdges)
+	}
+	want := int(0.02 * 2000 * 5)
+	if cross < want/2 || cross > want {
+		t.Fatalf("cross edges = %d, want ≈%d", cross, want)
+	}
+	// Country id ranges are contiguous.
+	for c := 0; c < 5; c++ {
+		for i := 0; i < 2000; i++ {
+			if eu.Country[c*2000+i] != c {
+				t.Fatalf("node %d labeled %d, want %d", c*2000+i, eu.Country[c*2000+i], c)
+			}
+		}
+	}
+}
+
+func TestEUZeroInterconnect(t *testing.T) {
+	eu := EU(EUConfig{Countries: 3, NodesPerCountry: 500, InterconnectRate: 0, Seed: 1})
+	if eu.CrossEdges != 0 {
+		t.Fatalf("cross edges = %d", eu.CrossEdges)
+	}
+}
+
+func TestEUDefaults(t *testing.T) {
+	eu := EU(EUConfig{Countries: 2, NodesPerCountry: 100, InterconnectRate: -1, Seed: 1})
+	if eu.CrossEdges != 0 {
+		t.Fatal("negative rate should clamp to 0")
+	}
+}
+
+func TestRIADInvariantsAndSCC(t *testing.T) {
+	g := RIAD(RIADConfig{Nodes: 20_000, Seed: 4})
+	checkInvariants(t, g)
+	if g.NumNodes() != 20_000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestRIADTiny(t *testing.T) {
+	g := RIAD(RIADConfig{Nodes: 10, Seed: 4})
+	checkInvariants(t, g)
+}

@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"testing"
+
+	"ccp/internal/graph"
+)
+
+// wccFractions computes the largest-WCC fraction with a local union-find so
+// the gen package need not import stats (which imports gen).
+func largestWCCFrac(g *graph.Graph) float64 {
+	n := g.Cap()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	g.EachNode(func(v graph.NodeID) {
+		g.EachOut(v, func(u graph.NodeID, w float64) {
+			ra, rb := find(int32(v)), find(int32(u))
+			if ra != rb {
+				parent[rb] = ra
+			}
+		})
+	})
+	sizes := map[int32]int{}
+	max := 0
+	g.EachNode(func(v graph.NodeID) {
+		r := find(int32(v))
+		sizes[r]++
+		if sizes[r] > max {
+			max = sizes[r]
+		}
+	})
+	return float64(max) / float64(g.NumNodes())
+}
+
+func TestItalianWCCStructure(t *testing.T) {
+	g := Italian(ItalianConfig{Nodes: 100_000, Seed: 1})
+	frac := largestWCCFrac(g)
+	// Paper: one huge WCC with ~39% of the nodes.
+	if frac < 0.30 || frac > 0.55 {
+		t.Fatalf("largest WCC fraction = %.2f, want ≈0.39", frac)
+	}
+}
+
+func TestRIADWCCAndSCCStructure(t *testing.T) {
+	g := RIAD(RIADConfig{Nodes: 50_000, Seed: 1})
+	frac := largestWCCFrac(g)
+	// Paper: one huge WCC with ~57% of the nodes.
+	if frac < 0.45 || frac > 0.75 {
+		t.Fatalf("largest WCC fraction = %.2f, want ≈0.57", frac)
+	}
+}

@@ -1,0 +1,391 @@
+// Package graph implements the business ownership graph of the company
+// control problem: a directed graph whose nodes are companies and whose
+// edge labels are equity fractions in (0, 1].
+//
+// The representation is optimized for the reduction algorithms of the
+// paper: node removal, edge transfer and label merging are all O(1) per
+// edge, and nodes are identified by dense int32 ids so that parallel
+// workers can own disjoint id shards.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a company inside a Graph. Ids are dense: a graph with n
+// nodes uses ids 0..n-1. Ids are stable across node removal; removed ids are
+// never reused.
+type NodeID int32
+
+// None is the null node id.
+const None NodeID = -1
+
+// ControlThreshold is the ownership fraction strictly above which a company
+// (or a controlled group) controls another company.
+const ControlThreshold = 0.5
+
+// sumSlack absorbs float64 rounding when validating that the incoming labels
+// of a node sum to at most 1.
+const sumSlack = 1e-9
+
+// Graph is a mutable ownership graph. The zero value is an empty graph.
+//
+// Invariants maintained by the mutators:
+//   - no self loops,
+//   - no parallel edges (AddEdge rejects duplicates, MergeEdge sums labels),
+//   - every label is in (0, 1].
+//
+// The incoming-label sum of a node may transiently exceed 1 during R3 label
+// transfer; CheckOwnership verifies the input-data invariant sum <= 1.
+//
+// A Graph is not safe for concurrent mutation; the par package routes
+// concurrent mutations so that each node's adjacency is touched by exactly
+// one goroutine.
+type Graph struct {
+	out    []map[NodeID]float64
+	in     []map[NodeID]float64
+	alive  []bool
+	nAlive int
+	nEdges int
+}
+
+// New returns a graph with n live nodes (ids 0..n-1) and no edges.
+func New(n int) *Graph {
+	g := &Graph{
+		out:    make([]map[NodeID]float64, n),
+		in:     make([]map[NodeID]float64, n),
+		alive:  make([]bool, n),
+		nAlive: n,
+	}
+	for i := range g.alive {
+		g.alive[i] = true
+	}
+	return g
+}
+
+// Cap returns the id-space size of the graph: all node ids are < Cap.
+// Removed nodes still count toward Cap.
+func (g *Graph) Cap() int { return len(g.alive) }
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return g.nAlive }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// Alive reports whether v is a live node of the graph.
+func (g *Graph) Alive(v NodeID) bool {
+	return v >= 0 && int(v) < len(g.alive) && g.alive[v]
+}
+
+// AddNode appends one live node and returns its id.
+func (g *Graph) AddNode() NodeID {
+	id := NodeID(len(g.alive))
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.alive = append(g.alive, true)
+	g.nAlive++
+	return id
+}
+
+// AddNodes appends n live nodes and returns the id of the first.
+func (g *Graph) AddNodes(n int) NodeID {
+	first := NodeID(len(g.alive))
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	return first
+}
+
+// Revive marks id as live, extending the id space if necessary. It is used
+// when assembling a graph from serialized node lists that preserve global
+// ids.
+func (g *Graph) Revive(v NodeID) {
+	for int(v) >= len(g.alive) {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+		g.alive = append(g.alive, false)
+	}
+	if !g.alive[v] {
+		g.alive[v] = true
+		g.nAlive++
+	}
+}
+
+// AddEdge inserts the edge (u, v) with ownership fraction w.
+// It returns an error if either endpoint is dead, the edge would be a self
+// loop or a parallel edge, or w is outside (0, 1].
+func (g *Graph) AddEdge(u, v NodeID, w float64) error {
+	if err := g.checkEndpoints(u, v, w); err != nil {
+		return err
+	}
+	if _, dup := g.out[u][v]; dup {
+		return fmt.Errorf("graph: parallel edge (%d,%d)", u, v)
+	}
+	g.setEdge(u, v, w)
+	return nil
+}
+
+// MergeEdge inserts the edge (u, v) with fraction w, summing labels if the
+// edge already exists (the parallel-edge merge of reduction rule R3).
+// The merged label is clamped to 1 to absorb rounding.
+func (g *Graph) MergeEdge(u, v NodeID, w float64) error {
+	if err := g.checkEndpoints(u, v, w); err != nil {
+		return err
+	}
+	if old, ok := g.out[u][v]; ok {
+		nw := old + w
+		if nw > 1 {
+			nw = 1
+		}
+		g.out[u][v] = nw
+		g.in[v][u] = nw
+		return nil
+	}
+	g.setEdge(u, v, w)
+	return nil
+}
+
+func (g *Graph) checkEndpoints(u, v NodeID, w float64) error {
+	if !g.Alive(u) || !g.Alive(v) {
+		return fmt.Errorf("graph: edge (%d,%d) has a dead endpoint", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self loop on %d", u)
+	}
+	if w <= 0 || w > 1 || math.IsNaN(w) {
+		return fmt.Errorf("graph: label %g of edge (%d,%d) outside (0,1]", w, u, v)
+	}
+	return nil
+}
+
+func (g *Graph) setEdge(u, v NodeID, w float64) {
+	if g.out[u] == nil {
+		g.out[u] = make(map[NodeID]float64)
+	}
+	if g.in[v] == nil {
+		g.in[v] = make(map[NodeID]float64)
+	}
+	g.out[u][v] = w
+	g.in[v][u] = w
+	g.nEdges++
+}
+
+// Label returns the ownership fraction of edge (u, v) and whether the edge
+// exists.
+func (g *Graph) Label(u, v NodeID) (float64, bool) {
+	if !g.Alive(u) {
+		return 0, false
+	}
+	w, ok := g.out[u][v]
+	return w, ok
+}
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.Label(u, v)
+	return ok
+}
+
+// RemoveEdge deletes edge (u, v) if present and reports whether it existed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	if !g.Alive(u) || !g.Alive(v) {
+		return false
+	}
+	if _, ok := g.out[u][v]; !ok {
+		return false
+	}
+	delete(g.out[u], v)
+	delete(g.in[v], u)
+	g.nEdges--
+	return true
+}
+
+// RemoveNode deletes v and all its incident edges (the action of rules R1
+// and R2). It reports whether v was live.
+func (g *Graph) RemoveNode(v NodeID) bool {
+	if !g.Alive(v) {
+		return false
+	}
+	for u := range g.in[v] {
+		delete(g.out[u], v)
+		g.nEdges--
+	}
+	for u := range g.out[v] {
+		delete(g.in[u], v)
+		g.nEdges--
+	}
+	g.in[v] = nil
+	g.out[v] = nil
+	g.alive[v] = false
+	g.nAlive--
+	return true
+}
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v NodeID) int {
+	if !g.Alive(v) {
+		return 0
+	}
+	return len(g.out[v])
+}
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v NodeID) int {
+	if !g.Alive(v) {
+		return 0
+	}
+	return len(g.in[v])
+}
+
+// InSum returns the sum of the labels of the incoming edges of v.
+func (g *Graph) InSum(v NodeID) float64 {
+	if !g.Alive(v) {
+		return 0
+	}
+	var s float64
+	for _, w := range g.in[v] {
+		s += w
+	}
+	return s
+}
+
+// MaxInLabel returns the largest incoming label of v and the predecessor
+// holding it, or (None, 0) if v has no incoming edges.
+func (g *Graph) MaxInLabel(v NodeID) (NodeID, float64) {
+	if !g.Alive(v) {
+		return None, 0
+	}
+	best, bw := None, 0.0
+	for u, w := range g.in[v] {
+		if w > bw || (w == bw && (best == None || u < best)) {
+			best, bw = u, w
+		}
+	}
+	return best, bw
+}
+
+// DirectController returns the unique predecessor owning strictly more than
+// half of v, or None. At most one such predecessor can exist because the
+// incoming labels of a node sum to at most 1.
+func (g *Graph) DirectController(v NodeID) NodeID {
+	u, w := g.MaxInLabel(v)
+	if u != None && ExceedsControl(w) {
+		return u
+	}
+	return None
+}
+
+// EachOut calls fn for every outgoing edge (v, u) with label w.
+// fn must not mutate the graph; iteration order is unspecified.
+func (g *Graph) EachOut(v NodeID, fn func(u NodeID, w float64)) {
+	if !g.Alive(v) {
+		return
+	}
+	for u, w := range g.out[v] {
+		fn(u, w)
+	}
+}
+
+// EachIn calls fn for every incoming edge (u, v) with label w.
+// fn must not mutate the graph; iteration order is unspecified.
+func (g *Graph) EachIn(v NodeID, fn func(u NodeID, w float64)) {
+	if !g.Alive(v) {
+		return
+	}
+	for u, w := range g.in[v] {
+		fn(u, w)
+	}
+}
+
+// EachNode calls fn for every live node.
+func (g *Graph) EachNode(fn func(v NodeID)) {
+	for i, ok := range g.alive {
+		if ok {
+			fn(NodeID(i))
+		}
+	}
+}
+
+// Nodes returns the ids of all live nodes in increasing order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, 0, g.nAlive)
+	g.EachNode(func(v NodeID) { ids = append(ids, v) })
+	return ids
+}
+
+// Successors returns the successor ids of v in unspecified order.
+func (g *Graph) Successors(v NodeID) []NodeID {
+	if !g.Alive(v) {
+		return nil
+	}
+	succ := make([]NodeID, 0, len(g.out[v]))
+	for u := range g.out[v] {
+		succ = append(succ, u)
+	}
+	return succ
+}
+
+// Predecessors returns the predecessor ids of v in unspecified order.
+func (g *Graph) Predecessors(v NodeID) []NodeID {
+	if !g.Alive(v) {
+		return nil
+	}
+	pred := make([]NodeID, 0, len(g.in[v]))
+	for u := range g.in[v] {
+		pred = append(pred, u)
+	}
+	return pred
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		out:    make([]map[NodeID]float64, len(g.out)),
+		in:     make([]map[NodeID]float64, len(g.in)),
+		alive:  make([]bool, len(g.alive)),
+		nAlive: g.nAlive,
+		nEdges: g.nEdges,
+	}
+	copy(c.alive, g.alive)
+	for i, m := range g.out {
+		c.out[i] = cloneMap(m)
+	}
+	for i, m := range g.in {
+		c.in[i] = cloneMap(m)
+	}
+	return c
+}
+
+func cloneMap(m map[NodeID]float64) map[NodeID]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[NodeID]float64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// CheckOwnership verifies the ownership-graph invariant: for every node the
+// incoming labels sum to at most 1 (within rounding slack). It returns the
+// first violating node, or None.
+func (g *Graph) CheckOwnership() (NodeID, error) {
+	for i := range g.alive {
+		v := NodeID(i)
+		if !g.alive[i] {
+			continue
+		}
+		if s := g.InSum(v); s > 1+sumSlack {
+			return v, fmt.Errorf("graph: node %d is owned %g > 1", v, s)
+		}
+	}
+	return None, nil
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{nodes=%d edges=%d cap=%d}", g.nAlive, g.nEdges, len(g.alive))
+}

@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a valid random ownership graph for round-trip tests.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	budget := make([]float64, n)
+	for i := range budget {
+		budget[i] = 1
+	}
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		w := rng.Float64() * budget[v]
+		if w <= 0.001 {
+			continue
+		}
+		if err := g.AddEdge(u, v, w); err == nil {
+			budget[v] -= w
+		}
+	}
+	// Punch some holes so dead ids round-trip too.
+	for i := 0; i < n/10; i++ {
+		g.RemoveNode(NodeID(rng.Intn(n)))
+	}
+	return g
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(60), rng.Intn(150))
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if !Equal(g, h, 0) {
+			t.Fatalf("trial %d: binary round-trip changed the graph", trial)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated payload after a valid magic.
+	var buf bytes.Buffer
+	g := New(3)
+	if err := g.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := New(5)
+	for _, e := range []Edge{{0, 1, 0.6}, {1, 2, 0.25}, {3, 2, 0.5}} {
+		if err := g.AddEdge(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 4 is isolated and must survive the round trip.
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 3 {
+		t.Fatalf("edges = %d", h.NumEdges())
+	}
+	if w, ok := h.Label(0, 1); !ok || w != 0.6 {
+		t.Fatalf("label(0,1) = %g,%v", w, ok)
+	}
+	if !h.Alive(4) {
+		t.Fatal("isolated node lost")
+	}
+}
+
+func TestCSVParsing(t *testing.T) {
+	in := `# ownership
+0,1,0.6
+
+1,2,0.3
+0,1,0.2
+`
+	g, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel edges merge.
+	if w, _ := g.Label(0, 1); w != 0.8 {
+		t.Fatalf("merged label = %g", w)
+	}
+	bad := []string{
+		"0,1",           // too few fields
+		"a,1,0.5",       // bad source
+		"0,b,0.5",       // bad target
+		"0,1,zap",       // bad weight
+		"0,1,1.5",       // label out of range
+		"1,1,0.5",       // self loop
+		"0,1,0.5,extra", // too many fields
+	}
+	for _, s := range bad {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted", s)
+		}
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := New(4)
+	for _, e := range []Edge{{2, 0, 0.1}, {0, 3, 0.2}, {0, 1, 0.3}, {1, 2, 0.4}} {
+		if err := g.AddEdge(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := g.Edges()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].From > es[i].From ||
+			(es[i-1].From == es[i].From && es[i-1].To >= es[i].To) {
+			t.Fatalf("edges out of order: %v", es)
+		}
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1, 0.3}, {0, 1, 0.3}, {1, 2, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.Label(0, 1); w != 0.6 {
+		t.Fatalf("merged = %g", w)
+	}
+	if _, err := FromEdges(2, []Edge{{0, 5, 0.3}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+// TestQuickBinaryRoundTrip drives the binary codec with random graphs.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8, m uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+int(n%64), int(m%256))
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return Equal(g, h, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamedBasics(t *testing.T) {
+	n := NewNamed()
+	a, err := n.Node("HoldCo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := n.Node("HoldCo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != a2 {
+		t.Fatal("re-registering changed the id")
+	}
+	if _, err := n.Node(""); err == nil {
+		t.Fatal("empty identifier accepted")
+	}
+	if err := n.AddStake("HoldCo", "Target S.p.A.", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2 {
+		t.Fatalf("len = %d", n.Len())
+	}
+	id, ok := n.Lookup("Target S.p.A.")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if n.Name(id) != "Target S.p.A." || n.Name(a) != "HoldCo" {
+		t.Fatal("names broken")
+	}
+	if n.Name(99) != "" || n.Name(None) != "" {
+		t.Fatal("out-of-range Name should be empty")
+	}
+	if w, okE := n.G.Label(a, id); !okE || w != 0.6 {
+		t.Fatalf("edge = %g %v", w, okE)
+	}
+	// Merging parallel stakes.
+	if err := n.AddStake("HoldCo", "Target S.p.A.", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := n.G.Label(a, id); w != 0.8 {
+		t.Fatalf("merged = %g", w)
+	}
+	// Errors propagate: self stake.
+	if err := n.AddStake("HoldCo", "HoldCo", 0.1); err == nil {
+		t.Fatal("self stake accepted")
+	}
+	if err := n.AddStake("", "X", 0.1); err == nil {
+		t.Fatal("empty owner accepted")
+	}
+	if err := n.AddStake("X", "", 0.1); err == nil {
+		t.Fatal("empty owned accepted")
+	}
+}
+
+func TestNamedCSVRoundTrip(t *testing.T) {
+	in := `# register extract
+IT0001, FR0007, 0.6
+FR0007, DE0042, 0.30
+IT0001, DE0042, 0.25
+Lonely Corp,,
+`
+	n, err := ReadNamedCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 4 {
+		t.Fatalf("companies = %d", n.Len())
+	}
+	s, _ := n.Lookup("IT0001")
+	d, _ := n.Lookup("DE0042")
+	if !Equal(n.G, n.G, 0) || n.G.NumEdges() != 3 {
+		t.Fatalf("graph = %v", n.G)
+	}
+	// Control through the named layer: 0.6 -> control of FR0007, joint
+	// 0.30+0.25 -> control of DE0042.
+	if sum := n.G.InSum(d); sum != 0.55 {
+		t.Fatalf("in-sum = %g", sum)
+	}
+	var out strings.Builder
+	if err := n.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadNamedCSV(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Len() != 4 || n2.G.NumEdges() != 3 {
+		t.Fatalf("round trip: %d companies %d edges", n2.Len(), n2.G.NumEdges())
+	}
+	s2, _ := n2.Lookup("IT0001")
+	d2, _ := n2.Lookup("DE0042")
+	w1, _ := n.G.Label(s, d)
+	w2, _ := n2.G.Label(s2, d2)
+	if w1 != w2 {
+		t.Fatalf("labels differ: %g %g", w1, w2)
+	}
+	if _, ok := n2.Lookup("Lonely Corp"); !ok {
+		t.Fatal("isolated company lost")
+	}
+}
+
+func TestNamedCSVErrors(t *testing.T) {
+	bad := []string{
+		"a,b",          // too few fields
+		"a,b,zap",      // bad fraction
+		"a,b,1.5",      // out of range
+		"a,a,0.5",      // self stake
+		",b,0.5",       // empty owner
+		"a,b,0.5,more", // too many fields
+	}
+	for _, s := range bad {
+		if _, err := ReadNamedCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadNamedCSV(%q) accepted", s)
+		}
+	}
+}

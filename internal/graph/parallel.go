@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"ccp/internal/par"
+)
+
+// ControlEps absorbs float64 rounding in control-threshold comparisons:
+// 0.3+0.2 must not be considered "more than half".
+const ControlEps = 1e-9
+
+// ExceedsControl reports whether an ownership fraction x is strictly more
+// than half, with rounding slack.
+func ExceedsControl(x float64) bool { return x > ControlThreshold+ControlEps }
+
+// mutKind tags a sharded adjacency mutation.
+type mutKind uint8
+
+const (
+	delOut mutKind = iota // delete out[Owner][Other]
+	delIn                 // delete in[Owner][Other]
+	addOut                // out[Owner][Other] += W (edge-count +1 if new)
+	addIn                 // in[Owner][Other]  += W
+)
+
+// mutation is one adjacency-map update routed to the shard owning Owner.
+type mutation struct {
+	Owner, Other NodeID
+	W            float64
+	Kind         mutKind
+}
+
+// shardOf routes node ids to shards.
+func shardOf(v NodeID, shards int) int { return int(v) % shards }
+
+// applyMutations executes sharded mutations; each shard's maps are touched by
+// exactly one goroutine. It returns the net edge-count delta (counted on the
+// out side only, since every edge lives in one out map and one in map).
+func (g *Graph) applyMutations(m *par.Meter, ops par.Buckets[mutation]) int {
+	deltas := make([]int, ops.Shards())
+	par.MeteredRunSharded(m, ops, func(s int, items []mutation) {
+		d := 0
+		for _, m := range items {
+			switch m.Kind {
+			case delOut:
+				if _, ok := g.out[m.Owner][m.Other]; ok {
+					delete(g.out[m.Owner], m.Other)
+					d--
+				}
+			case delIn:
+				delete(g.in[m.Owner], m.Other)
+			case addOut:
+				old, ok := g.out[m.Owner][m.Other]
+				if !ok {
+					d++
+					if g.out[m.Owner] == nil {
+						g.out[m.Owner] = make(map[NodeID]float64)
+					}
+				}
+				g.out[m.Owner][m.Other] = clampLabel(old + m.W)
+			case addIn:
+				old := g.in[m.Owner][m.Other]
+				if g.in[m.Owner] == nil {
+					g.in[m.Owner] = make(map[NodeID]float64)
+				}
+				g.in[m.Owner][m.Other] = clampLabel(old + m.W)
+			}
+		}
+		deltas[s] = d
+	})
+	total := 0
+	for _, d := range deltas {
+		total += d
+	}
+	return total
+}
+
+func clampLabel(w float64) float64 {
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// killMarked clears the adjacency of every node with dead[v], marks it not
+// alive, and returns (nodesRemoved, outEdgesCleared). Runs in parallel
+// blocks; each block only writes state of its own ids.
+func (g *Graph) killMarked(m *par.Meter, dead []bool, workers int) (int, int) {
+	type delta struct{ nodes, edges int }
+	n := len(g.alive)
+	blocks := make([]delta, par.Blocks(n, workers))
+	par.MeteredForBlocks(m, n, workers, func(b, lo, hi int) {
+		var d delta
+		for i := lo; i < hi; i++ {
+			if !dead[i] || !g.alive[i] {
+				continue
+			}
+			d.nodes++
+			d.edges += len(g.out[i])
+			g.out[i] = nil
+			g.in[i] = nil
+			g.alive[i] = false
+		}
+		blocks[b] = d
+	})
+	var nodes, edges int
+	for _, d := range blocks {
+		nodes += d.nodes
+		edges += d.edges
+	}
+	return nodes, edges
+}
+
+// ParallelRemove removes every node v with dead[v] set, together with all its
+// incident edges — the parallel clean step applying rules R1/R2 to a whole
+// batch of nodes at once. dead must have length Cap(). It returns the number
+// of nodes removed.
+func (g *Graph) ParallelRemove(dead []bool, workers int) int {
+	return g.ParallelRemoveMetered(nil, dead, workers)
+}
+
+// ParallelRemoveMetered is ParallelRemove with its parallel steps recorded
+// into m (which may be nil).
+func (g *Graph) ParallelRemoveMetered(m *par.Meter, dead []bool, workers int) int {
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	n := len(g.alive)
+	ops := par.MeteredCollect(m, n, workers, func(i int, emit func(int, mutation)) {
+		v := NodeID(i)
+		if !dead[i] || !g.alive[i] {
+			return
+		}
+		for p := range g.in[v] {
+			if !dead[p] {
+				emit(shardOf(p, workers), mutation{Owner: p, Other: v, Kind: delOut})
+			}
+		}
+		for u := range g.out[v] {
+			if !dead[u] {
+				emit(shardOf(u, workers), mutation{Owner: u, Other: v, Kind: delIn})
+			}
+		}
+	})
+	edgeDelta := g.applyMutations(m, ops)
+	nodes, cleared := g.killMarked(m, dead, workers)
+	g.nAlive -= nodes
+	g.nEdges += edgeDelta - cleared
+	return nodes
+}
+
+// ParallelContract applies reduction rule R3 to every node v whose rep[v] is
+// a node different from v: v is removed, its incoming edges are deleted, and
+// its outgoing edges are transferred to rep[v] with parallel-edge labels
+// merged and self loops dropped.
+//
+// rep must have length Cap(). rep[v] == None means v is untouched;
+// rep[v] == v means v survives this round (it is the collapse point of a
+// cycle of directly-controlled nodes). Every contracted node's rep must be a
+// node that survives the round. It returns the number of nodes contracted.
+func (g *Graph) ParallelContract(rep []NodeID, workers int) int {
+	return g.ParallelContractMetered(nil, rep, workers)
+}
+
+// ParallelContractMetered is ParallelContract with its parallel steps
+// recorded into m (which may be nil).
+func (g *Graph) ParallelContractMetered(m *par.Meter, rep []NodeID, workers int) int {
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	contracted := func(v NodeID) bool {
+		r := rep[v]
+		return r != None && r != v
+	}
+	n := len(g.alive)
+	dead := make([]bool, n)
+	ops := par.MeteredCollect(m, n, workers, func(i int, emit func(int, mutation)) {
+		v := NodeID(i)
+		if !g.alive[i] || !contracted(v) {
+			return
+		}
+		dead[i] = true
+		r := rep[v]
+		for p := range g.in[v] {
+			if !contracted(p) {
+				emit(shardOf(p, workers), mutation{Owner: p, Other: v, Kind: delOut})
+			}
+		}
+		for u, w := range g.out[v] {
+			if contracted(u) {
+				// u dies this round; the edge vanishes with it.
+				continue
+			}
+			emit(shardOf(u, workers), mutation{Owner: u, Other: v, Kind: delIn})
+			if u == r {
+				// Transferring (v, r) to r would create a self loop; R3
+				// excludes it.
+				continue
+			}
+			emit(shardOf(r, workers), mutation{Owner: r, Other: u, W: w, Kind: addOut})
+			emit(shardOf(u, workers), mutation{Owner: u, Other: r, W: w, Kind: addIn})
+		}
+	})
+	edgeDelta := g.applyMutations(m, ops)
+	nodes, cleared := g.killMarked(m, dead, workers)
+	g.nAlive -= nodes
+	g.nEdges += edgeDelta - cleared
+	return nodes
+}

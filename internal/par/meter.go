@@ -1,0 +1,131 @@
+package par
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter records the critical path of parallel constructs. On a machine with
+// fewer cores than workers (in the limit, a single core), the blocks of a
+// barrier run serialized, so their individually measured times still equal
+// what each of w dedicated cores would spend; the barrier's contribution to
+// a true w-core wall clock is its longest block. Summing per-barrier
+// critical paths and the unparallelized remainder yields the simulated
+// elapsed time the same run would achieve on w real cores — the quantity
+// the Figure 8.d cores sweep needs on hosts without 20 CPUs.
+//
+// A nil *Meter is valid and records nothing. A Meter must not be shared by
+// concurrent runs.
+type Meter struct {
+	mu        sync.Mutex
+	start     time.Time
+	critical  time.Duration // Σ per-barrier longest block
+	blockTime time.Duration // Σ all block times
+	elapsed   time.Duration
+}
+
+// NewMeter returns a started Meter.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// record merges one barrier's block timings into the meter.
+func (m *Meter) record(blocks []time.Duration) {
+	if m == nil {
+		return
+	}
+	var max, sum time.Duration
+	for _, b := range blocks {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	m.mu.Lock()
+	m.critical += max
+	m.blockTime += sum
+	m.mu.Unlock()
+}
+
+// Stop freezes the measured wall-clock time.
+func (m *Meter) Stop() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.elapsed = time.Since(m.start)
+	m.mu.Unlock()
+}
+
+// Elapsed returns the measured wall-clock time between NewMeter and Stop.
+func (m *Meter) Elapsed() time.Duration {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.elapsed
+}
+
+// SimulatedElapsed estimates the wall-clock the metered run would take with
+// one dedicated core per worker: the unparallelized remainder plus each
+// barrier's critical path. On a host that truly has enough cores it
+// approaches Elapsed from below.
+func (m *Meter) SimulatedElapsed() time.Duration {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	serial := m.elapsed - m.blockTime
+	if serial < 0 {
+		serial = 0
+	}
+	return serial + m.critical
+}
+
+// MeteredFor is For with per-block timing recorded into m (which may be
+// nil, making it exactly For).
+func MeteredFor(m *Meter, n, workers int, fn func(lo, hi int)) {
+	if m == nil {
+		For(n, workers, fn)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	workers = clamp(workers, n)
+	blocks := make([]time.Duration, 0, workers)
+	var mu sync.Mutex
+	For(n, workers, func(lo, hi int) {
+		start := time.Now()
+		fn(lo, hi)
+		d := time.Since(start)
+		mu.Lock()
+		blocks = append(blocks, d)
+		mu.Unlock()
+	})
+	m.record(blocks)
+}
+
+// MeteredRunSharded is RunSharded with per-shard timing recorded into m.
+func MeteredRunSharded[T any](m *Meter, b Buckets[T], fn func(shard int, items []T)) {
+	if m == nil {
+		RunSharded(b, fn)
+		return
+	}
+	blocks := make([]time.Duration, 0, len(b))
+	var mu sync.Mutex
+	RunSharded(b, func(shard int, items []T) {
+		start := time.Now()
+		fn(shard, items)
+		d := time.Since(start)
+		mu.Lock()
+		blocks = append(blocks, d)
+		mu.Unlock()
+	})
+	m.record(blocks)
+}
+
+// MeteredCollect is Collect with each generation block metered.
+func MeteredCollect[T any](m *Meter, n, shards int, gen func(i int, emit func(shard int, item T))) Buckets[T] {
+	return collect(m, n, shards, gen)
+}

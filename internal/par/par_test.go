@@ -1,0 +1,134 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 16, 100} {
+		n := 1000
+		seen := make([]int32, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-3, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For called fn on empty range")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(100, 7, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	b := NewBuckets[int](3)
+	if b.Shards() != 3 || b.Len() != 0 {
+		t.Fatalf("fresh buckets: %d shards, %d items", b.Shards(), b.Len())
+	}
+	b.Add(0, 10)
+	b.Add(2, 20)
+	b.Add(2, 21)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestCollectRoutesToShards(t *testing.T) {
+	n, shards := 500, 7
+	b := Collect(n, shards, func(i int, emit func(int, int)) {
+		emit(i, i) // shard chosen by value; Collect reduces mod shards
+	})
+	if b.Len() != n {
+		t.Fatalf("collected %d items, want %d", b.Len(), n)
+	}
+	for s := range b {
+		for _, item := range b[s] {
+			if item%shards != s {
+				t.Fatalf("item %d landed in shard %d", item, s)
+			}
+		}
+	}
+}
+
+func TestCollectZeroItems(t *testing.T) {
+	b := Collect(100, 4, func(i int, emit func(int, string)) {})
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	RunSharded(b, func(s int, items []string) { t.Fatal("fn called for empty shard") })
+}
+
+func TestRunShardedIsExclusivePerShard(t *testing.T) {
+	shards := 8
+	b := NewBuckets[int](shards)
+	for s := 0; s < shards; s++ {
+		for i := 0; i < 1000; i++ {
+			b.Add(s, 1)
+		}
+	}
+	// Unsynchronized per-shard counters: the test fails under -race if two
+	// goroutines ever process the same shard.
+	counts := make([]int, shards)
+	RunSharded(b, func(s int, items []int) {
+		for range items {
+			counts[s]++
+		}
+	})
+	for s, c := range counts {
+		if c != 1000 {
+			t.Fatalf("shard %d: count %d", s, c)
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}
+
+func TestQuickCollectPreservesItems(t *testing.T) {
+	f := func(n uint16, shards uint8) bool {
+		nn := int(n % 2000)
+		ss := 1 + int(shards%16)
+		b := Collect(nn, ss, func(i int, emit func(int, int)) {
+			emit(i*7, i)
+		})
+		if b.Len() != nn {
+			return false
+		}
+		seen := make([]bool, nn)
+		for s := range b {
+			for _, item := range b[s] {
+				if item < 0 || item >= nn || seen[item] {
+					return false
+				}
+				seen[item] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package partition implements the distributed-graph model of Section VII-A:
+// a partitioning Π = (P, Gp) of an ownership graph into site-local
+// partitions P_i = (V_i ∪ V_i^virt, E_i ∪ E_i^cross, L_i) plus the partition
+// graph Gp of cross edges, with the derived boundary sets (virtual nodes and
+// in-nodes) that the distributed algorithm must never reduce away.
+package partition
+
+import (
+	"fmt"
+
+	"ccp/internal/graph"
+)
+
+// Partition is one site's share of the distributed graph. Node ids are
+// global: Local uses the same id space as the original graph, which lets the
+// coordinator merge partial answers without translation.
+type Partition struct {
+	// ID is the partition index in its Partitioning.
+	ID int
+	// Local holds the member nodes, the virtual nodes, the edges induced by
+	// the members and the outgoing cross edges.
+	Local *graph.Graph
+	// Members is V_i: the companies stored at this site.
+	Members graph.NodeSet
+	// Virtual is V_i^virt: foreign companies that members hold stakes in,
+	// present only as edge endpoints.
+	Virtual graph.NodeSet
+	// InNodes is V_i^in: members owned (in part) from other partitions.
+	// Their local in-edge knowledge is incomplete.
+	InNodes graph.NodeSet
+	// CrossIn counts, per in-node, how many foreign cross edges point at
+	// it, so that updates can maintain InNodes incrementally.
+	CrossIn map[graph.NodeID]int
+	// CrossOut counts this partition's outgoing cross edges.
+	CrossOut int
+}
+
+// AddCrossIn records one more foreign cross edge into member v, adding v to
+// the in-nodes on first reference.
+func (p *Partition) AddCrossIn(v graph.NodeID) {
+	if p.CrossIn == nil {
+		p.CrossIn = make(map[graph.NodeID]int)
+	}
+	p.CrossIn[v]++
+	p.InNodes.Add(v)
+}
+
+// DropCrossIn removes one foreign cross-edge reference from v, removing v
+// from the in-nodes when none remain. It reports whether a reference
+// existed.
+func (p *Partition) DropCrossIn(v graph.NodeID) bool {
+	c, ok := p.CrossIn[v]
+	if !ok {
+		return false
+	}
+	if c <= 1 {
+		delete(p.CrossIn, v)
+		delete(p.InNodes, v)
+	} else {
+		p.CrossIn[v] = c - 1
+	}
+	return true
+}
+
+// Boundary returns V_i^in ∪ V_i^virt — the nodes a partial evaluation must
+// keep (the exclusion set of Algorithm 2, minus the query endpoints).
+func (p *Partition) Boundary() graph.NodeSet {
+	b := graph.NewNodeSet()
+	b.AddAll(p.InNodes)
+	b.AddAll(p.Virtual)
+	return b
+}
+
+// Partitioning is Π: the set of partitions plus the node-to-site mapping m.
+type Partitioning struct {
+	Parts []*Partition
+	// Assign maps every node id to the partition storing it (-1 for dead
+	// ids).
+	Assign []int
+}
+
+// Locate returns the partition id storing v, or -1.
+func (pi *Partitioning) Locate(v graph.NodeID) int {
+	if v < 0 || int(v) >= len(pi.Assign) {
+		return -1
+	}
+	return pi.Assign[v]
+}
+
+// CrossEdge is an edge of the partition graph Gp.
+type CrossEdge struct {
+	Edge graph.Edge
+	// FromPart / ToPart are the partitions storing the endpoints.
+	FromPart, ToPart int
+}
+
+// PartitionGraph returns Gp = (Vp, Ep): all cross edges with their head and
+// tail partitions. Vp is implied by the edges (virtual and in-nodes).
+func (pi *Partitioning) PartitionGraph() []CrossEdge {
+	var out []CrossEdge
+	for _, p := range pi.Parts {
+		for v := range p.Members {
+			p.Local.EachOut(v, func(u graph.NodeID, w float64) {
+				tp := pi.Locate(u)
+				if tp != p.ID {
+					out = append(out, CrossEdge{
+						Edge:     graph.Edge{From: v, To: u, Weight: w},
+						FromPart: p.ID,
+						ToPart:   tp,
+					})
+				}
+			})
+		}
+	}
+	return out
+}
+
+// Merge reassembles the whole graph from the partitions (each edge lives in
+// exactly one partition: the one storing its source). It is the inverse of
+// Split and is used by tests and by a centralized fallback.
+func (pi *Partitioning) Merge() *graph.Graph {
+	g := graph.New(0)
+	for _, p := range pi.Parts {
+		for v := range p.Members {
+			g.Revive(v)
+		}
+	}
+	for _, p := range pi.Parts {
+		for v := range p.Members {
+			p.Local.EachOut(v, func(u graph.NodeID, w float64) {
+				g.Revive(u)
+				if err := g.AddEdge(v, u, w); err != nil {
+					// Each edge is stored exactly once; duplicates mean a
+					// corrupted partitioning.
+					panic(fmt.Sprintf("partition: merge conflict on (%d,%d): %v", v, u, err))
+				}
+			})
+		}
+	}
+	return g
+}
+
+// Split partitions g according to assign, which maps every live node to a
+// partition in [0, k). Dead ids may carry any value.
+func Split(g *graph.Graph, assign []int, k int) (*Partitioning, error) {
+	if len(assign) != g.Cap() {
+		return nil, fmt.Errorf("partition: assign has %d entries for id space %d", len(assign), g.Cap())
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("partition: need at least one partition")
+	}
+	pi := &Partitioning{Assign: make([]int, g.Cap())}
+	for i := range pi.Assign {
+		pi.Assign[i] = -1
+	}
+	for i := 0; i < k; i++ {
+		pi.Parts = append(pi.Parts, &Partition{
+			ID:      i,
+			Local:   graph.New(0),
+			Members: graph.NewNodeSet(),
+			Virtual: graph.NewNodeSet(),
+			InNodes: graph.NewNodeSet(),
+		})
+	}
+	var err error
+	g.EachNode(func(v graph.NodeID) {
+		a := assign[v]
+		if a < 0 || a >= k {
+			if err == nil {
+				err = fmt.Errorf("partition: node %d assigned to %d, want [0,%d)", v, a, k)
+			}
+			return
+		}
+		pi.Assign[v] = a
+		p := pi.Parts[a]
+		p.Members.Add(v)
+		p.Local.Revive(v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.EachNode(func(v graph.NodeID) {
+		src := pi.Parts[pi.Assign[v]]
+		g.EachOut(v, func(u graph.NodeID, w float64) {
+			au := pi.Assign[u]
+			if au == src.ID {
+				src.Local.Revive(u)
+				if e := src.Local.AddEdge(v, u, w); e != nil && err == nil {
+					err = e
+				}
+				return
+			}
+			// Cross edge: stored at the source partition with u virtual,
+			// and u becomes an in-node of its home partition.
+			src.Local.Revive(u)
+			src.Virtual.Add(u)
+			src.CrossOut++
+			if e := src.Local.AddEdge(v, u, w); e != nil && err == nil {
+				err = e
+			}
+			pi.Parts[au].AddCrossIn(u)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pi, nil
+}
+
+// ByHash assigns node v to partition v mod k — a locality-free partitioner
+// that maximizes cross edges, useful as a stress test.
+func ByHash(g *graph.Graph, k int) (*Partitioning, error) {
+	assign := make([]int, g.Cap())
+	for i := range assign {
+		assign[i] = i % k
+	}
+	return Split(g, assign, k)
+}
+
+// ByContiguous assigns equal contiguous id ranges to the k partitions — the
+// "one country per site" layout of the EU graphs, whose generators number
+// countries contiguously.
+func ByContiguous(g *graph.Graph, k int) (*Partitioning, error) {
+	n := g.Cap()
+	per := (n + k - 1) / k
+	assign := make([]int, n)
+	for i := range assign {
+		a := i / per
+		if a >= k {
+			a = k - 1
+		}
+		assign[i] = a
+	}
+	return Split(g, assign, k)
+}

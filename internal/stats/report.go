@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ccp/internal/graph"
+)
+
+// Report is the extended Section II characterization of an ownership graph:
+// the Summary plus degree and component distributions.
+type Report struct {
+	Summary Summary
+	// OutHist and InHist bucket node counts by degree in powers of two:
+	// bucket k holds degrees in [2^k, 2^(k+1)), bucket 0 holds degree 0-1.
+	OutHist, InHist []int
+	// SCCSizes and WCCSizes are (size, count) pairs, ascending by size.
+	SCCSizes, WCCSizes [][2]int
+	// TopOwners lists the companies holding the most stakes.
+	TopOwners []Owner
+}
+
+// NewReport computes the full characterization of g.
+func NewReport(g *graph.Graph) *Report {
+	out := OutDegrees(g)
+	in := InDegrees(g)
+	scc := SCC(g)
+	wcc := WCC(g)
+	return &Report{
+		Summary: Summary{
+			Nodes:      g.NumNodes(),
+			Edges:      g.NumEdges(),
+			AvgOut:     out.Mean,
+			MaxOut:     out.Max,
+			SCCs:       scc.Count(),
+			LargestSCC: scc.Largest(),
+			WCCs:       wcc.Count(),
+			LargestWCC: wcc.Largest(),
+			Alpha:      out.PowerLawAlpha(2),
+		},
+		OutHist:   bucketize(out.Hist),
+		InHist:    bucketize(in.Hist),
+		SCCSizes:  scc.SizeHistogram(),
+		WCCSizes:  wcc.SizeHistogram(),
+		TopOwners: TopOwners(g, 10),
+	}
+}
+
+// bucketize folds a per-degree histogram into power-of-two buckets.
+func bucketize(hist []int) []int {
+	var buckets []int
+	for d, c := range hist {
+		if c == 0 {
+			continue
+		}
+		b := 0
+		for x := d; x > 1; x >>= 1 {
+			b++
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b] += c
+	}
+	return buckets
+}
+
+// bucketLabel renders the degree range of bucket b.
+func bucketLabel(b int) string {
+	if b == 0 {
+		return "0-1"
+	}
+	lo := 1 << b
+	hi := 1<<(b+1) - 1
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// WriteTo renders the report as the text ccpctl prints. It implements
+// io.WriterTo.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	s := r.Summary
+	fmt.Fprintf(&sb, "nodes        %d\n", s.Nodes)
+	fmt.Fprintf(&sb, "edges        %d\n", s.Edges)
+	fmt.Fprintf(&sb, "avg out-deg  %.3f (max %d)\n", s.AvgOut, s.MaxOut)
+	fmt.Fprintf(&sb, "SCCs         %d (largest %d)\n", s.SCCs, s.LargestSCC)
+	fmt.Fprintf(&sb, "WCCs         %d (largest %d)\n", s.WCCs, s.LargestWCC)
+	fmt.Fprintf(&sb, "alpha (fit)  %.2f\n", s.Alpha)
+
+	writeHist := func(name string, buckets []int) {
+		fmt.Fprintf(&sb, "%s degree distribution:\n", name)
+		max := 0
+		for _, c := range buckets {
+			if c > max {
+				max = c
+			}
+		}
+		for b, c := range buckets {
+			if c == 0 {
+				continue
+			}
+			bar := 1
+			if max > 0 {
+				bar = 1 + c*40/max
+			}
+			fmt.Fprintf(&sb, "  %-12s %8d %s\n", bucketLabel(b), c, strings.Repeat("#", bar))
+		}
+	}
+	writeHist("out", r.OutHist)
+	writeHist("in", r.InHist)
+
+	fmt.Fprintf(&sb, "largest WCC sizes: %s\n", tailSizes(r.WCCSizes, 5))
+	fmt.Fprintf(&sb, "largest SCC sizes: %s\n", tailSizes(r.SCCSizes, 5))
+	fmt.Fprintf(&sb, "top owners:\n")
+	for _, o := range r.TopOwners {
+		fmt.Fprintf(&sb, "  company %-10d owns %d\n", o.Node, o.Count)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// tailSizes renders the k largest distinct component sizes with counts.
+func tailSizes(sizes [][2]int, k int) string {
+	if len(sizes) == 0 {
+		return "none"
+	}
+	cp := make([][2]int, len(sizes))
+	copy(cp, sizes)
+	sort.Slice(cp, func(i, j int) bool { return cp[i][0] > cp[j][0] })
+	if k > len(cp) {
+		k = len(cp)
+	}
+	parts := make([]string, 0, k)
+	for _, sc := range cp[:k] {
+		parts = append(parts, fmt.Sprintf("%d×%d", sc[1], sc[0]))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,296 @@
+// Package stats computes the graph analytics used in Section II of the
+// paper to characterize the Italian, EU and RIAD ownership graphs: strongly
+// and weakly connected components, degree distributions, top owners and a
+// power-law exponent fit. The generators are validated against these
+// statistics.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"ccp/internal/graph"
+)
+
+// Components describes a partition of the live nodes into components.
+type Components struct {
+	// Comp maps node id to component index; dead nodes map to -1.
+	Comp []int
+	// Sizes holds component sizes, indexed by component index.
+	Sizes []int
+}
+
+// Count returns the number of components.
+func (c *Components) Count() int { return len(c.Sizes) }
+
+// Largest returns the size of the largest component (0 if none).
+func (c *Components) Largest() int {
+	max := 0
+	for _, s := range c.Sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// SizeHistogram returns, for each distinct component size, how many
+// components have it, as sorted (size, count) pairs.
+func (c *Components) SizeHistogram() [][2]int {
+	counts := make(map[int]int)
+	for _, s := range c.Sizes {
+		counts[s]++
+	}
+	out := make([][2]int, 0, len(counts))
+	for s, n := range counts {
+		out = append(out, [2]int{s, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// SCC computes the strongly connected components of g with an iterative
+// Tarjan algorithm (explicit stack: safe on million-node graphs).
+func SCC(g *graph.Graph) *Components {
+	n := g.Cap()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		stack   []graph.NodeID // Tarjan's component stack
+		sizes   []int
+		counter int32
+	)
+
+	// Explicit DFS frame: node plus its successor cursor.
+	type frame struct {
+		v    graph.NodeID
+		succ []graph.NodeID
+		i    int
+	}
+	var dfs []frame
+
+	for start := 0; start < n; start++ {
+		sv := graph.NodeID(start)
+		if !g.Alive(sv) || index[start] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: sv, succ: g.Successors(sv)})
+		index[sv] = counter
+		low[sv] = counter
+		counter++
+		stack = append(stack, sv)
+		onStack[sv] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w, succ: g.Successors(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// All successors done: close the node.
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := &dfs[len(dfs)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				id := len(sizes)
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = id
+					size++
+					if w == v {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+			}
+		}
+	}
+	return &Components{Comp: comp, Sizes: sizes}
+}
+
+// WCC computes the weakly connected components of g with union-find.
+func WCC(g *graph.Graph) *Components {
+	n := g.Cap()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	g.EachNode(func(v graph.NodeID) {
+		g.EachOut(v, func(u graph.NodeID, w float64) {
+			union(int32(v), int32(u))
+		})
+	})
+	comp := make([]int, n)
+	idx := make(map[int32]int)
+	var sizes []int
+	for i := range comp {
+		comp[i] = -1
+	}
+	g.EachNode(func(v graph.NodeID) {
+		r := find(int32(v))
+		id, ok := idx[r]
+		if !ok {
+			id = len(sizes)
+			idx[r] = id
+			sizes = append(sizes, 0)
+		}
+		comp[v] = id
+		sizes[id]++
+	})
+	return &Components{Comp: comp, Sizes: sizes}
+}
+
+// Degrees summarizes a degree distribution.
+type Degrees struct {
+	// Hist[d] is the number of live nodes with degree d.
+	Hist []int
+	// Mean is the average degree over live nodes.
+	Mean float64
+	// Max is the largest degree.
+	Max int
+}
+
+// OutDegrees computes the out-degree distribution of g.
+func OutDegrees(g *graph.Graph) Degrees { return degrees(g, g.OutDegree) }
+
+// InDegrees computes the in-degree distribution of g.
+func InDegrees(g *graph.Graph) Degrees { return degrees(g, g.InDegree) }
+
+func degrees(g *graph.Graph, deg func(graph.NodeID) int) Degrees {
+	var d Degrees
+	total := 0
+	g.EachNode(func(v graph.NodeID) {
+		k := deg(v)
+		total += k
+		for len(d.Hist) <= k {
+			d.Hist = append(d.Hist, 0)
+		}
+		d.Hist[k]++
+		if k > d.Max {
+			d.Max = k
+		}
+	})
+	if n := g.NumNodes(); n > 0 {
+		d.Mean = float64(total) / float64(n)
+	}
+	return d
+}
+
+// PowerLawAlpha estimates the exponent of a power-law degree distribution
+// with the discrete maximum-likelihood estimator of Clauset-Shalizi-Newman:
+// alpha ≈ 1 + n / Σ ln(d_i / (dmin - 0.5)), over degrees >= dmin.
+// It returns 0 if fewer than two nodes reach dmin.
+func (d Degrees) PowerLawAlpha(dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	n := 0
+	sum := 0.0
+	for k := dmin; k < len(d.Hist); k++ {
+		c := d.Hist[k]
+		if c == 0 {
+			continue
+		}
+		n += c
+		sum += float64(c) * math.Log(float64(k)/(float64(dmin)-0.5))
+	}
+	if n < 2 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// Owner is a (node, companies-owned) pair.
+type Owner struct {
+	Node  graph.NodeID
+	Count int
+}
+
+// TopOwners returns the k nodes owning the most companies, ordered by
+// decreasing count (ties broken by id).
+func TopOwners(g *graph.Graph, k int) []Owner {
+	owners := make([]Owner, 0, g.NumNodes())
+	g.EachNode(func(v graph.NodeID) {
+		if d := g.OutDegree(v); d > 0 {
+			owners = append(owners, Owner{v, d})
+		}
+	})
+	sort.Slice(owners, func(i, j int) bool {
+		if owners[i].Count != owners[j].Count {
+			return owners[i].Count > owners[j].Count
+		}
+		return owners[i].Node < owners[j].Node
+	})
+	if k > len(owners) {
+		k = len(owners)
+	}
+	return owners[:k]
+}
+
+// Summary aggregates the Section II headline statistics of a graph.
+type Summary struct {
+	Nodes, Edges     int
+	AvgOut           float64
+	MaxOut           int
+	SCCs, LargestSCC int
+	WCCs, LargestWCC int
+	Alpha            float64 // power-law exponent fit of the out-degree tail
+}
+
+// Summarize computes a Summary of g.
+func Summarize(g *graph.Graph) Summary {
+	out := OutDegrees(g)
+	scc := SCC(g)
+	wcc := WCC(g)
+	return Summary{
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		AvgOut:     out.Mean,
+		MaxOut:     out.Max,
+		SCCs:       scc.Count(),
+		LargestSCC: scc.Largest(),
+		WCCs:       wcc.Count(),
+		LargestWCC: wcc.Largest(),
+		Alpha:      out.PowerLawAlpha(2),
+	}
+}

@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+)
+
+func build(t *testing.T, n int, edges ...graph.Edge) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.From, e.To, e.Weight); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := build(t, 5,
+		graph.Edge{From: 0, To: 1, Weight: 0.6},
+		graph.Edge{From: 1, To: 2, Weight: 0.6},
+		graph.Edge{From: 2, To: 0, Weight: 0.4},
+		graph.Edge{From: 2, To: 3, Weight: 0.6},
+	)
+	// {0,1,2} form one SCC; 3 and 4 are singletons.
+	scc := SCC(g)
+	if scc.Count() != 3 {
+		t.Fatalf("count = %d, sizes = %v", scc.Count(), scc.Sizes)
+	}
+	if scc.Largest() != 3 {
+		t.Fatalf("largest = %d", scc.Largest())
+	}
+	if scc.Comp[0] != scc.Comp[1] || scc.Comp[1] != scc.Comp[2] {
+		t.Fatal("cycle nodes in different SCCs")
+	}
+	if scc.Comp[3] == scc.Comp[0] || scc.Comp[4] == scc.Comp[0] {
+		t.Fatal("singletons merged into the cycle")
+	}
+}
+
+func TestSCCTwoCyclesBridged(t *testing.T) {
+	g := build(t, 6,
+		graph.Edge{From: 0, To: 1, Weight: 0.5}, graph.Edge{From: 1, To: 0, Weight: 0.5},
+		graph.Edge{From: 1, To: 2, Weight: 0.2},
+		graph.Edge{From: 2, To: 3, Weight: 0.5}, graph.Edge{From: 3, To: 2, Weight: 0.5},
+	)
+	scc := SCC(g)
+	// {0,1}, {2,3}, {4}, {5}
+	if scc.Count() != 4 || scc.Largest() != 2 {
+		t.Fatalf("sizes = %v", scc.Sizes)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 200k-node chain would blow a recursive Tarjan's stack.
+	n := 200_000
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scc := SCC(g)
+	if scc.Count() != n || scc.Largest() != 1 {
+		t.Fatalf("chain SCCs = %d, largest = %d", scc.Count(), scc.Largest())
+	}
+}
+
+func TestWCC(t *testing.T) {
+	g := build(t, 6,
+		graph.Edge{From: 0, To: 1, Weight: 0.6},
+		graph.Edge{From: 2, To: 1, Weight: 0.3},
+		graph.Edge{From: 3, To: 4, Weight: 0.6},
+	)
+	wcc := WCC(g)
+	// {0,1,2}, {3,4}, {5}
+	if wcc.Count() != 3 || wcc.Largest() != 3 {
+		t.Fatalf("sizes = %v", wcc.Sizes)
+	}
+	if wcc.Comp[0] != wcc.Comp[2] {
+		t.Fatal("weak connectivity through shared target missed")
+	}
+	hist := wcc.SizeHistogram()
+	if len(hist) != 3 || hist[0] != [2]int{1, 1} || hist[2] != [2]int{3, 1} {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+func TestWCCIgnoresDeadNodes(t *testing.T) {
+	g := build(t, 3, graph.Edge{From: 0, To: 1, Weight: 0.6})
+	g.RemoveNode(2)
+	wcc := WCC(g)
+	if wcc.Count() != 1 {
+		t.Fatalf("count = %d", wcc.Count())
+	}
+	if wcc.Comp[2] != -1 {
+		t.Fatal("dead node assigned a component")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := build(t, 4,
+		graph.Edge{From: 0, To: 1, Weight: 0.3},
+		graph.Edge{From: 0, To: 2, Weight: 0.3},
+		graph.Edge{From: 0, To: 3, Weight: 0.3},
+		graph.Edge{From: 1, To: 2, Weight: 0.3},
+	)
+	out := OutDegrees(g)
+	if out.Max != 3 || out.Mean != 1.0 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Hist[3] != 1 || out.Hist[1] != 1 || out.Hist[0] != 2 {
+		t.Fatalf("hist = %v", out.Hist)
+	}
+	in := InDegrees(g)
+	if in.Max != 2 || in.Hist[2] != 1 {
+		t.Fatalf("in = %+v", in)
+	}
+}
+
+func TestPowerLawAlphaOnSyntheticPowerLaw(t *testing.T) {
+	// Build a histogram following p(d) ∝ d^-2.5 exactly and check the MLE
+	// recovers something close.
+	d := Degrees{Hist: make([]int, 200)}
+	for k := 2; k < 200; k++ {
+		d.Hist[k] = int(1e6 * float64(k*k) * 1 / (float64(k) * float64(k) * float64(k) * 2.236))
+		// simpler: 1e6 * k^-2.5
+	}
+	for k := 2; k < 200; k++ {
+		v := 1e6 / (float64(k) * float64(k) * 2.236 * mathSqrt(float64(k)))
+		d.Hist[k] = int(v)
+	}
+	alpha := d.PowerLawAlpha(2)
+	if alpha < 2.2 || alpha > 2.8 {
+		t.Fatalf("alpha = %g, want ≈2.5", alpha)
+	}
+	// Degenerate inputs return 0.
+	empty := Degrees{Hist: []int{5}}
+	if empty.PowerLawAlpha(1) != 0 {
+		t.Fatal("degenerate alpha should be 0")
+	}
+}
+
+func mathSqrt(x float64) float64 {
+	// tiny local sqrt to avoid importing math just for the test table
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestTopOwners(t *testing.T) {
+	g := build(t, 5,
+		graph.Edge{From: 0, To: 1, Weight: 0.2},
+		graph.Edge{From: 0, To: 2, Weight: 0.2},
+		graph.Edge{From: 3, To: 1, Weight: 0.2},
+		graph.Edge{From: 3, To: 2, Weight: 0.2},
+		graph.Edge{From: 3, To: 4, Weight: 0.2},
+	)
+	top := TopOwners(g, 2)
+	if len(top) != 2 || top[0].Node != 3 || top[0].Count != 3 || top[1].Node != 0 {
+		t.Fatalf("top = %v", top)
+	}
+	all := TopOwners(g, 99)
+	if len(all) != 2 {
+		t.Fatalf("owners with k too large = %v", all)
+	}
+}
+
+func TestSummarizeScaleFree(t *testing.T) {
+	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 20_000, AvgOutDegree: 2, Seed: 42})
+	s := Summarize(g)
+	if s.Nodes != 20_000 {
+		t.Fatalf("nodes = %d", s.Nodes)
+	}
+	if s.AvgOut < 1.5 || s.AvgOut > 2.5 {
+		t.Fatalf("avg out-degree = %g, want ≈2", s.AvgOut)
+	}
+	// Scale-free out-degree: there must be real shareholder hubs...
+	if s.MaxOut < 50 {
+		t.Fatalf("max out-degree = %d: no hubs, not scale-free", s.MaxOut)
+	}
+	// ...and in-degrees stay small (a company has few shareholders).
+	in := InDegrees(g)
+	if in.Mean > 6 {
+		t.Fatalf("mean in-degree = %g", in.Mean)
+	}
+	// ...and almost all SCCs must be singletons (like the Italian graph).
+	if s.LargestSCC > 100 {
+		t.Fatalf("largest SCC = %d", s.LargestSCC)
+	}
+	// One dominant WCC, as in the Italian graph.
+	if s.LargestWCC < s.Nodes/4 {
+		t.Fatalf("largest WCC = %d of %d", s.LargestWCC, s.Nodes)
+	}
+}
+
+// TestQuickSCCWCCConsistency: every SCC lies inside one WCC, and component
+// sizes always sum to the node count.
+func TestQuickSCCWCCConsistency(t *testing.T) {
+	f := func(seed int64, nn, mm uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nn%60)
+		g := gen.Random(n, int(mm)%(4*n), rng.Int63())
+		scc, wcc := SCC(g), WCC(g)
+		sum := 0
+		for _, s := range scc.Sizes {
+			sum += s
+		}
+		if sum != g.NumNodes() {
+			return false
+		}
+		sum = 0
+		for _, s := range wcc.Sizes {
+			sum += s
+		}
+		if sum != g.NumNodes() {
+			return false
+		}
+		// Nodes in the same SCC share a WCC.
+		byScc := make(map[int]int)
+		ok := true
+		g.EachNode(func(v graph.NodeID) {
+			c := scc.Comp[v]
+			if w, seen := byScc[c]; seen && w != wcc.Comp[v] {
+				ok = false
+			}
+			byScc[c] = wcc.Comp[v]
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReport(t *testing.T) {
+	g := gen.Italian(gen.ItalianConfig{Nodes: 20_000, Seed: 8})
+	r := NewReport(g)
+	if r.Summary.Nodes != 20_000 {
+		t.Fatalf("nodes = %d", r.Summary.Nodes)
+	}
+	if len(r.OutHist) == 0 || len(r.InHist) == 0 {
+		t.Fatal("histograms empty")
+	}
+	sum := 0
+	for _, c := range r.OutHist {
+		sum += c
+	}
+	if sum != r.Summary.Nodes {
+		t.Fatalf("out histogram sums to %d", sum)
+	}
+	if len(r.TopOwners) == 0 || r.TopOwners[0].Count < r.TopOwners[len(r.TopOwners)-1].Count {
+		t.Fatalf("top owners = %v", r.TopOwners)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"nodes", "out degree distribution", "top owners", "largest WCC sizes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBucketize(t *testing.T) {
+	// degrees: 0,1 -> bucket 0; 2,3 -> bucket 1; 4..7 -> bucket 2.
+	hist := []int{3, 2, 1, 1, 1, 0, 0, 1}
+	b := bucketize(hist)
+	if len(b) != 3 || b[0] != 5 || b[1] != 2 || b[2] != 2 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if bucketLabel(0) != "0-1" || bucketLabel(1) != "2-3" || bucketLabel(3) != "8-15" {
+		t.Fatal("labels wrong")
+	}
+	if out := bucketize(nil); len(out) != 0 {
+		t.Fatalf("empty = %v", out)
+	}
+}

@@ -1,0 +1,16 @@
+package ccp
+
+import (
+	"io"
+
+	"ccp/internal/graph"
+)
+
+// ReadBinaryGraph deserializes a graph written with (*Graph).WriteBinary
+// (the compact CCPG1 format).
+func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// ReadCSVGraph parses "from,to,weight" lines as written by
+// (*Graph).WriteCSV. Blank lines and '#' comments are skipped; parallel
+// entries merge by summing.
+func ReadCSVGraph(r io.Reader) (*Graph, error) { return graph.ReadCSV(r) }

@@ -1,0 +1,44 @@
+package ccp
+
+import (
+	"io"
+	"net"
+
+	"ccp/internal/dist"
+	"ccp/internal/partition"
+)
+
+// Partition is one site's share of a distributed graph: its member
+// companies, the locally stored shareholdings (including outgoing
+// cross-partition edges), and the boundary bookkeeping (virtual nodes and
+// in-nodes) the distributed algorithm relies on.
+type Partition = partition.Partition
+
+// Partitioning is a full partitioning Π of an ownership graph, with the
+// node-to-site mapping.
+type Partitioning = partition.Partitioning
+
+// PartitionByAssignment splits g by an explicit node-to-site mapping into k
+// partitions.
+func PartitionByAssignment(g *Graph, assign []int, k int) (*Partitioning, error) {
+	return partition.Split(g, assign, k)
+}
+
+// PartitionContiguous splits g into k equal contiguous id ranges — the
+// one-country-per-site layout of the generated EU graphs.
+func PartitionContiguous(g *Graph, k int) (*Partitioning, error) {
+	return partition.ByContiguous(g, k)
+}
+
+// ReadPartition deserializes a partition written with
+// (*Partition).WriteBinary, letting a site load only its own share of the
+// distributed graph.
+func ReadPartition(r io.Reader) (*Partition, error) {
+	return partition.ReadPartition(r)
+}
+
+// ServeSite serves one partition as a worker site on l, speaking the
+// coordinator protocol, until l is closed. It is what the ccpd command runs.
+func ServeSite(l net.Listener, p *Partition, workers int) error {
+	return dist.Serve(l, dist.NewSite(p, workers))
+}

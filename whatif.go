@@ -1,0 +1,85 @@
+package ccp
+
+import (
+	"fmt"
+
+	"ccp/internal/control"
+)
+
+// Mutation is one hypothetical change to the shareholding data for what-if
+// analysis.
+type Mutation struct {
+	Owner, Owned NodeID
+	// Weight is the stake to add (merged with any existing stake). Ignored
+	// when Remove is set.
+	Weight float64
+	// Remove divests the stake entirely.
+	Remove bool
+}
+
+// ChangedAnswer reports one watched control relation that a what-if scenario
+// flips.
+type ChangedAnswer struct {
+	S, T          NodeID
+	Before, After bool
+}
+
+// WhatIf applies a hypothetical list of mutations to a copy of g and reports
+// which of the watched control questions change answer — the shock
+// propagation and takeover-screening analysis the paper's introduction
+// motivates ("prevention of potentially hostile takeovers, evaluation of
+// risks, and shock propagation"). g itself is not modified.
+func WhatIf(g *Graph, mutations []Mutation, watch [][2]NodeID) ([]ChangedAnswer, error) {
+	clone := g.Clone()
+	for _, m := range mutations {
+		if m.Remove {
+			if !clone.RemoveEdge(m.Owner, m.Owned) {
+				return nil, fmt.Errorf("ccp: what-if divests a stake (%d,%d) that does not exist", m.Owner, m.Owned)
+			}
+			continue
+		}
+		if err := clone.MergeEdge(m.Owner, m.Owned, m.Weight); err != nil {
+			return nil, fmt.Errorf("ccp: what-if: %w", err)
+		}
+	}
+	if v, err := clone.CheckOwnership(); err != nil {
+		return nil, fmt.Errorf("ccp: what-if scenario over-allocates company %d: %w", v, err)
+	}
+	var out []ChangedAnswer
+	for _, w := range watch {
+		before := control.CBE(g, Query{S: w[0], T: w[1]})
+		after := control.CBE(clone, Query{S: w[0], T: w[1]})
+		if before != after {
+			out = append(out, ChangedAnswer{S: w[0], T: w[1], Before: before, After: after})
+		}
+	}
+	return out, nil
+}
+
+// ImpactOfDivestment returns every company that s would stop controlling if
+// the stake (owner, owned) were divested — the dependency of s's span of
+// control on one shareholding.
+func ImpactOfDivestment(g *Graph, s, owner, owned NodeID) ([]NodeID, error) {
+	clone := g.Clone()
+	if !clone.RemoveEdge(owner, owned) {
+		return nil, fmt.Errorf("ccp: stake (%d,%d) does not exist", owner, owned)
+	}
+	before := control.ControlledSet(g, s)
+	after := control.ControlledSet(clone, s)
+	var lost []NodeID
+	for v := range before {
+		if !after.Has(v) {
+			lost = append(lost, v)
+		}
+	}
+	sortNodeIDs(lost)
+	return lost, nil
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

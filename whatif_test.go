@@ -1,0 +1,91 @@
+package ccp_test
+
+import (
+	"testing"
+
+	"ccp"
+)
+
+func TestWhatIfTakeover(t *testing.T) {
+	g := holding(t) // 0 controls 3 via 1 and 2
+	// Scenario: a rival (new stake from 4... node 4 doesn't exist in
+	// holding(t)'s 4-node graph) — use existing nodes: 1 divests its stake
+	// in 3, breaking 0's joint majority.
+	changed, err := ccp.WhatIf(g,
+		[]ccp.Mutation{{Owner: 1, Owned: 3, Remove: true}},
+		[][2]ccp.NodeID{{0, 3}, {0, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0].S != 0 || changed[0].T != 3 || !changed[0].Before || changed[0].After {
+		t.Fatalf("changed = %+v", changed)
+	}
+	// The original graph is untouched.
+	if !ccp.Controls(g, 0, 3) {
+		t.Fatal("WhatIf mutated its input")
+	}
+}
+
+func TestWhatIfAddStake(t *testing.T) {
+	g := ccp.NewGraph(3)
+	if err := g.AddEdge(0, 1, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ccp.WhatIf(g,
+		[]ccp.Mutation{{Owner: 0, Owned: 1, Weight: 0.2}}, // tops up to 0.6
+		[][2]ccp.NodeID{{0, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || !changed[0].After {
+		t.Fatalf("changed = %+v", changed)
+	}
+}
+
+func TestWhatIfErrors(t *testing.T) {
+	g := holding(t)
+	if _, err := ccp.WhatIf(g, []ccp.Mutation{{Owner: 0, Owned: 3, Remove: true}}, nil); err == nil {
+		t.Fatal("divesting a missing stake accepted")
+	}
+	if _, err := ccp.WhatIf(g, []ccp.Mutation{{Owner: 1, Owned: 1, Weight: 0.1}}, nil); err == nil {
+		t.Fatal("self stake accepted")
+	}
+	// Over-allocation: node 3 already carries 55%; adding 0.6 from a new
+	// shareholder overflows its equity.
+	if _, err := ccp.WhatIf(g, []ccp.Mutation{{Owner: 0, Owned: 3, Weight: 0.6}}, nil); err == nil {
+		t.Fatal("over-allocated equity accepted")
+	}
+}
+
+func TestImpactOfDivestment(t *testing.T) {
+	// 0 -0.9-> 1 -0.9-> 2 -0.9-> 3 : divesting (1,2) loses 2 and 3.
+	g := ccp.NewGraph(4)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(ccp.NodeID(i), ccp.NodeID(i+1), 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lost, err := ccp.ImpactOfDivestment(g, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 2 || lost[0] != 2 || lost[1] != 3 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if _, err := ccp.ImpactOfDivestment(g, 0, 2, 0); err == nil {
+		t.Fatal("missing stake accepted")
+	}
+	// Divesting an irrelevant stake loses nothing.
+	if err := g.AddEdge(3, 0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	lost2, err := ccp.ImpactOfDivestment(g, 0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost2) != 0 {
+		t.Fatalf("lost = %v", lost2)
+	}
+}
