@@ -33,6 +33,7 @@ func benchGraph(b *testing.B, n int, deg float64) *ccp.Graph {
 func BenchmarkCBEQuery(b *testing.B) {
 	g := benchGraph(b, 100_000, 2)
 	q := control.Query{S: 0, T: graph.NodeID(g.Cap() - 1)}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		control.CBE(g, q)
 	}
@@ -49,12 +50,55 @@ func BenchmarkParallelReduction(b *testing.B) {
 	g := benchGraph(b, 50_000, 2)
 	q := control.Query{S: 0, T: graph.NodeID(g.Cap() - 1)}
 	x := graph.NewNodeSet(q.S, q.T)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		clone := g.Clone()
 		b.StartTimer()
 		control.ParallelReduction(clone, q, x, control.Options{DisableTermination: true})
+	}
+}
+
+// deepChainGraph builds the R3 cascade gadget: a root r owning 60% of c_1 and
+// 30% of every b_j, with c_{j-1} owning the other 30% of b_j. Contracting c_j
+// into r merges the two parallel 0.3 stakes in b_{j+1} into a 0.6 edge, so
+// each round creates exactly one new directly-controlled node — a reduction
+// with k rounds that each touch O(1) nodes, isolating per-round cost.
+func deepChainGraph(b *testing.B, k int) *ccp.Graph {
+	b.Helper()
+	g := ccp.NewGraph(k + 2)
+	must := func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	must(g.AddEdge(0, 1, 0.6))
+	for j := 2; j <= k; j++ {
+		must(g.AddEdge(0, ccp.NodeID(j), 0.3))
+		must(g.AddEdge(ccp.NodeID(j-1), ccp.NodeID(j), 0.3))
+	}
+	must(g.AddEdge(ccp.NodeID(k), ccp.NodeID(k+1), 0.3))
+	return g
+}
+
+// BenchmarkReductionRounds isolates the per-round cost of the reduction on a
+// deep C3 cascade: k contraction rounds that each touch a handful of nodes.
+func BenchmarkReductionRounds(b *testing.B) {
+	const k = 3000
+	g := deepChainGraph(b, k)
+	q := control.Query{S: 0, T: graph.NodeID(k + 1)}
+	x := graph.NewNodeSet(q.S, q.T)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clone := g.Clone()
+		b.StartTimer()
+		res := control.ParallelReduction(clone, q, x, control.Options{DisableTermination: true})
+		if res.Phase2Rounds < k {
+			b.Fatalf("cascade collapsed in %d rounds, want %d", res.Phase2Rounds, k)
+		}
 	}
 }
 
@@ -325,6 +369,7 @@ func BenchmarkFig9bPathEnumEdges(b *testing.B) {
 }
 
 func BenchmarkThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var last experiments.ThroughputResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Throughput(benchCfg)

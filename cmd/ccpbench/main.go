@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ccpbench [-scale f] [-seed n] [-workers n] [-repeats n] <experiment>...
+//	ccpbench [-scale f] [-seed n] [-workers n] [-repeats n] [-full-rescan] <experiment>...
 //
 // Experiments: fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h nettraffic
 // riad serial ablations fig9a fig9b throughput contrast updates, or "all".
@@ -25,6 +25,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "worker parallelism (0 = GOMAXPROCS)")
 	repeats := flag.Int("repeats", 1, "average each timed point over n runs")
+	fullRescan := flag.Bool("full-rescan", false,
+		"use the full-rescan reduction engine instead of the frontier engine (ablation abl-frontier)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: ccpbench [flags] <experiment>...\nexperiments: %v\nflags:\n", names())
@@ -36,10 +38,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{
-		Scale:   *scale,
-		Seed:    *seed,
-		Workers: *workers,
-		Repeats: *repeats,
+		Scale:      *scale,
+		Seed:       *seed,
+		Workers:    *workers,
+		Repeats:    *repeats,
+		FullRescan: *fullRescan,
 	}
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

@@ -1,0 +1,123 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+)
+
+// requireSameReduction runs the frontier engine and the full-rescan engine
+// on clones of g and requires identical answers, statistics, round counts
+// and reduced graphs (node-exact, edge-exact, label-bit-exact).
+func requireSameReduction(t *testing.T, seed int64, g *graph.Graph, q Query, x graph.NodeSet, opt Options) {
+	t.Helper()
+	gFrontier, gFull := g.Clone(), g.Clone()
+	optFull := opt
+	optFull.FullRescan = true
+	rf := ParallelReduction(gFrontier, q, x, opt)
+	rr := ParallelReduction(gFull, q, x, optFull)
+	if rf.Ans != rr.Ans {
+		t.Fatalf("seed %d %v opts %+v: frontier answered %v, full rescan %v", seed, q, opt, rf.Ans, rr.Ans)
+	}
+	if rf.Stats != rr.Stats {
+		t.Fatalf("seed %d %v opts %+v: stats %+v vs %+v", seed, q, opt, rf.Stats, rr.Stats)
+	}
+	if rf.Phase1Rounds != rr.Phase1Rounds || rf.Phase2Rounds != rr.Phase2Rounds {
+		t.Fatalf("seed %d %v opts %+v: rounds (%d,%d) vs (%d,%d)", seed, q, opt,
+			rf.Phase1Rounds, rf.Phase2Rounds, rr.Phase1Rounds, rr.Phase2Rounds)
+	}
+	if gFrontier.NumNodes() != gFull.NumNodes() || gFrontier.NumEdges() != gFull.NumEdges() {
+		t.Fatalf("seed %d %v opts %+v: reduced to %v vs %v", seed, q, opt, gFrontier, gFull)
+	}
+	for v := graph.NodeID(0); int(v) < gFrontier.Cap(); v++ {
+		if gFrontier.Alive(v) != gFull.Alive(v) {
+			t.Fatalf("seed %d %v opts %+v: node %d survival differs", seed, q, opt, v)
+		}
+		if !gFrontier.Alive(v) {
+			continue
+		}
+		if gFrontier.OutDegree(v) != gFull.OutDegree(v) {
+			t.Fatalf("seed %d %v opts %+v: node %d out-degree differs", seed, q, opt, v)
+		}
+		gFrontier.EachOut(v, func(u graph.NodeID, w float64) {
+			if fw, ok := gFull.Label(v, u); !ok || fw != w {
+				t.Fatalf("seed %d %v opts %+v: edge (%d,%d) label %g vs %g (exists=%v)",
+					seed, q, opt, v, u, w, fw, ok)
+			}
+		})
+	}
+}
+
+// TestFrontierMatchesFullRescan is the equivalence property test of the
+// frontier engine: across ~1k random graphs — scale-free and uniform, with
+// plain {s,t} exclusion sets and with boundary-node exclusion sets plus
+// partial termination trust, under every option variant — the frontier and
+// full-rescan engines must agree on the answer, the statistics and the
+// reduced graph.
+func TestFrontierMatchesFullRescan(t *testing.T) {
+	seeds := 1000
+	if testing.Short() {
+		seeds = 120
+	}
+	variants := []Options{
+		{Workers: 1},
+		{Workers: 4},
+		{TwoPhaseOnly: true},
+		{DisableTermination: true},
+		{NaiveContraction: true},
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(40)
+		var g *graph.Graph
+		if seed%2 == 0 {
+			g = gen.ScaleFree(gen.ScaleFreeConfig{Nodes: n, AvgOutDegree: 1 + rng.Float64()*2, Seed: seed})
+		} else {
+			g = gen.Random(n, n+rng.Intn(2*n), seed)
+		}
+		q := Query{S: graph.NodeID(rng.Intn(n)), T: graph.NodeID(rng.Intn(n))}
+		x := graph.NewNodeSet(q.S, q.T)
+		opt := variants[seed%int64(len(variants))]
+		opt.Trust = FullTrust
+		requireSameReduction(t, seed, g, q, x, opt)
+
+		// Same graph with a boundary-style exclusion set: extra protected
+		// nodes and only partially trusted termination, as in a partial
+		// per-partition evaluation.
+		xb := graph.NewNodeSet(q.S, q.T)
+		for i := 0; i < 3; i++ {
+			xb.Add(graph.NodeID(rng.Intn(n)))
+		}
+		optb := opt
+		optb.Trust = TerminationTrust{T1: rng.Intn(2) == 0, T2: false}
+		requireSameReduction(t, seed, g, q, xb, optb)
+	}
+}
+
+// TestReducerReuseAcrossQueries checks that one Reducer instance can serve
+// many queries over graphs of different capacities and still match the
+// full-rescan engine — guarding the buffer-reset logic that zero-allocation
+// reuse depends on.
+func TestReducerReuseAcrossQueries(t *testing.T) {
+	r := NewReducer()
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		n := 8 + rng.Intn(60)
+		g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: n, AvgOutDegree: 2, Seed: seed})
+		q := Query{S: graph.NodeID(rng.Intn(n)), T: graph.NodeID(rng.Intn(n))}
+		x := graph.NewNodeSet(q.S, q.T)
+		opt := Options{Trust: FullTrust, Workers: 1 + int(seed%3)}
+		gr, gf := g.Clone(), g.Clone()
+		optFull := opt
+		optFull.FullRescan = true
+		res := r.Reduce(gr, q, x, opt)
+		ref := fullRescanReduction(gf, q, x, optFull)
+		if res.Ans != ref.Ans || res.Stats != ref.Stats ||
+			gr.NumNodes() != gf.NumNodes() || gr.NumEdges() != gf.NumEdges() {
+			t.Fatalf("seed %d: reused reducer diverged: %+v vs %+v (%v vs %v)",
+				seed, res, ref, gr, gf)
+		}
+	}
+}

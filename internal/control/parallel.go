@@ -1,6 +1,8 @@
 package control
 
 import (
+	"sync"
+
 	"ccp/internal/graph"
 	"ccp/internal/par"
 )
@@ -29,6 +31,12 @@ type Options struct {
 	// chains and cycles to representatives (ablation abl-repr).
 	NaiveContraction bool
 
+	// FullRescan disables the frontier engine and re-marks all nodes every
+	// round, re-tallying classes with a full scan — the literal procedure of
+	// Section VI (ablation abl-frontier). Answers, reduced graphs and
+	// statistics are identical either way; only the per-round cost differs.
+	FullRescan bool
+
 	// Meter, when non-nil, records the critical path of every parallel
 	// step, letting par.Meter.SimulatedElapsed estimate the wall clock of
 	// the same run on a machine with one core per worker.
@@ -46,17 +54,38 @@ type Result struct {
 	Phase2Rounds int
 }
 
+// reducerPool recycles Reducers across ParallelReduction calls so the
+// convenience entry point shares the zero-steady-state-allocation property
+// of an explicitly reused Reducer.
+var reducerPool = sync.Pool{New: func() any { return NewReducer() }}
+
 // ParallelReduction is the procedure parallelReduction of Section VI: it
 // reduces g in place with respect to query q, never removing nodes of the
 // exclusion set x, using parallel mark / clean / simplify steps.
 //
-// Phase 1 repeatedly marks all nodes in parallel and removes every C1/C2
-// node in parallel. Phase 2 repeatedly marks and contracts all C3 nodes in
-// parallel: every directly-controlled node is resolved — following chains of
-// direct controllers, collapsing pure C3 cycles onto their minimum-id member
-// — to the representative that ends up owning its outgoing edges, and all
+// Phase 1 repeatedly marks and removes every C1/C2 node in parallel. Phase 2
+// repeatedly marks and contracts all C3 nodes in parallel: every
+// directly-controlled node is resolved — following chains of direct
+// controllers, collapsing pure C3 cycles onto their minimum-id member — to
+// the representative that ends up owning its outgoing edges, and all
 // transfers are executed by id-sharded workers.
+//
+// Marking after round 1 is incremental: only nodes whose adjacency changed
+// are re-classified (see Reducer). Set opt.FullRescan for the literal
+// mark-everything procedure. This wrapper borrows a pooled Reducer; callers
+// with a natural place to keep one (e.g. dist.Site) can hold their own and
+// call Reduce directly.
 func ParallelReduction(g *graph.Graph, q Query, x graph.NodeSet, opt Options) Result {
+	r := reducerPool.Get().(*Reducer)
+	res := r.Reduce(g, q, x, opt)
+	reducerPool.Put(r)
+	return res
+}
+
+// fullRescanReduction is the pre-frontier engine, kept verbatim as the
+// abl-frontier ablation baseline: every round re-marks all of the id space
+// and re-tallies classes with a full parallel scan.
+func fullRescanReduction(g *graph.Graph, q Query, x graph.NodeSet, opt Options) Result {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = par.DefaultWorkers()

@@ -85,18 +85,13 @@ func CheckTermination(g *graph.Graph, q Query, trust TerminationTrust) Answer {
 	if w, ok := g.Label(q.S, q.T); ok && graph.ExceedsControl(w) {
 		return True
 	}
-	// T1: the source node does not directly control any node.
+	// T1: the source node does not directly control any node. O(1) via the
+	// cached count of controlling out-labels.
 	if trust.T1 {
 		if !g.Alive(q.S) {
 			return False
 		}
-		any := false
-		g.EachOut(q.S, func(u graph.NodeID, w float64) {
-			if graph.ExceedsControl(w) {
-				any = true
-			}
-		})
-		if !any {
+		if !g.HasControllingOut(q.S) {
 			return False
 		}
 	}

@@ -1,0 +1,417 @@
+package control
+
+import (
+	"slices"
+
+	"ccp/internal/graph"
+	"ccp/internal/par"
+)
+
+// parallelRemarkMin is the frontier size above which re-marking runs as a
+// metered parallel step; smaller frontiers are classified serially (each
+// classification is an O(1) aggregate lookup).
+const parallelRemarkMin = 2048
+
+// Reducer runs the frontier-based incremental reduction engine and owns
+// every scratch buffer it needs — labels, candidate lists, dirty sets,
+// representative and walk state — so that repeated reductions (the per-query
+// path of dist.Site, ControlledSet bulk loops, benchmark harnesses) run with
+// near-zero steady-state allocations. A Reducer may be reused for any number
+// of sequential Reduce calls but is not safe for concurrent use; pool
+// Reducers to share them across goroutines.
+//
+// The engine computes exactly the same reduction as the full-rescan
+// procedure of Section VI (Options.FullRescan): round 1 classifies all
+// nodes, and every later round re-classifies only the touched set returned
+// by the sharded mutators — the surviving neighbors of removed nodes and the
+// targets of transferred edges. This is sound because a node's class depends
+// only on its own adjacency, and every adjacency change lands its owner in
+// the touched set; classes of untouched nodes cannot have changed. Class
+// tallies are kept as running counters updated by transition deltas, and the
+// c12/c3 candidate lists are supersets (they may hold stale or duplicate
+// entries, filtered against the current labels when a round consumes them),
+// maintained under the invariant that every live node currently labeled
+// C1/C2 is in c12 and every live node labeled C3 is in c3.
+type Reducer struct {
+	labels   []graph.Class
+	excluded []bool
+	isVictim []bool
+	rep      []graph.NodeID
+	state    []uint8
+	seen     []bool
+	walk     []graph.NodeID
+	dirty    []graph.NodeID
+	nlBuf    []graph.Class
+	c12      []graph.NodeID
+	c3       []graph.NodeID
+	cand     []graph.NodeID
+	victims  []graph.NodeID
+	sc       graph.BatchScratch
+	c12n     int
+	c3n      int
+	n        int
+}
+
+// NewReducer returns an empty Reducer; buffers grow on first use.
+func NewReducer() *Reducer { return &Reducer{} }
+
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func (r *Reducer) reset(g *graph.Graph, x graph.NodeSet) {
+	n := g.Cap()
+	r.n = n
+	r.labels = resize(r.labels, n)
+	r.excluded = resize(r.excluded, n)
+	r.isVictim = resize(r.isVictim, n)
+	r.rep = resize(r.rep, n)
+	r.state = resize(r.state, n)
+	r.seen = resize(r.seen, n)
+	clear(r.excluded)
+	clear(r.isVictim)
+	clear(r.state)
+	clear(r.seen)
+	for i := range r.rep {
+		r.rep[i] = graph.None
+	}
+	for v := range x {
+		if int(v) < n {
+			r.excluded[v] = true
+		}
+	}
+	r.c12, r.c3 = r.c12[:0], r.c3[:0]
+	r.cand, r.victims, r.dirty = r.cand[:0], r.victims[:0], r.dirty[:0]
+	r.c12n, r.c3n = 0, 0
+}
+
+// Reduce reduces g in place with respect to query q, never removing nodes of
+// the exclusion set x. It is equivalent to ParallelReduction — identical
+// answers, reduced graphs and statistics — but reuses r's buffers and, unless
+// opt.FullRescan is set, re-marks only the dirty frontier each round.
+func (r *Reducer) Reduce(g *graph.Graph, q Query, x graph.NodeSet, opt Options) Result {
+	if opt.FullRescan {
+		return fullRescanReduction(g, q, x, opt)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	res := Result{Ans: Unknown, Reduced: g}
+	check := func() bool {
+		if opt.DisableTermination {
+			return false
+		}
+		if a := CheckTermination(g, q, opt.Trust); a != Unknown {
+			res.Ans = a
+			return true
+		}
+		return false
+	}
+	if check() {
+		return res
+	}
+
+	r.reset(g, x)
+	r.markAll(g, opt.Meter, workers)
+	if check() {
+		return res
+	}
+
+	phase := 1
+	for {
+		if phase == 1 {
+			if r.c12n == 0 {
+				phase = 2
+			} else {
+				victims := r.collectC12Victims(g)
+				for _, v := range victims {
+					r.isVictim[v] = true
+				}
+				removed, touched := g.RemoveBatchMetered(opt.Meter, victims, r.isVictim, workers, &r.sc)
+				for _, v := range victims {
+					r.isVictim[v] = false
+				}
+				r.c12n -= removed
+				res.Stats.Removed += removed
+				res.Stats.Iterations++
+				res.Phase1Rounds++
+				r.remark(g, opt.Meter, workers, touched)
+				if check() {
+					return res
+				}
+				continue
+			}
+		}
+
+		// Phase 2.
+		if r.c3n == 0 {
+			if !opt.TwoPhaseOnly && r.c12n > 0 {
+				phase = 1
+				continue
+			}
+			break
+		}
+		victims := r.resolveFrontier(g, opt.NaiveContraction)
+		contracted, touched := g.ContractBatchMetered(opt.Meter, victims, r.rep, workers, &r.sc)
+		r.c3n -= contracted
+		res.Stats.Contracted += contracted
+		res.Stats.Iterations++
+		res.Phase2Rounds++
+		r.remark(g, opt.Meter, workers, touched)
+		r.finishContractRound(g)
+		if check() {
+			return res
+		}
+	}
+
+	res.Ans = CheckTermination(g, q, opt.Trust)
+	return res
+}
+
+// markAll classifies every node (round 1) and rebuilds the candidate lists
+// and tallies from scratch.
+func (r *Reducer) markAll(g *graph.Graph, m *par.Meter, workers int) {
+	n := r.n
+	labels, excluded := r.labels, r.excluded
+	par.MeteredFor(m, n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := graph.NodeID(i)
+			if !g.Alive(v) {
+				labels[i] = graph.C1
+				continue
+			}
+			labels[i] = g.ClassOf(v, excluded[i])
+		}
+	})
+	r.c12, r.c3 = r.c12[:0], r.c3[:0]
+	r.c12n, r.c3n = 0, 0
+	for i := 0; i < n; i++ {
+		v := graph.NodeID(i)
+		if !g.Alive(v) {
+			continue
+		}
+		switch labels[i] {
+		case graph.C1, graph.C2:
+			r.c12n++
+			r.c12 = append(r.c12, v)
+		case graph.C3:
+			r.c3n++
+			r.c3 = append(r.c3, v)
+		}
+	}
+}
+
+// remark re-classifies exactly the touched nodes of the round that just
+// mutated the graph, folding label transitions into the tallies and
+// candidate lists.
+func (r *Reducer) remark(g *graph.Graph, m *par.Meter, workers int, touched [][]graph.NodeID) {
+	d := r.dirty[:0]
+	for _, shard := range touched {
+		for _, v := range shard {
+			if r.seen[v] || !g.Alive(v) {
+				continue
+			}
+			r.seen[v] = true
+			d = append(d, v)
+		}
+	}
+	if len(d) >= parallelRemarkMin {
+		nl := resize(r.nlBuf, len(d))
+		r.nlBuf = nl
+		par.MeteredForBlocks(m, len(d), workers, func(b, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				nl[i] = g.ClassOf(d[i], r.excluded[d[i]])
+			}
+		})
+		for i, v := range d {
+			r.seen[v] = false
+			r.applyLabel(v, nl[i])
+		}
+	} else {
+		for _, v := range d {
+			r.seen[v] = false
+			r.applyLabel(v, g.ClassOf(v, r.excluded[v]))
+		}
+	}
+	r.dirty = d[:0]
+}
+
+// applyLabel records a (possible) label transition of v in the tallies and
+// candidate lists.
+func (r *Reducer) applyLabel(v graph.NodeID, nl graph.Class) {
+	old := r.labels[v]
+	if nl == old {
+		return
+	}
+	r.labels[v] = nl
+	switch old {
+	case graph.C1, graph.C2:
+		r.c12n--
+	case graph.C3:
+		r.c3n--
+	}
+	switch nl {
+	case graph.C1, graph.C2:
+		r.c12n++
+		r.c12 = append(r.c12, v)
+	case graph.C3:
+		r.c3n++
+		r.c3 = append(r.c3, v)
+	}
+}
+
+// collectC12Victims filters the c12 candidate list down to the current live
+// C1/C2 nodes, deduped and sorted ascending (matching the id-order scan of
+// the full-rescan engine, which keeps the sharded mutation streams — and
+// therefore merged float labels — bit-identical).
+func (r *Reducer) collectC12Victims(g *graph.Graph) []graph.NodeID {
+	vs := r.victims[:0]
+	for _, v := range r.c12 {
+		if r.seen[v] || !g.Alive(v) {
+			continue
+		}
+		if l := r.labels[v]; l != graph.C1 && l != graph.C2 {
+			continue
+		}
+		r.seen[v] = true
+		vs = append(vs, v)
+	}
+	for _, v := range vs {
+		r.seen[v] = false
+	}
+	slices.Sort(vs)
+	r.c12 = r.c12[:0]
+	r.victims = vs
+	return vs
+}
+
+// resolveFrontier compacts the c3 candidate list into r.cand (live C3 nodes,
+// deduped, ascending), resolves their representatives — restricted to the
+// candidates instead of a full id-space walk; every node on a
+// direct-controller chain of C3 nodes is itself C3 and therefore a candidate
+// — and returns the contraction victims in ascending order.
+func (r *Reducer) resolveFrontier(g *graph.Graph, naive bool) []graph.NodeID {
+	cand := r.cand[:0]
+	for _, v := range r.c3 {
+		if r.seen[v] || !g.Alive(v) || r.labels[v] != graph.C3 {
+			continue
+		}
+		r.seen[v] = true
+		cand = append(cand, v)
+	}
+	for _, v := range cand {
+		r.seen[v] = false
+	}
+	slices.Sort(cand)
+	r.cand = cand
+	r.c3 = r.c3[:0]
+
+	vs := r.victims[:0]
+	if naive {
+		for _, v := range cand {
+			wdc := g.DirectController(v)
+			if wdc != graph.None && r.labels[wdc] != graph.C3 {
+				r.rep[v] = wdc
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			// Every C3 node's controller is itself C3 (the C3 nodes form only
+			// cycles): contract the lowest-id one with a controller, mirroring
+			// a single sequential R3 application. Unlike the full-rescan
+			// ensureProgress this reuses the candidate list instead of
+			// re-walking all of rep and labels.
+			for _, v := range cand {
+				wdc := g.DirectController(v)
+				if wdc == graph.None {
+					continue
+				}
+				r.rep[v] = wdc
+				vs = append(vs, v)
+				break
+			}
+		}
+		r.victims = vs
+		return vs
+	}
+
+	const (
+		unvisited = 0
+		inWalk    = 1
+		done      = 2
+	)
+	state, rep := r.state, r.rep
+	for _, start := range cand {
+		if state[start] != unvisited {
+			continue
+		}
+		walk := r.walk[:0]
+		u := start
+		var root graph.NodeID
+		for {
+			if r.labels[u] != graph.C3 {
+				root = u
+				break
+			}
+			if state[u] == done {
+				root = rep[u]
+				break
+			}
+			if state[u] == inWalk {
+				// u closes a cycle of directly-controlled nodes; collapse it
+				// onto its minimum-id member.
+				k := 0
+				for walk[k] != u {
+					k++
+				}
+				root = u
+				for _, c := range walk[k:] {
+					if c < root {
+						root = c
+					}
+				}
+				break
+			}
+			state[u] = inWalk
+			walk = append(walk, u)
+			u = g.DirectController(u)
+		}
+		for _, w := range walk {
+			state[w] = done
+			rep[w] = root
+		}
+		if int(root) < r.n && r.labels[root] == graph.C3 {
+			// root is the surviving member of a C3 cycle.
+			rep[root] = root
+			state[root] = done
+		}
+		r.walk = walk
+	}
+	for _, v := range cand {
+		if rp := rep[v]; rp != graph.None && rp != v {
+			vs = append(vs, v)
+		}
+	}
+	r.victims = vs
+	return vs
+}
+
+// finishContractRound restores the rep/state invariants (all None/unvisited)
+// touched by resolveFrontier and re-appends surviving candidates — cycle
+// collapse points and naive-mode unscheduled nodes that are still C3 — to
+// the c3 list, which remark alone would miss since their label did not
+// transition. Runs after remark so labels are current.
+func (r *Reducer) finishContractRound(g *graph.Graph) {
+	for _, v := range r.cand {
+		r.rep[v] = graph.None
+		r.state[v] = 0
+		if g.Alive(v) && r.labels[v] == graph.C3 {
+			r.c3 = append(r.c3, v)
+		}
+	}
+	r.cand = r.cand[:0]
+}

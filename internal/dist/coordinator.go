@@ -45,6 +45,10 @@ type Options struct {
 	SequentialSites bool
 	// Workers is the coordinator-side reduction parallelism.
 	Workers int
+	// FullRescan runs the coordinator-side merged reduction with the
+	// full-rescan engine (ablation abl-frontier). Site-side evaluations are
+	// switched independently via Site.SetFullRescan.
+	FullRescan bool
 }
 
 // Metrics reports where the time and bytes of a distributed query went —
@@ -245,8 +249,9 @@ func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
 	m.MGraphNodes = mg.NumNodes()
 	m.MGraphEdges = mg.NumEdges()
 	res := control.ParallelReduction(mg, q, graph.NewNodeSet(q.S, q.T), control.Options{
-		Workers: c.opts.Workers,
-		Trust:   control.FullTrust,
+		Workers:    c.opts.Workers,
+		Trust:      control.FullTrust,
+		FullRescan: c.opts.FullRescan,
 	})
 	m.CoordElapsed = time.Since(start)
 	m.Stats.Add(res.Stats)

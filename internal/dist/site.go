@@ -55,11 +55,34 @@ type Site struct {
 	cacheStats control.Stats
 	epoch      uint64 // bumped by Invalidate
 	cacheEpoch uint64 // epoch the cache was computed at
+
+	// reducers pools control.Reducer scratch state across this site's
+	// evaluations, keeping the steady-state per-query allocation near zero
+	// even when Evaluate runs concurrently.
+	reducers sync.Pool
+
+	fullRescan bool
 }
 
 // NewSite wraps a partition. workers <= 0 means GOMAXPROCS.
 func NewSite(p *partition.Partition, workers int) *Site {
 	return &Site{part: p, workers: workers, cacheEpoch: ^uint64(0)}
+}
+
+// SetFullRescan selects the full-rescan reduction engine (ablation
+// abl-frontier) for all subsequent evaluations of this site.
+func (s *Site) SetFullRescan(v bool) { s.fullRescan = v }
+
+// reduce runs a reduction with a site-pooled Reducer.
+func (s *Site) reduce(g *graph.Graph, q control.Query, x graph.NodeSet, opt control.Options) control.Result {
+	opt.FullRescan = s.fullRescan
+	r, _ := s.reducers.Get().(*control.Reducer)
+	if r == nil {
+		r = control.NewReducer()
+	}
+	res := r.Reduce(g, q, x, opt)
+	s.reducers.Put(r)
+	return res
 }
 
 // ID returns the partition id this site serves.
@@ -95,7 +118,7 @@ func (s *Site) Precompute() control.Stats {
 	boundary := s.part.Boundary()
 	s.mu.Unlock()
 
-	res := control.ParallelReduction(g, control.Query{S: graph.None, T: graph.None},
+	res := s.reduce(g, control.Query{S: graph.None, T: graph.None},
 		boundary, control.Options{
 			Workers:            s.workers,
 			DisableTermination: true, // there is no query yet
@@ -185,7 +208,7 @@ func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
 	if opts.ForcePartial {
 		copts.DisableTermination = true
 	}
-	res := control.ParallelReduction(g, q, x, copts)
+	res := s.reduce(g, q, x, copts)
 	pa := &PartialAnswer{
 		SiteID:  s.part.ID,
 		Ans:     res.Ans,

@@ -68,6 +68,7 @@ func Contrast(cfg Config) ([]ContrastRow, error) {
 			control.ParallelReduction(g, q, x, control.Options{
 				Workers:            cfg.Workers,
 				DisableTermination: true,
+				FullRescan:         cfg.FullRescan,
 			})
 			row.ControlNodes += g.NumNodes()
 			row.ControlEdges += g.NumEdges()

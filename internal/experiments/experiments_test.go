@@ -168,7 +168,7 @@ func TestAblationsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != 7 {
 		t.Fatalf("rows = %v", rows)
 	}
 }

@@ -22,7 +22,7 @@ type euCluster struct {
 	coord *dist.Coordinator
 }
 
-func buildEUCluster(countries, perCountry int, rate float64, degree float64, seed int64, workers int, useCache bool) (*euCluster, error) {
+func buildEUCluster(cfg Config, countries, perCountry int, rate float64, degree float64, seed int64, useCache bool) (*euCluster, error) {
 	eu := gen.EU(gen.EUConfig{
 		Countries:        countries,
 		NodesPerCountry:  perCountry,
@@ -37,7 +37,8 @@ func buildEUCluster(countries, perCountry int, rate float64, degree float64, see
 	c := &euCluster{g: eu.G, pi: pi}
 	clients := make([]dist.SiteClient, countries)
 	for i, p := range pi.Parts {
-		s := dist.NewSite(p, workers)
+		s := dist.NewSite(p, cfg.Workers)
+		s.SetFullRescan(cfg.FullRescan)
 		c.sites = append(c.sites, s)
 		clients[i] = &dist.LocalClient{Site: s, MeasureBytes: true}
 	}
@@ -49,7 +50,8 @@ func buildEUCluster(countries, perCountry int, rate float64, degree float64, see
 		UseCache:        useCache,
 		ForcePartial:    true,
 		SequentialSites: true,
-		Workers:         workers,
+		Workers:         cfg.Workers,
+		FullRescan:      cfg.FullRescan,
 	})
 	return c, nil
 }
@@ -106,7 +108,7 @@ func Fig8a(cfg Config) ([]DistPoint, error) {
 	var out []DistPoint
 	for _, per := range []int{2000, 4000, 8000, 16000} {
 		per = cfg.scaled(per)
-		c, err := buildEUCluster(4, per, 0.01, 3, cfg.Seed+int64(per), cfg.Workers, false)
+		c, err := buildEUCluster(cfg, 4, per, 0.01, 3, cfg.Seed+int64(per), false)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +131,7 @@ func Fig8b(cfg Config) ([]DistPoint, error) {
 	per := cfg.scaled(5000)
 	var out []DistPoint
 	for _, k := range []int{2, 4, 6, 8, 10} {
-		c, err := buildEUCluster(k, per, 0.01, 3, cfg.Seed+int64(k), cfg.Workers, false)
+		c, err := buildEUCluster(cfg, k, per, 0.01, 3, cfg.Seed+int64(k), false)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +155,7 @@ func Fig8c(cfg Config) ([]DistPoint, error) {
 	per := cfg.scaled(5000)
 	var out []DistPoint
 	for _, rate := range []float64{0.001, 0.005, 0.01, 0.02, 0.05} {
-		c, err := buildEUCluster(4, per, rate, 3, cfg.Seed+int64(rate*1e4), cfg.Workers, false)
+		c, err := buildEUCluster(cfg, 4, per, rate, 3, cfg.Seed+int64(rate*1e4), false)
 		if err != nil {
 			return nil, err
 		}
@@ -186,22 +188,24 @@ func (p ParPoint) String() string {
 	return fmt.Sprintf("x=%-10.4g elapsed=%v", p.X, p.Elapsed)
 }
 
-// timeReduction times the parallel reduction of g for query q with the given
-// worker count; the graph is cloned outside the timer. Early termination is
-// disabled so that every point measures the same full-reduction work (the
-// Ablations experiment quantifies what early termination saves).
-func timeReduction(g *graph.Graph, q control.Query, workers, repeats int) time.Duration {
+// timeReduction times the parallel reduction of g for query q using cfg's
+// worker count, repeats and engine choice; the graph is cloned outside the
+// timer. Early termination is disabled so that every point measures the same
+// full-reduction work (the Ablations experiment quantifies what early
+// termination saves).
+func timeReduction(cfg Config, g *graph.Graph, q control.Query) time.Duration {
 	var total time.Duration
-	for i := 0; i < repeats; i++ {
+	for i := 0; i < cfg.Repeats; i++ {
 		clone := g.Clone()
 		start := time.Now()
 		control.ParallelReduction(clone, q, graph.NewNodeSet(q.S, q.T), control.Options{
-			Workers:            workers,
+			Workers:            cfg.Workers,
 			DisableTermination: true,
+			FullRescan:         cfg.FullRescan,
 		})
 		total += time.Since(start)
 	}
-	return total / time.Duration(repeats)
+	return total / time.Duration(cfg.Repeats)
 }
 
 // Fig8d measures elapsed time on the Italian graph varying the number of
@@ -229,6 +233,7 @@ func Fig8d(cfg Config) ([]ParPoint, error) {
 			control.ParallelReduction(clone, q, graph.NewNodeSet(q.S, q.T), control.Options{
 				Workers:            cores,
 				DisableTermination: true,
+				FullRescan:         cfg.FullRescan,
 				Meter:              meter,
 			})
 			meter.Stop()
@@ -254,7 +259,7 @@ func Fig8e(cfg Config) ([]ParPoint, error) {
 		q := pickQuery(g, rng)
 		out = append(out, ParPoint{
 			X:       float64(n),
-			Elapsed: timeReduction(g, q, cfg.Workers, cfg.Repeats),
+			Elapsed: timeReduction(cfg, g, q),
 		})
 	}
 	return out, nil
@@ -285,7 +290,7 @@ func Fig8f(cfg Config) ([]ParPoint, error) {
 			out = append(out, ParPoint{
 				X:       float64(g.NumEdges()),
 				Series:  fmt.Sprintf("deg=%g", deg),
-				Elapsed: timeReduction(g, q, cfg.Workers, cfg.Repeats),
+				Elapsed: timeReduction(cfg, g, q),
 			})
 		}
 	}
@@ -318,12 +323,12 @@ func Fig8g(cfg Config) ([]SpeedupPoint, error) {
 	for _, rate := range []float64{0.001, 0.01} {
 		for _, per := range []int{2000, 4000, 8000, 16000} {
 			per = cfg.scaled(per)
-			c, err := buildEUCluster(4, per, rate, 3, cfg.Seed+int64(per), cfg.Workers, false)
+			c, err := buildEUCluster(cfg, 4, per, rate, 3, cfg.Seed+int64(per), false)
 			if err != nil {
 				return nil, err
 			}
 			q := pickQuery(c.g, rng)
-			tc := timeReduction(c.g, q, cfg.Workers, cfg.Repeats)
+			tc := timeReduction(cfg, c.g, q)
 			pt, err := runDistQuery(c, q, cfg.Repeats)
 			if err != nil {
 				return nil, err
@@ -367,7 +372,7 @@ func Fig8h(cfg Config) ([]SpeedupPoint, error) {
 	for _, rate := range []float64{0.001, 0.01} {
 		for _, per := range []int{2000, 4000, 8000, 16000} {
 			per = cfg.scaled(per)
-			cNo, err := buildEUCluster(4, per, rate, 3, cfg.Seed+int64(per), cfg.Workers, false)
+			cNo, err := buildEUCluster(cfg, 4, per, rate, 3, cfg.Seed+int64(per), false)
 			if err != nil {
 				return nil, err
 			}
@@ -376,7 +381,7 @@ func Fig8h(cfg Config) ([]SpeedupPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			cYes, err := buildEUCluster(4, per, rate, 3, cfg.Seed+int64(per), cfg.Workers, true)
+			cYes, err := buildEUCluster(cfg, 4, per, rate, 3, cfg.Seed+int64(per), true)
 			if err != nil {
 				return nil, err
 			}

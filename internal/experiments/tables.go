@@ -36,7 +36,7 @@ func NetworkTraffic(cfg Config) ([]TrafficRow, error) {
 	var out []TrafficRow
 	for _, per := range []int{4000, 5000, 6000, 7000, 8000} {
 		per = cfg.scaled(per)
-		c, err := buildEUCluster(4, per, 0.001, 5, cfg.Seed+int64(per), cfg.Workers, false)
+		c, err := buildEUCluster(cfg, 4, per, 0.001, 5, cfg.Seed+int64(per), false)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +86,7 @@ func RIAD(cfg Config) (RIADResult, error) {
 	g := gen.RIAD(gen.RIADConfig{Nodes: cfg.scaled(30_000), Seed: cfg.Seed})
 	q := pickHubQuery(g, rng)
 	res := RIADResult{Nodes: g.NumNodes(), Edges: g.NumEdges()}
-	res.Parallel = timeReduction(g, q, cfg.Workers, cfg.Repeats)
+	res.Parallel = timeReduction(cfg, g, q)
 	res.Serial = timeIt(cfg.Repeats, func() {
 		control.SerialBaselineSet(g, q.S)
 	})
@@ -126,7 +126,7 @@ func SerialSpeedup(cfg Config) ([]SerialRow, error) {
 		})
 		q := pickHubQuery(g, rng)
 		row := SerialRow{Degree: deg, Nodes: g.NumNodes(), Edges: g.NumEdges()}
-		row.Parallel = timeReduction(g, q, cfg.Workers, cfg.Repeats)
+		row.Parallel = timeReduction(cfg, g, q)
 		row.Serial = timeIt(cfg.Repeats, func() {
 			control.SerialBaselineSet(g, q.S)
 		})
@@ -166,6 +166,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		{"two-phase only", control.Options{Workers: cfg.Workers, Trust: control.FullTrust, TwoPhaseOnly: true}},
 		{"no early termination", control.Options{Workers: cfg.Workers, DisableTermination: true}},
 		{"naive contraction", control.Options{Workers: cfg.Workers, Trust: control.FullTrust, NaiveContraction: true}},
+		{"full rescan", control.Options{Workers: cfg.Workers, Trust: control.FullTrust, FullRescan: true}},
 		{"single worker", control.Options{Workers: 1, Trust: control.FullTrust}},
 	}
 	var out []AblationRow

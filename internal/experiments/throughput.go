@@ -47,9 +47,15 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 	}
 	clients := make([]dist.SiteClient, len(pi.Parts))
 	for i, p := range pi.Parts {
-		clients[i] = &dist.LocalClient{Site: dist.NewSite(p, cfg.Workers)}
+		s := dist.NewSite(p, cfg.Workers)
+		s.SetFullRescan(cfg.FullRescan)
+		clients[i] = &dist.LocalClient{Site: s}
 	}
-	coord := dist.NewCoordinator(clients, dist.Options{UseCache: true, Workers: cfg.Workers})
+	coord := dist.NewCoordinator(clients, dist.Options{
+		UseCache:   true,
+		Workers:    cfg.Workers,
+		FullRescan: cfg.FullRescan,
+	})
 	if err := coord.PrecomputeAll(); err != nil {
 		return ThroughputResult{}, err
 	}

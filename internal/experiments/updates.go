@@ -49,9 +49,15 @@ func UpdateLatency(cfg Config) (UpdateLatencyResult, error) {
 	}
 	clients := make([]dist.SiteClient, len(pi.Parts))
 	for i, p := range pi.Parts {
-		clients[i] = &dist.LocalClient{Site: dist.NewSite(p, cfg.Workers)}
+		s := dist.NewSite(p, cfg.Workers)
+		s.SetFullRescan(cfg.FullRescan)
+		clients[i] = &dist.LocalClient{Site: s}
 	}
-	coord := dist.NewCoordinator(clients, dist.Options{UseCache: true, Workers: cfg.Workers})
+	coord := dist.NewCoordinator(clients, dist.Options{
+		UseCache:   true,
+		Workers:    cfg.Workers,
+		FullRescan: cfg.FullRescan,
+	})
 	if err := coord.PrecomputeAll(); err != nil {
 		return UpdateLatencyResult{}, err
 	}

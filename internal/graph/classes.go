@@ -55,6 +55,9 @@ func (c Class) String() string {
 //	C2 = Σ in-labels ≤ 0.5            (minus C1)
 //	C3 = ∃ predecessor with label > 0.5 (minus C1)
 //	C4 = Σ in-labels > 0.5 ∧ no single label > 0.5 (minus C1, C3)
+//
+// All four predicates read the cached per-node aggregates, so classification
+// is O(1) regardless of degree.
 func (g *Graph) ClassOf(v NodeID, excluded bool) Class {
 	if excluded {
 		return ClassExcluded
@@ -65,17 +68,10 @@ func (g *Graph) ClassOf(v NodeID, excluded bool) Class {
 	if len(g.out[v]) == 0 || len(g.in[v]) == 0 {
 		return C1
 	}
-	var sum, max float64
-	for _, w := range g.in[v] {
-		sum += w
-		if w > max {
-			max = w
-		}
-	}
 	switch {
-	case !ExceedsControl(sum):
+	case !ExceedsControl(g.inSum[v]):
 		return C2
-	case ExceedsControl(max):
+	case g.inBig[v] > 0:
 		return C3
 	default:
 		return C4

@@ -39,29 +39,110 @@ const sumSlack = 1e-9
 // The incoming-label sum of a node may transiently exceed 1 during R3 label
 // transfer; CheckOwnership verifies the input-data invariant sum <= 1.
 //
+// Every mutator additionally maintains per-node cached aggregates — the
+// incoming-label sum, the number of incoming and outgoing labels exceeding
+// the control threshold, and (when unique) the predecessor holding the
+// controlling stake — so that ClassOf, InSum, DirectController and the
+// termination checks are O(1) lookups instead of adjacency scans. The cached
+// in-sum is updated incrementally; float drift stays orders of magnitude
+// below ControlEps because every delta is exact to one rounding of the
+// running sum.
+//
 // A Graph is not safe for concurrent mutation; the par package routes
 // concurrent mutations so that each node's adjacency is touched by exactly
-// one goroutine.
+// one goroutine (aggregates of a node are only written by the worker owning
+// that node's shard).
 type Graph struct {
 	out    []map[NodeID]float64
 	in     []map[NodeID]float64
 	alive  []bool
 	nAlive int
 	nEdges int
+
+	// Cached aggregates, indexed by node id.
+	inSum  []float64 // Σ incoming labels
+	inBig  []int32   // #incoming labels exceeding the control threshold
+	bigIn  []NodeID  // a predecessor with a controlling stake (None if inBig == 0)
+	outBig []int32   // #outgoing labels exceeding the control threshold
 }
 
 // New returns a graph with n live nodes (ids 0..n-1) and no edges.
 func New(n int) *Graph {
-	g := &Graph{
-		out:    make([]map[NodeID]float64, n),
-		in:     make([]map[NodeID]float64, n),
-		alive:  make([]bool, n),
-		nAlive: n,
-	}
+	g := newShell(n)
 	for i := range g.alive {
 		g.alive[i] = true
 	}
+	g.nAlive = n
 	return g
+}
+
+// newShell allocates a graph with the given id capacity and every node dead.
+// Callers revive nodes and insert edges through the regular mutators so the
+// cached aggregates stay consistent.
+func newShell(capacity int) *Graph {
+	g := &Graph{
+		out:    make([]map[NodeID]float64, capacity),
+		in:     make([]map[NodeID]float64, capacity),
+		alive:  make([]bool, capacity),
+		inSum:  make([]float64, capacity),
+		inBig:  make([]int32, capacity),
+		bigIn:  make([]NodeID, capacity),
+		outBig: make([]int32, capacity),
+	}
+	for i := range g.bigIn {
+		g.bigIn[i] = None
+	}
+	return g
+}
+
+// accountIn folds a label change of edge (u, v) — old to w, either of which
+// may be 0 for insertion/deletion — into v's cached in-aggregates.
+func (g *Graph) accountIn(u, v NodeID, old, w float64) {
+	g.inSum[v] += w - old
+	ob, nb := ExceedsControl(old), ExceedsControl(w)
+	switch {
+	case nb && !ob:
+		g.inBig[v]++
+		g.bigIn[v] = u
+	case ob && !nb:
+		g.inBig[v]--
+		if g.inBig[v] == 0 {
+			g.bigIn[v] = None
+		} else if g.bigIn[v] == u {
+			g.refreshBigIn(v)
+		}
+	}
+}
+
+// refreshBigIn rescans v's in-adjacency for a controlling predecessor. It
+// only runs when several controlling stakes coexist (in-sum transiently
+// above 1) and the tracked one disappears.
+func (g *Graph) refreshBigIn(v NodeID) {
+	g.bigIn[v] = None
+	for u, w := range g.in[v] {
+		if ExceedsControl(w) && (g.bigIn[v] == None || u < g.bigIn[v]) {
+			g.bigIn[v] = u
+		}
+	}
+}
+
+// accountOut folds a label change of an edge leaving u into u's cached
+// out-aggregates.
+func (g *Graph) accountOut(u NodeID, old, w float64) {
+	ob, nb := ExceedsControl(old), ExceedsControl(w)
+	if nb && !ob {
+		g.outBig[u]++
+	} else if ob && !nb {
+		g.outBig[u]--
+	}
+}
+
+// resetAggregates clears the cached aggregates of a removed node.
+func (g *Graph) resetAggregates(v NodeID) {
+	g.inSum[v] = 0
+	g.inBig[v] = 0
+	g.bigIn[v] = None
+	g.outBig[v] = 0
 }
 
 // Cap returns the id-space size of the graph: all node ids are < Cap.
@@ -85,6 +166,10 @@ func (g *Graph) AddNode() NodeID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.alive = append(g.alive, true)
+	g.inSum = append(g.inSum, 0)
+	g.inBig = append(g.inBig, 0)
+	g.bigIn = append(g.bigIn, None)
+	g.outBig = append(g.outBig, 0)
 	g.nAlive++
 	return id
 }
@@ -106,6 +191,10 @@ func (g *Graph) Revive(v NodeID) {
 		g.out = append(g.out, nil)
 		g.in = append(g.in, nil)
 		g.alive = append(g.alive, false)
+		g.inSum = append(g.inSum, 0)
+		g.inBig = append(g.inBig, 0)
+		g.bigIn = append(g.bigIn, None)
+		g.outBig = append(g.outBig, 0)
 	}
 	if !g.alive[v] {
 		g.alive[v] = true
@@ -141,6 +230,8 @@ func (g *Graph) MergeEdge(u, v NodeID, w float64) error {
 		}
 		g.out[u][v] = nw
 		g.in[v][u] = nw
+		g.accountOut(u, old, nw)
+		g.accountIn(u, v, old, nw)
 		return nil
 	}
 	g.setEdge(u, v, w)
@@ -169,6 +260,8 @@ func (g *Graph) setEdge(u, v NodeID, w float64) {
 	}
 	g.out[u][v] = w
 	g.in[v][u] = w
+	g.accountOut(u, 0, w)
+	g.accountIn(u, v, 0, w)
 	g.nEdges++
 }
 
@@ -193,11 +286,14 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	if !g.Alive(u) || !g.Alive(v) {
 		return false
 	}
-	if _, ok := g.out[u][v]; !ok {
+	w, ok := g.out[u][v]
+	if !ok {
 		return false
 	}
 	delete(g.out[u], v)
 	delete(g.in[v], u)
+	g.accountOut(u, w, 0)
+	g.accountIn(u, v, w, 0)
 	g.nEdges--
 	return true
 }
@@ -208,18 +304,21 @@ func (g *Graph) RemoveNode(v NodeID) bool {
 	if !g.Alive(v) {
 		return false
 	}
-	for u := range g.in[v] {
+	for u, w := range g.in[v] {
 		delete(g.out[u], v)
+		g.accountOut(u, w, 0)
 		g.nEdges--
 	}
-	for u := range g.out[v] {
+	for u, w := range g.out[v] {
 		delete(g.in[u], v)
+		g.accountIn(v, u, w, 0)
 		g.nEdges--
 	}
 	g.in[v] = nil
 	g.out[v] = nil
 	g.alive[v] = false
 	g.nAlive--
+	g.resetAggregates(v)
 	return true
 }
 
@@ -239,16 +338,19 @@ func (g *Graph) InDegree(v NodeID) int {
 	return len(g.in[v])
 }
 
-// InSum returns the sum of the labels of the incoming edges of v.
+// InSum returns the sum of the labels of the incoming edges of v. It is an
+// O(1) read of the cached aggregate.
 func (g *Graph) InSum(v NodeID) float64 {
 	if !g.Alive(v) {
 		return 0
 	}
-	var s float64
-	for _, w := range g.in[v] {
-		s += w
-	}
-	return s
+	return g.inSum[v]
+}
+
+// HasControllingOut reports in O(1) whether v holds a controlling stake
+// (label exceeding the control threshold) in any successor.
+func (g *Graph) HasControllingOut(v NodeID) bool {
+	return g.Alive(v) && g.outBig[v] > 0
 }
 
 // MaxInLabel returns the largest incoming label of v and the predecessor
@@ -268,8 +370,20 @@ func (g *Graph) MaxInLabel(v NodeID) (NodeID, float64) {
 
 // DirectController returns the unique predecessor owning strictly more than
 // half of v, or None. At most one such predecessor can exist because the
-// incoming labels of a node sum to at most 1.
+// incoming labels of a node sum to at most 1, which makes this an O(1)
+// lookup of the cached controlling predecessor. If the invariant is broken
+// and several controlling stakes coexist, it falls back to the MaxInLabel
+// scan to preserve the historical tie-break (largest label, then lowest id).
 func (g *Graph) DirectController(v NodeID) NodeID {
+	if !g.Alive(v) {
+		return None
+	}
+	switch g.inBig[v] {
+	case 0:
+		return None
+	case 1:
+		return g.bigIn[v]
+	}
 	u, w := g.MaxInLabel(v)
 	if u != None && ExceedsControl(w) {
 		return u
@@ -347,8 +461,16 @@ func (g *Graph) Clone() *Graph {
 		alive:  make([]bool, len(g.alive)),
 		nAlive: g.nAlive,
 		nEdges: g.nEdges,
+		inSum:  make([]float64, len(g.inSum)),
+		inBig:  make([]int32, len(g.inBig)),
+		bigIn:  make([]NodeID, len(g.bigIn)),
+		outBig: make([]int32, len(g.outBig)),
 	}
 	copy(c.alive, g.alive)
+	copy(c.inSum, g.inSum)
+	copy(c.inBig, g.inBig)
+	copy(c.bigIn, g.bigIn)
+	copy(c.outBig, g.outBig)
 	for i, m := range g.out {
 		c.out[i] = cloneMap(m)
 	}
@@ -371,14 +493,19 @@ func cloneMap(m map[NodeID]float64) map[NodeID]float64 {
 
 // CheckOwnership verifies the ownership-graph invariant: for every node the
 // incoming labels sum to at most 1 (within rounding slack). It returns the
-// first violating node, or None.
+// first violating node, or None. The sum is recomputed from the adjacency
+// rather than read from the cache, since this is a validation pass.
 func (g *Graph) CheckOwnership() (NodeID, error) {
 	for i := range g.alive {
 		v := NodeID(i)
 		if !g.alive[i] {
 			continue
 		}
-		if s := g.InSum(v); s > 1+sumSlack {
+		var s float64
+		for _, w := range g.in[v] {
+			s += w
+		}
+		if s > 1+sumSlack {
 			return v, fmt.Errorf("graph: node %d is owned %g > 1", v, s)
 		}
 	}

@@ -130,11 +130,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if nAlive > capacity {
 		return nil, fmt.Errorf("graph: live count %d exceeds capacity %d", nAlive, capacity)
 	}
-	g := &Graph{
-		out:   make([]map[NodeID]float64, capacity),
-		in:    make([]map[NodeID]float64, capacity),
-		alive: make([]bool, capacity),
-	}
+	g := newShell(int(capacity))
 	for i := uint32(0); i < nAlive; i++ {
 		id, err := readU32()
 		if err != nil {

@@ -32,11 +32,7 @@ func (s NodeSet) AddAll(t NodeSet) {
 // are live in g and every edge of g with both endpoints in keep. Node ids are
 // preserved; the result has the same id capacity as g.
 func (g *Graph) Induced(keep NodeSet) *Graph {
-	sub := &Graph{
-		out:   make([]map[NodeID]float64, len(g.alive)),
-		in:    make([]map[NodeID]float64, len(g.alive)),
-		alive: make([]bool, len(g.alive)),
-	}
+	sub := newShell(len(g.alive))
 	for v := range keep {
 		if g.Alive(v) {
 			sub.alive[v] = true

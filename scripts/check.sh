@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repo's tier-1+ verification gate.
+#
+# Runs formatting, vet, build, the full test suite, and the race detector
+# over the packages that do parallel graph surgery. CI and pre-commit hooks
+# should call exactly this script; if it passes, the change is shippable.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel surgery) =="
+go test -race ./internal/control/... ./internal/graph/... ./internal/par/...
+
+echo "ok: all checks passed"
