@@ -2,6 +2,7 @@ package ccp_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -369,17 +370,28 @@ func BenchmarkFig9bPathEnumEdges(b *testing.B) {
 }
 
 func BenchmarkThroughput(b *testing.B) {
-	b.ReportAllocs()
-	var last experiments.ThroughputResult
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Throughput(benchCfg)
-		if err != nil {
-			b.Fatal(err)
+	for _, conc := range []int{1, 4, 8} {
+		name := "serial"
+		if conc > 1 {
+			name = fmt.Sprintf("conc%d", conc)
 		}
-		last = r
+		b.Run(name, func(b *testing.B) {
+			cfg := benchCfg
+			cfg.Concurrency = conc
+			b.ReportAllocs()
+			var last experiments.ThroughputResult
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Throughput(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.QueriesPerMinute, "queries/min")
+			b.ReportMetric(last.CacheHitRate*100, "cache-hit-%")
+			b.ReportMetric(last.SnapshotHitRate*100, "snapshot-hit-%")
+		})
 	}
-	b.ReportMetric(last.QueriesPerMinute, "queries/min")
-	b.ReportMetric(last.CacheHitRate*100, "cache-hit-%")
 }
 
 // ---- ablation benches (design choices in DESIGN.md) ----

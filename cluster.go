@@ -18,6 +18,9 @@ type ClusterOptions struct {
 	SiteWorkers int
 	// CoordinatorWorkers is the merge-reduction parallelism.
 	CoordinatorWorkers int
+	// Concurrency is the number of batch queries ControlsBatch keeps in
+	// flight at once (<= 1 evaluates the batch serially).
+	Concurrency int
 }
 
 // QueryMetrics reports where a distributed query's time and traffic went.
@@ -39,6 +42,30 @@ type QueryMetrics struct {
 	DecidedBySite int
 	// CacheHits counts sites served from the pre-computed cache.
 	CacheHits int
+	// CoordCacheHits counts sites whose partial answer was served from the
+	// coordinator's own copy after an epoch revalidation (no payload
+	// crossed the network).
+	CoordCacheHits int
+	// SnapshotHits counts queries served from a reusable merged-graph
+	// snapshot instead of a fresh merge of the cached partials.
+	SnapshotHits int
+}
+
+// queryMetrics converts the internal metrics to the public view.
+func queryMetrics(m *dist.Metrics) QueryMetrics {
+	return QueryMetrics{
+		MaxSiteTime:      m.SiteElapsedMax,
+		CoordinatorTime:  m.CoordElapsed,
+		BytesTransferred: m.Bytes,
+		PartialNodes:     m.PartialNodes,
+		PartialEdges:     m.PartialEdges,
+		MergedNodes:      m.MGraphNodes,
+		MergedEdges:      m.MGraphEdges,
+		DecidedBySite:    m.DecidedBy,
+		CacheHits:        m.CacheHits,
+		CoordCacheHits:   m.CoordCacheHits,
+		SnapshotHits:     m.SnapshotHits,
+	}
 }
 
 // Cluster is a distributed company-control deployment: one coordinator over
@@ -78,8 +105,9 @@ func NewClusterFromPartitioning(pi *partition.Partitioning, opts ClusterOptions)
 		clients[i] = &dist.LocalClient{Site: sites[i], MeasureBytes: true}
 	}
 	coord := dist.NewCoordinator(clients, dist.Options{
-		UseCache: opts.UseCache,
-		Workers:  opts.CoordinatorWorkers,
+		UseCache:    opts.UseCache,
+		Workers:     opts.CoordinatorWorkers,
+		Concurrency: opts.Concurrency,
 	})
 	return &Cluster{coord: coord, numSites: len(sites), sites: sites}, nil
 }
@@ -96,8 +124,9 @@ func ConnectCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 		clients[i] = c
 	}
 	coord := dist.NewCoordinator(clients, dist.Options{
-		UseCache: opts.UseCache,
-		Workers:  opts.CoordinatorWorkers,
+		UseCache:    opts.UseCache,
+		Workers:     opts.CoordinatorWorkers,
+		Concurrency: opts.Concurrency,
 	})
 	return &Cluster{coord: coord, numSites: len(addrs)}, nil
 }
@@ -112,22 +141,14 @@ func (c *Cluster) Controls(s, t NodeID) (bool, QueryMetrics, error) {
 	if err != nil {
 		return false, QueryMetrics{}, err
 	}
-	return ans, QueryMetrics{
-		MaxSiteTime:      m.SiteElapsedMax,
-		CoordinatorTime:  m.CoordElapsed,
-		BytesTransferred: m.Bytes,
-		PartialNodes:     m.PartialNodes,
-		PartialEdges:     m.PartialEdges,
-		MergedNodes:      m.MGraphNodes,
-		MergedEdges:      m.MGraphEdges,
-		DecidedBySite:    m.DecidedBy,
-		CacheHits:        m.CacheHits,
-	}, nil
+	return ans, queryMetrics(m), nil
 }
 
 // ControlsBatch answers a batch of queries, amortizing the pre-computed
 // partial answers across all of them (the paper's thousands-of-queries-per-
-// minute production setting). Queries are given as (s, t) pairs.
+// minute production setting). Up to ClusterOptions.Concurrency queries run
+// in flight at once. Queries are given as (s, t) pairs; the returned
+// metrics aggregate the whole batch (DecidedBySite is always -1).
 func (c *Cluster) ControlsBatch(queries [][2]NodeID) ([]bool, QueryMetrics, error) {
 	qs := make([]control.Query, len(queries))
 	for i, q := range queries {
@@ -137,13 +158,7 @@ func (c *Cluster) ControlsBatch(queries [][2]NodeID) ([]bool, QueryMetrics, erro
 	if err != nil {
 		return nil, QueryMetrics{}, err
 	}
-	return ans, QueryMetrics{
-		MaxSiteTime:      m.SiteElapsedMax,
-		CoordinatorTime:  m.CoordElapsed,
-		BytesTransferred: m.Bytes,
-		DecidedBySite:    -1,
-		CacheHits:        m.CacheHits,
-	}, nil
+	return ans, queryMetrics(m), nil
 }
 
 // AddStake records that owner takes the fraction w of owned, routing the

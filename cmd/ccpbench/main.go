@@ -3,16 +3,22 @@
 //
 // Usage:
 //
-//	ccpbench [-scale f] [-seed n] [-workers n] [-repeats n] [-full-rescan] <experiment>...
+//	ccpbench [-scale f] [-seed n] [-workers n] [-repeats n] [-concurrency n]
+//	         [-full-rescan] <experiment>...
 //
 // Experiments: fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h nettraffic
 // riad serial ablations fig9a fig9b throughput contrast updates, or "all".
+//
+// With -concurrency n > 1, the throughput experiment sweeps batch
+// concurrency 1, 2, 4, ... up to n and writes the qps rows to
+// BENCH_throughput.json (see -throughput-out).
 //
 // Sizes default to laptop scale; pass -scale 10 (or more) to approach the
 // paper's graph sizes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +31,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "worker parallelism (0 = GOMAXPROCS)")
 	repeats := flag.Int("repeats", 1, "average each timed point over n runs")
+	concurrency := flag.Int("concurrency", 1,
+		"max batch queries in flight (throughput experiment; >1 sweeps 1,2,4,... up to n and writes -throughput-out)")
+	throughputOut := flag.String("throughput-out", "BENCH_throughput.json",
+		"file the throughput concurrency sweep writes its qps rows to")
+	throughputBaseline := flag.Float64("throughput-baseline", 0,
+		"pre-change serial q/min to record alongside the sweep (0 omits it)")
 	fullRescan := flag.Bool("full-rescan", false,
 		"use the full-rescan reduction engine instead of the frontier engine (ablation abl-frontier)")
 	flag.Usage = func() {
@@ -38,22 +50,113 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{
-		Scale:      *scale,
-		Seed:       *seed,
-		Workers:    *workers,
-		Repeats:    *repeats,
-		FullRescan: *fullRescan,
+		Scale:       *scale,
+		Seed:        *seed,
+		Workers:     *workers,
+		Repeats:     *repeats,
+		Concurrency: *concurrency,
+		FullRescan:  *fullRescan,
 	}
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = names()
 	}
 	for _, name := range args {
-		if err := run(name, cfg); err != nil {
+		var err error
+		if name == "throughput" && cfg.Concurrency > 1 {
+			err = runThroughputSweep(cfg, *throughputOut, *throughputBaseline)
+		} else {
+			err = run(name, cfg)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccpbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
+}
+
+// throughputRow is one qps measurement of the concurrency sweep, as
+// serialized into BENCH_throughput.json.
+type throughputRow struct {
+	Concurrency      int     `json:"concurrency"`
+	Queries          int     `json:"queries"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+	QueriesPerMinute float64 `json:"queries_per_minute"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	SnapshotHitRate  float64 `json:"snapshot_hit_rate"`
+	SpeedupVsSerial  float64 `json:"speedup_vs_serial"`
+}
+
+// throughputDoc is the BENCH_throughput.json payload.
+type throughputDoc struct {
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+	// BaselineQPM records a reference serial measurement taken before the
+	// change under test (passed via -throughput-baseline), so the file
+	// carries before and after together.
+	BaselineQPM float64         `json:"baseline_queries_per_minute,omitempty"`
+	Rows        []throughputRow `json:"rows"`
+}
+
+// runThroughputSweep measures throughput at concurrency 1, 2, 4, ... up to
+// cfg.Concurrency (the serial row first, as the speedup baseline) and
+// writes the rows to outPath.
+func runThroughputSweep(cfg experiments.Config, outPath string, baselineQPM float64) error {
+	fmt.Printf("== Throughput — pre-cached cluster, concurrency sweep ==\n")
+	doc := throughputDoc{
+		Benchmark:   "ccpbench throughput",
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		BaselineQPM: baselineQPM,
+	}
+	var serialQPM float64
+	for _, conc := range sweepLevels(cfg.Concurrency) {
+		c := cfg
+		c.Concurrency = conc
+		r, err := experiments.Throughput(c)
+		if err != nil {
+			return err
+		}
+		if conc == 1 {
+			serialQPM = r.QueriesPerMinute
+		}
+		row := throughputRow{
+			Concurrency:      r.Concurrency,
+			Queries:          r.Queries,
+			ElapsedMS:        float64(r.Elapsed.Microseconds()) / 1000,
+			QueriesPerMinute: r.QueriesPerMinute,
+			CacheHitRate:     r.CacheHitRate,
+			SnapshotHitRate:  r.SnapshotHitRate,
+		}
+		if serialQPM > 0 {
+			row.SpeedupVsSerial = r.QueriesPerMinute / serialQPM
+		}
+		doc.Rows = append(doc.Rows, row)
+		fmt.Printf("  %s speedup-vs-serial=%.2fx\n", r, row.SpeedupVsSerial)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n\n", outPath)
+	return nil
+}
+
+// sweepLevels lists the measured concurrency levels: 1, 2, 4, ... and max
+// itself.
+func sweepLevels(max int) []int {
+	levels := []int{1}
+	for c := 2; c < max; c *= 2 {
+		levels = append(levels, c)
+	}
+	if max > 1 {
+		levels = append(levels, max)
+	}
+	return levels
 }
 
 func names() []string {

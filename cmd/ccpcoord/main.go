@@ -10,6 +10,9 @@
 // connections, e.g.:
 //
 //	ccpcoord -sites a:7001,b:7001 -cache -precompute 12:9441 7:15
+//
+// With -concurrency n > 1, trailing queries are answered as one batch with
+// up to n queries in flight at once, multiplexed over the site connections.
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	s := flag.Int("s", -1, "source company (alternative to trailing s:t args)")
 	t := flag.Int("t", -1, "target company")
 	workers := flag.Int("workers", 0, "coordinator reduction parallelism")
+	concurrency := flag.Int("concurrency", 1, "batch queries kept in flight at once (>1 answers the trailing queries as one concurrent batch)")
 	flag.Parse()
 	if *sites == "" {
 		flag.Usage()
@@ -40,6 +44,7 @@ func main() {
 	cluster, err := ccp.ConnectCluster(strings.Split(*sites, ","), ccp.ClusterOptions{
 		UseCache:           *cache,
 		CoordinatorWorkers: *workers,
+		Concurrency:        *concurrency,
 	})
 	if err != nil {
 		log.Fatalf("ccpcoord: %v", err)
@@ -72,6 +77,30 @@ func main() {
 	}
 	if len(queries) == 0 {
 		log.Fatal("ccpcoord: no queries (use -s/-t or trailing s:t args)")
+	}
+
+	if *concurrency > 1 && len(queries) > 1 {
+		pairs := make([][2]ccp.NodeID, len(queries))
+		for i, q := range queries {
+			pairs[i] = [2]ccp.NodeID{ccp.NodeID(q[0]), ccp.NodeID(q[1])}
+		}
+		start := time.Now()
+		ans, m, err := cluster.ControlsBatch(pairs)
+		if err != nil {
+			log.Fatalf("ccpcoord: batch: %v", err)
+		}
+		elapsed := time.Since(start)
+		for i, q := range queries {
+			fmt.Printf("q_c(%d,%d) = %v\n", q[0], q[1], ans[i])
+		}
+		qpm := 0.0
+		if elapsed > 0 {
+			qpm = float64(len(queries)) / elapsed.Minutes()
+		}
+		fmt.Printf("batch: %d queries in %v (%.0f q/min, concurrency %d)  traffic=%dB cache-hits=%d coord-cache-hits=%d snapshot-hits=%d\n",
+			len(queries), elapsed, qpm, *concurrency,
+			m.BytesTransferred, m.CacheHits, m.CoordCacheHits, m.SnapshotHits)
+		return
 	}
 
 	for _, q := range queries {

@@ -2,7 +2,10 @@ package dist
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccp/internal/control"
@@ -10,8 +13,9 @@ import (
 )
 
 // SiteClient is the coordinator's handle to one worker site, local or
-// remote. Implementations must be safe for sequential reuse; the coordinator
-// issues at most one call at a time per client.
+// remote. Implementations must be safe for concurrent use: the batch
+// scheduler keeps several queries in flight, so one client may carry many
+// overlapping calls (RemoteClient multiplexes them over one connection).
 type SiteClient interface {
 	// SiteID returns the partition id served by the site.
 	SiteID() int
@@ -45,6 +49,10 @@ type Options struct {
 	SequentialSites bool
 	// Workers is the coordinator-side reduction parallelism.
 	Workers int
+	// Concurrency is the number of batch queries AnswerBatch keeps in
+	// flight. <= 1 evaluates the batch serially, preserving the exact
+	// behavior (answers and byte accounting) of the serial coordinator.
+	Concurrency int
 	// FullRescan runs the coordinator-side merged reduction with the
 	// full-rescan engine (ablation abl-frontier). Site-side evaluations are
 	// switched independently via Site.SetFullRescan.
@@ -80,23 +88,53 @@ type Metrics struct {
 	// coordinator's own copy after an epoch revalidation (no payload
 	// crossed the network) — the Figure 6 setting.
 	CoordCacheHits int
+	// SnapshotHits counts queries served from a reusable merged-graph
+	// snapshot (the cached partials were merged once and the skeleton
+	// cloned instead of re-merged).
+	SnapshotHits int
 	// SitesQueried counts sites contacted.
 	SitesQueried int
 	// Stats accumulates the reduction work across sites and coordinator.
 	Stats control.Stats
 }
 
+// AddQuery accumulates one query's metrics into a batch total. Every
+// additive field is summed; SiteElapsedMax takes the maximum; DecidedBy is
+// left as the total's own value (a batch has no single deciding site).
+func (m *Metrics) AddQuery(q *Metrics) {
+	m.SiteElapsedSum += q.SiteElapsedSum
+	if q.SiteElapsedMax > m.SiteElapsedMax {
+		m.SiteElapsedMax = q.SiteElapsedMax
+	}
+	m.CoordElapsed += q.CoordElapsed
+	m.Bytes += q.Bytes
+	m.PartialNodes += q.PartialNodes
+	m.PartialEdges += q.PartialEdges
+	m.MGraphNodes += q.MGraphNodes
+	m.MGraphEdges += q.MGraphEdges
+	m.CacheHits += q.CacheHits
+	m.CoordCacheHits += q.CoordCacheHits
+	m.SnapshotHits += q.SnapshotHits
+	m.SitesQueried += q.SitesQueried
+	m.Stats.Add(q.Stats)
+}
+
 // Coordinator implements Algorithm 2: it posts q_c(s,t) to every site,
 // collects partial answers, merges them and reduces the merged graph.
 // With caching enabled it also keeps its own copy of each site's
 // query-independent partial answer, revalidated per query by data epoch, so
-// unchanged sites ship no payload at all.
+// unchanged sites ship no payload at all; and it reuses merged-graph
+// skeletons across queries whose cached partials carry the same epoch
+// vector. A Coordinator is safe for concurrent use.
 type Coordinator struct {
 	clients []SiteClient
 	opts    Options
 
 	mu     sync.Mutex
 	pcache map[int]*coordCached
+
+	snapMu sync.Mutex
+	snaps  map[string]*mergedSnapshot
 }
 
 // coordCached is the coordinator's copy of one site's partial answer.
@@ -106,12 +144,28 @@ type coordCached struct {
 	stats   control.Stats
 }
 
+// mergedSnapshot is a reusable merge of cached partial answers: the
+// skeleton is merged once per epoch vector and cloned per query, so a batch
+// over an unchanged cluster never re-runs graph.Merge over the same cached
+// partials. The skeleton itself is never mutated.
+type mergedSnapshot struct {
+	skeleton     *graph.Graph
+	nodes, edges int // Σ NumNodes/NumEdges of the merged partials
+}
+
+// maxSnapshots bounds the snapshot cache. Entries are keyed by (site,
+// epoch) vectors, so epochs moving under live updates would otherwise leave
+// stale skeletons behind; past the bound the whole map is dropped (the next
+// query per key rebuilds in one merge).
+const maxSnapshots = 32
+
 // NewCoordinator builds a coordinator over the given site clients.
 func NewCoordinator(clients []SiteClient, opts Options) *Coordinator {
 	return &Coordinator{
 		clients: clients,
 		opts:    opts,
 		pcache:  make(map[int]*coordCached),
+		snaps:   make(map[string]*mergedSnapshot),
 	}
 }
 
@@ -124,6 +178,13 @@ func (c *Coordinator) cachedEpoch(siteID int) (uint64, bool) {
 		return 0, false
 	}
 	return e.epoch, true
+}
+
+// dropSnapshots empties the merged-skeleton cache (data changed somewhere).
+func (c *Coordinator) dropSnapshots() {
+	c.snapMu.Lock()
+	clear(c.snaps)
+	c.snapMu.Unlock()
 }
 
 // PrecomputeAll asks every site to build its query-independent reduction,
@@ -206,6 +267,7 @@ func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
 				SiteID:    r.pa.SiteID,
 				Reduced:   cached.reduced,
 				FromCache: true,
+				Epoch:     cached.epoch,
 			})
 			continue
 		}
@@ -236,12 +298,34 @@ func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
 	}
 
 	// Assemble: MGraph := ∪ R_i, then reduce once more with X = {s, t}.
+	// Cached partials at an unchanged epoch vector are merged once into a
+	// reusable skeleton; the query merges only its live partials on top of
+	// a clone.
 	start := time.Now()
-	mg := graph.New(0)
+	cached := make([]*PartialAnswer, 0, len(partials))
+	rest := make([]*PartialAnswer, 0, len(partials))
 	for _, pa := range partials {
 		if pa.Reduced == nil {
 			continue
 		}
+		if pa.FromCache {
+			cached = append(cached, pa)
+		} else {
+			rest = append(rest, pa)
+		}
+	}
+	var mg *graph.Graph
+	if len(cached) >= 2 {
+		snap := c.snapshotFor(cached)
+		mg = snap.skeleton.Clone()
+		m.PartialNodes += snap.nodes
+		m.PartialEdges += snap.edges
+		m.SnapshotHits++
+	} else {
+		mg = graph.New(0)
+		rest = append(cached, rest...)
+	}
+	for _, pa := range rest {
 		m.PartialNodes += pa.Reduced.NumNodes()
 		m.PartialEdges += pa.Reduced.NumEdges()
 		mg.Merge(pa.Reduced)
@@ -261,28 +345,92 @@ func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
 	return res.Ans.Bool(), m, nil
 }
 
+// snapshotFor returns the merged skeleton for the given cached partials,
+// building and memoizing it keyed by their (site, epoch) vector. Concurrent
+// queries may race to build the same skeleton; the loser's work is dropped.
+func (c *Coordinator) snapshotFor(cached []*PartialAnswer) *mergedSnapshot {
+	sort.Slice(cached, func(i, j int) bool { return cached[i].SiteID < cached[j].SiteID })
+	key := make([]byte, 0, 16*len(cached))
+	for _, pa := range cached {
+		key = strconv.AppendInt(key, int64(pa.SiteID), 10)
+		key = append(key, ':')
+		key = strconv.AppendUint(key, pa.Epoch, 10)
+		key = append(key, ';')
+	}
+	k := string(key)
+	c.snapMu.Lock()
+	snap := c.snaps[k]
+	c.snapMu.Unlock()
+	if snap != nil {
+		return snap
+	}
+	sk := graph.New(0)
+	nodes, edges := 0, 0
+	for _, pa := range cached {
+		nodes += pa.Reduced.NumNodes()
+		edges += pa.Reduced.NumEdges()
+		sk.Merge(pa.Reduced)
+	}
+	snap = &mergedSnapshot{skeleton: sk, nodes: nodes, edges: edges}
+	c.snapMu.Lock()
+	if len(c.snaps) >= maxSnapshots {
+		clear(c.snaps)
+	}
+	c.snaps[k] = snap
+	c.snapMu.Unlock()
+	return snap
+}
+
 // AnswerBatch evaluates a batch of queries — the paper's production setting
 // serves thousands of control queries per minute, where the pre-computed
-// partial answers amortize across the whole batch. It returns one answer
-// per query and aggregate metrics.
+// partial answers amortize across the whole batch. Up to Options.Concurrency
+// queries run in flight at once; per-query metrics are accumulated into the
+// batch total in query order, so the aggregate is deterministic regardless
+// of completion order. It returns one answer per query and aggregate
+// metrics; on failure the error is a *QueryError naming the lowest-index
+// failing query.
 func (c *Coordinator) AnswerBatch(qs []control.Query) ([]bool, *Metrics, error) {
 	total := &Metrics{DecidedBy: -1}
 	out := make([]bool, len(qs))
-	for i, q := range qs {
-		ans, m, err := c.Answer(q)
-		if err != nil {
-			return nil, total, fmt.Errorf("dist: query %d (%v): %w", i, q, err)
+	conc := c.opts.Concurrency
+	if conc > len(qs) {
+		conc = len(qs)
+	}
+	if conc <= 1 {
+		for i, q := range qs {
+			ans, m, err := c.Answer(q)
+			if err != nil {
+				return nil, total, &QueryError{Index: i, Query: q, Err: err}
+			}
+			out[i] = ans
+			total.AddQuery(m)
 		}
-		out[i] = ans
-		total.SitesQueried += m.SitesQueried
-		total.CacheHits += m.CacheHits
-		total.Bytes += m.Bytes
-		total.SiteElapsedSum += m.SiteElapsedSum
-		total.CoordElapsed += m.CoordElapsed
-		if m.SiteElapsedMax > total.SiteElapsedMax {
-			total.SiteElapsedMax = m.SiteElapsedMax
+		return out, total, nil
+	}
+
+	ms := make([]*Metrics, len(qs))
+	errs := make([]error, len(qs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				out[i], ms[i], errs[i] = c.Answer(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range qs {
+		if errs[i] != nil {
+			return nil, total, &QueryError{Index: i, Query: qs[i], Err: errs[i]}
 		}
-		total.Stats.Add(m.Stats)
+		total.AddQuery(ms[i])
 	}
 	return out, total, nil
 }

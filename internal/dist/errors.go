@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"fmt"
+
+	"ccp/internal/control"
+)
+
+// Typed errors for the distributed runtime. The scheduler and callers can
+// tell a site-side failure (the site served the request but could not
+// execute it) from a transport failure (the connection to the site broke)
+// with errors.As, and a batch caller learns which query failed without
+// string matching.
+
+// SiteError reports that a worker site failed while executing an operation.
+// The site itself was reachable; the operation was invalid or failed there.
+type SiteError struct {
+	// SiteID is the partition id of the failing site, or -1 when the site
+	// never identified itself.
+	SiteID int
+	// Op names the operation that failed ("evaluate", "update", ...).
+	Op string
+	// Msg is the site's own error message.
+	Msg string
+}
+
+func (e *SiteError) Error() string {
+	return fmt.Sprintf("dist: site %d: %s: %s", e.SiteID, e.Op, e.Msg)
+}
+
+// TransportError reports that the transport to a site failed: the request
+// could not be delivered or the response could not be read. The site's state
+// is unknown.
+type TransportError struct {
+	// SiteID is the partition id of the unreachable site, or -1 when the
+	// connection broke before the site identified itself.
+	SiteID int
+	// Op names the operation in flight ("evaluate", "precompute", ...).
+	Op string
+	// Err is the underlying transport error.
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("dist: site %d: %s: transport: %v", e.SiteID, e.Op, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// QueryError reports which query of a batch (or which single Answer call)
+// failed. Unwrap exposes the underlying SiteError or TransportError.
+type QueryError struct {
+	// Index is the query's position in the batch (0 for single queries).
+	Index int
+	// Query is the failing query.
+	Query control.Query
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("dist: query %d (%v): %v", e.Index, e.Query, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }

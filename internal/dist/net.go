@@ -4,7 +4,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -16,8 +15,10 @@ import (
 func durationNS(ns int64) time.Duration { return time.Duration(ns) }
 
 // Serve runs a worker site on l until the listener is closed. Each accepted
-// connection serves a stream of requests; site evaluation happens with the
-// site's own parallelism. Serve returns nil when l is closed.
+// connection serves a stream of requests; requests on one connection are
+// handled concurrently (the response carries the request's ID, so replies
+// may be written out of order) and site evaluation happens with the site's
+// own parallelism. Serve returns nil when l is closed.
 func Serve(l net.Listener, site *Site) error {
 	for {
 		conn, err := l.Accept()
@@ -35,15 +36,26 @@ func serveConn(conn net.Conn, site *Site) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex // one writer at a time; gob encoders are not concurrent-safe
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req := new(request)
+		if err := dec.Decode(req); err != nil {
 			return // client hung up (io.EOF) or is broken; drop the conn
 		}
-		resp := handle(site, &req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := handle(site, req)
+			resp.ID = req.ID
+			encMu.Lock()
+			err := enc.Encode(resp)
+			encMu.Unlock()
+			if err != nil {
+				conn.Close() // unblocks the decode loop
+			}
+		}()
 	}
 }
 
@@ -64,25 +76,26 @@ func handle(site *Site, req *request) *response {
 		})
 		resp, err := encodePartial(pa)
 		if err != nil {
-			return &response{Err: err.Error()}
+			return &response{SiteID: site.ID(), Err: err.Error()}
 		}
 		return resp
 	case opUpdate:
 		res, err := site.ApplyEdgeUpdate(req.Update)
 		if err != nil {
-			return &response{Err: err.Error()}
+			return &response{SiteID: site.ID(), Err: err.Error()}
 		}
 		return &response{SiteID: site.ID(), UpdateRes: res}
 	case opCrossIn:
 		acted := site.AdjustCrossIn(graph.NodeID(req.S), req.Delta)
 		return &response{SiteID: site.ID(), Acted: acted}
 	default:
-		return &response{Err: fmt.Sprintf("unknown op %d", req.Op)}
+		return &response{SiteID: site.ID(), Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}
 }
 
 // countConn wraps a net.Conn counting the bytes read (the traffic the
-// coordinator receives from the site).
+// coordinator receives from the site). Only the client's reader goroutine
+// touches the counter.
 type countConn struct {
 	net.Conn
 	read *int64
@@ -94,14 +107,28 @@ func (c countConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// rpcResult is one routed response plus the bytes it occupied on the wire.
+type rpcResult struct {
+	resp  *response
+	bytes int64
+}
+
 // RemoteClient talks to a worker site over TCP. It is safe for concurrent
-// use; calls on one connection are serialized.
+// use: requests are tagged with an id and multiplexed over one connection,
+// so any number of calls can be in flight at once.
 type RemoteClient struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	read   int64
+	conn net.Conn
+
+	encMu sync.Mutex // serializes writes; gob encoders are not concurrent-safe
+	enc   *gob.Encoder
+
+	read int64 // total bytes read; owned by the reader goroutine
+
+	mu      sync.Mutex
+	pending map[uint64]chan rpcResult
+	nextID  uint64
+	err     error // sticky transport error once the reader exits
+
 	siteID int
 }
 
@@ -111,9 +138,13 @@ func Dial(addr string) (*RemoteClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: dialing site %s: %w", addr, err)
 	}
-	c := &RemoteClient{conn: conn}
+	c := &RemoteClient{
+		conn:    conn,
+		pending: make(map[uint64]chan rpcResult),
+		siteID:  -1,
+	}
 	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(countConn{Conn: conn, read: &c.read})
+	go c.readLoop(gob.NewDecoder(countConn{Conn: conn, read: &c.read}))
 	resp, _, err := c.roundTrip(&request{Op: opInfo})
 	if err != nil {
 		conn.Close()
@@ -123,7 +154,43 @@ func Dial(addr string) (*RemoteClient, error) {
 	return c, nil
 }
 
-// Close releases the connection.
+// readLoop is the connection's only reader: it decodes responses, measures
+// the bytes each occupied on the wire (gob reads exactly one length-prefixed
+// message per Decode), and routes them to the waiting caller by id.
+func (c *RemoteClient) readLoop(dec *gob.Decoder) {
+	for {
+		before := c.read
+		resp := new(response)
+		if err := dec.Decode(resp); err != nil {
+			c.fail(err)
+			return
+		}
+		n := c.read - before
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- rpcResult{resp: resp, bytes: n}
+		}
+	}
+}
+
+// fail records the transport error and wakes every in-flight call.
+func (c *RemoteClient) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan rpcResult)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Close releases the connection. In-flight calls fail with a TransportError.
 func (c *RemoteClient) Close() error { return c.conn.Close() }
 
 // SiteID implements SiteClient.
@@ -174,24 +241,46 @@ func (c *RemoteClient) AdjustCrossIn(v graph.NodeID, delta int) (bool, error) {
 	return resp.Acted, nil
 }
 
-// roundTrip sends one request and reads its response, returning the bytes
-// read off the wire for this exchange.
+// roundTrip sends one request and waits for its response, returning the
+// bytes the response occupied on the wire. Any number of roundTrips may run
+// concurrently on one client.
 func (c *RemoteClient) roundTrip(req *request) (*response, int64, error) {
+	ch := make(chan rpcResult, 1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	before := c.read
-	if err := c.enc.Encode(req); err != nil {
-		return nil, 0, fmt.Errorf("dist: sending request: %w", err)
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, 0, &TransportError{SiteID: c.siteID, Op: opName(req.Op), Err: err}
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, 0, errors.New("dist: site closed the connection")
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.encMu.Lock()
+	err := c.enc.Encode(req)
+	c.encMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, 0, &TransportError{SiteID: c.siteID, Op: opName(req.Op),
+			Err: fmt.Errorf("sending request: %w", err)}
+	}
+
+	r, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("connection closed")
 		}
-		return nil, 0, fmt.Errorf("dist: reading response: %w", err)
+		return nil, 0, &TransportError{SiteID: c.siteID, Op: opName(req.Op),
+			Err: fmt.Errorf("reading response: %w", err)}
 	}
-	if resp.Err != "" {
-		return nil, 0, errors.New(resp.Err)
+	if r.resp.Err != "" {
+		return nil, 0, &SiteError{SiteID: r.resp.SiteID, Op: opName(req.Op), Msg: r.resp.Err}
 	}
-	return &resp, c.read - before, nil
+	return r.resp, r.bytes, nil
 }

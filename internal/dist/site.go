@@ -192,18 +192,33 @@ func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
 	// is complete (see control.TerminationTrust). The snapshot is taken
 	// under the lock so concurrent updates cannot tear it.
 	s.mu.Lock()
+	tIsInNode := s.part.InNodes.Has(q.T)
+	trust := control.TerminationTrust{
+		T1: holdsS,
+		T2: holdsT && !tIsInNode,
+	}
+	if !opts.ForcePartial {
+		// T1–T3 are O(1) on the cached aggregates and the reducer would
+		// check them before doing any work anyway; deciding here skips the
+		// partition clone entirely. Same trust, same answer, same (zero)
+		// stats as the reducer's round-0 exit.
+		if a := control.CheckTermination(s.part.Local, q, trust); a != control.Unknown {
+			s.mu.Unlock()
+			return &PartialAnswer{
+				SiteID:  s.part.ID,
+				Ans:     a,
+				Elapsed: time.Since(start),
+			}
+		}
+	}
 	x := s.part.Boundary()
 	x.Add(q.S)
 	x.Add(q.T)
 	g := s.part.Local.Clone()
-	tIsInNode := s.part.InNodes.Has(q.T)
 	s.mu.Unlock()
 	copts := control.Options{
 		Workers: s.workers,
-		Trust: control.TerminationTrust{
-			T1: holdsS,
-			T2: holdsT && !tIsInNode,
-		},
+		Trust:   trust,
 	}
 	if opts.ForcePartial {
 		copts.DisableTermination = true

@@ -11,6 +11,128 @@ import (
 	"ccp/internal/partition"
 )
 
+// TestConcurrentBatchMixedTransports hammers a mixed cluster — one in-process
+// site and one TCP site sharing a multiplexed connection — with overlapping
+// AnswerBatch and Answer calls while stake updates move epochs and the
+// coordinator cache revalidates. Run under -race it proves the batch
+// scheduler, the connection multiplexing and the snapshot cache; the final
+// quiescent sweep proves no update was lost.
+func TestConcurrentBatchMixedTransports(t *testing.T) {
+	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 800, AvgOutDegree: 2, Seed: 29})
+	pi, err := partition.ByContiguous(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := []SiteClient{
+		&LocalClient{Site: NewSite(pi.Parts[0], 2), MeasureBytes: true},
+		startTCPSite(t, pi.Parts[1]),
+	}
+	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 2, Concurrency: 4})
+	if err := coord.PrecomputeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	mirror := g.Clone()
+	var mirrorMu sync.Mutex
+
+	var wg sync.WaitGroup
+	// Batch callers: concurrent batches through the scheduler.
+	for b := 0; b < 2; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + b)))
+			for round := 0; round < 3; round++ {
+				qs := make([]control.Query, 8)
+				for i := range qs {
+					qs[i] = control.Query{
+						S: graph.NodeID(rng.Intn(800)),
+						T: graph.NodeID(rng.Intn(800)),
+					}
+				}
+				if _, _, err := coord.AnswerBatch(qs); err != nil {
+					t.Errorf("batch: %v", err)
+					return
+				}
+			}
+		}(b)
+	}
+	// A single-query caller interleaved with the batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(400))
+		for i := 0; i < 10; i++ {
+			q := control.Query{S: graph.NodeID(rng.Intn(800)), T: graph.NodeID(rng.Intn(800))}
+			if _, _, err := coord.Answer(q); err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+		}
+	}()
+	// Writers moving both sites' epochs under the cache: owners live at the
+	// local site, owned companies at the TCP site, so every stake crosses.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + w)))
+			for i := 0; i < 6; i++ {
+				owner := graph.NodeID(w*10 + i)
+				owned := graph.NodeID(400 + rng.Intn(400))
+				if owner == owned {
+					continue
+				}
+				mirrorMu.Lock()
+				if mirror.InSum(owned) > 0.85 || mirror.HasEdge(owner, owned) {
+					mirrorMu.Unlock()
+					continue
+				}
+				if err := mirror.AddEdge(owner, owned, 0.1); err != nil {
+					mirrorMu.Unlock()
+					continue
+				}
+				mirrorMu.Unlock()
+				if err := coord.ApplyUpdate(StakeUpdate{Owner: owner, Owned: owned, Weight: 0.1}); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// A precomputer racing with everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := coord.PrecomputeAll(); err != nil {
+				t.Errorf("precompute: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent: one concurrent batch must agree with the mirror everywhere.
+	rng := rand.New(rand.NewSource(888))
+	qs := make([]control.Query, 24)
+	for i := range qs {
+		qs[i] = control.Query{S: graph.NodeID(rng.Intn(800)), T: graph.NodeID(rng.Intn(800))}
+	}
+	got, _, err := coord.AnswerBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if want := control.CBE(mirror, q); got[i] != want {
+			t.Fatalf("%v after quiescence: got %v, want %v", q, got[i], want)
+		}
+	}
+}
+
 // TestConcurrentQueriesAndUpdates hammers a cluster with parallel queries,
 // updates and precomputations. Run under -race it proves the site locking;
 // the final quiescent check proves no update was lost.

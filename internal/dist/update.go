@@ -99,6 +99,9 @@ func (s *Site) AdjustCrossIn(v graph.NodeID, delta int) bool {
 // adjusts its in-node bookkeeping. Affected sites drop their cached partial
 // answers.
 func (c *Coordinator) ApplyUpdate(up StakeUpdate) error {
+	// Any applied update moves some site's epoch, so merged skeletons built
+	// over the old epoch vector can never match again; free them eagerly.
+	defer c.dropSnapshots()
 	var applied *UpdateResult
 	for _, cl := range c.clients {
 		res, err := cl.Update(up)

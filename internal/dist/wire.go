@@ -3,15 +3,18 @@ package dist
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"ccp/internal/control"
 	"ccp/internal/graph"
 )
 
 // The wire protocol: a client sends requests and reads responses over one
-// connection, both gob-encoded. Graphs travel as the compact CCPG1 binary
-// format produced by graph.WriteBinary, so wire size equals what the
-// network-traffic table reports.
+// connection, both gob-encoded. Requests carry a client-chosen ID that the
+// site echoes in the response, so one connection multiplexes any number of
+// concurrent calls; responses may arrive in any order. Graphs travel as the
+// compact CCPG1 binary format produced by graph.WriteBinary, so wire size
+// equals what the network-traffic table reports.
 
 // op selects the request kind.
 type op uint8
@@ -24,8 +27,29 @@ const (
 	opCrossIn
 )
 
+// opName names an op for error reporting.
+func opName(o op) string {
+	switch o {
+	case opEvaluate:
+		return "evaluate"
+	case opPrecompute:
+		return "precompute"
+	case opInfo:
+		return "info"
+	case opUpdate:
+		return "update"
+	case opCrossIn:
+		return "cross-in"
+	default:
+		return fmt.Sprintf("op%d", o)
+	}
+}
+
 // request is the client -> site message.
 type request struct {
+	// ID tags the request; the site echoes it in the response so concurrent
+	// calls can share one connection.
+	ID           uint64
 	Op           op
 	S, T         int32
 	UseCache     bool
@@ -40,6 +64,8 @@ type request struct {
 
 // response is the site -> client message.
 type response struct {
+	// ID echoes the request this response answers.
+	ID uint64
 	// Err is non-empty when the site failed to serve the request.
 	Err string
 	// SiteID identifies the partition (opInfo and opEvaluate).
@@ -84,9 +110,6 @@ func encodePartial(pa *PartialAnswer) (*response, error) {
 
 // decodePartial converts a wire response back to a PartialAnswer.
 func decodePartial(resp *response) (*PartialAnswer, error) {
-	if resp.Err != "" {
-		return nil, fmt.Errorf("dist: site error: %s", resp.Err)
-	}
 	pa := &PartialAnswer{
 		SiteID:      resp.SiteID,
 		Ans:         control.Answer(resp.Ans),
@@ -108,12 +131,20 @@ func decodePartial(resp *response) (*PartialAnswer, error) {
 
 // LocalClient drives a Site in-process. Payload bytes are still accounted by
 // serializing the reduced graph, so local runs report the same traffic
-// numbers a TCP deployment would.
+// numbers a TCP deployment would. It is safe for concurrent use.
 type LocalClient struct {
 	Site *Site
 	// MeasureBytes disables payload serialization when false (faster, but
 	// Bytes will read 0).
 	MeasureBytes bool
+
+	// mu guards the memoized payload size below. Cached partial answers
+	// return the same *graph.Graph until the site's epoch moves, so the
+	// counting WriteBinary pass runs once per cache generation instead of
+	// once per query.
+	mu        sync.Mutex
+	lastGraph *graph.Graph
+	lastBytes int64
 }
 
 // SiteID implements SiteClient.
@@ -130,13 +161,38 @@ func (c *LocalClient) Evaluate(q control.Query, opts EvalOptions) (*PartialAnswe
 	pa := c.Site.Evaluate(q, opts)
 	var n int64
 	if c.MeasureBytes && pa.Reduced != nil {
-		var cw countWriter
-		if err := pa.Reduced.WriteBinary(&cw); err != nil {
-			return nil, 0, err
+		var err error
+		if n, err = c.payloadBytes(pa.Reduced, pa.FromCache); err != nil {
+			return nil, 0, &SiteError{SiteID: c.Site.ID(), Op: "evaluate", Msg: err.Error()}
 		}
-		n = cw.n
 	}
 	return pa, n, nil
+}
+
+// payloadBytes counts the CCPG1 size of g in a single pass. Cached partial
+// answers (fromCache) keep one stable *Graph per epoch, so their size is
+// memoized and across a batch only the first hit pays the serialization;
+// live evaluations produce a fresh graph per query and are always counted.
+func (c *LocalClient) payloadBytes(g *graph.Graph, fromCache bool) (int64, error) {
+	if fromCache {
+		c.mu.Lock()
+		if g == c.lastGraph {
+			n := c.lastBytes
+			c.mu.Unlock()
+			return n, nil
+		}
+		c.mu.Unlock()
+	}
+	var cw countWriter
+	if err := g.WriteBinary(&cw); err != nil {
+		return 0, err
+	}
+	if fromCache {
+		c.mu.Lock()
+		c.lastGraph, c.lastBytes = g, cw.n
+		c.mu.Unlock()
+	}
+	return cw.n, nil
 }
 
 // Update implements SiteClient.

@@ -18,19 +18,25 @@ import (
 // distributed EU graph.
 type ThroughputResult struct {
 	Queries          int
+	Concurrency      int
 	Elapsed          time.Duration
 	QueriesPerMinute float64
 	CacheHitRate     float64
+	// SnapshotHitRate is the fraction of merged queries served from a
+	// reusable merged-graph snapshot instead of a fresh graph.Merge.
+	SnapshotHitRate float64
 }
 
 func (r ThroughputResult) String() string {
-	return fmt.Sprintf("queries=%d elapsed=%v throughput=%.0f q/min cache-hit=%.0f%%",
-		r.Queries, r.Elapsed, r.QueriesPerMinute, r.CacheHitRate*100)
+	return fmt.Sprintf("queries=%d concurrency=%d elapsed=%v throughput=%.0f q/min cache-hit=%.0f%% snapshot-hit=%.0f%%",
+		r.Queries, r.Concurrency, r.Elapsed, r.QueriesPerMinute,
+		r.CacheHitRate*100, r.SnapshotHitRate*100)
 }
 
 // Throughput measures sustained query throughput on a pre-cached 4-site EU
 // cluster. Early termination is left ON (unlike the timing sweeps): this is
-// the production configuration.
+// the production configuration. cfg.Concurrency batch queries run in
+// flight at once (<= 1 reproduces the serial coordinator).
 func Throughput(cfg Config) (ThroughputResult, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -51,10 +57,15 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 		s.SetFullRescan(cfg.FullRescan)
 		clients[i] = &dist.LocalClient{Site: s}
 	}
+	concurrency := cfg.Concurrency
+	if concurrency < 1 {
+		concurrency = 1
+	}
 	coord := dist.NewCoordinator(clients, dist.Options{
-		UseCache:   true,
-		Workers:    cfg.Workers,
-		FullRescan: cfg.FullRescan,
+		UseCache:    true,
+		Workers:     cfg.Workers,
+		Concurrency: concurrency,
+		FullRescan:  cfg.FullRescan,
 	})
 	if err := coord.PrecomputeAll(); err != nil {
 		return ThroughputResult{}, err
@@ -75,14 +86,18 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 	}
 	elapsed := time.Since(start)
 	res := ThroughputResult{
-		Queries: queries,
-		Elapsed: elapsed,
+		Queries:     queries,
+		Concurrency: concurrency,
+		Elapsed:     elapsed,
 	}
 	if elapsed > 0 {
 		res.QueriesPerMinute = float64(queries) / elapsed.Minutes()
 	}
 	if m.SitesQueried > 0 {
 		res.CacheHitRate = float64(m.CacheHits) / float64(m.SitesQueried)
+	}
+	if queries > 0 {
+		res.SnapshotHitRate = float64(m.SnapshotHits) / float64(queries)
 	}
 	return res, nil
 }

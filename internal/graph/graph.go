@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"maps"
 	"math"
 )
 
@@ -484,11 +485,10 @@ func cloneMap(m map[NodeID]float64) map[NodeID]float64 {
 	if len(m) == 0 {
 		return nil
 	}
-	c := make(map[NodeID]float64, len(m))
-	for k, v := range m {
-		c[k] = v
-	}
-	return c
+	// maps.Clone copies the table wholesale in the runtime, far faster than
+	// insert-by-insert; Clone dominates the per-query cost of distributed
+	// live evaluations, which copy the whole partition before reducing it.
+	return maps.Clone(m)
 }
 
 // CheckOwnership verifies the ownership-graph invariant: for every node the

@@ -26,6 +26,6 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (parallel surgery) =="
-go test -race ./internal/control/... ./internal/graph/... ./internal/par/...
+go test -race ./internal/control/... ./internal/graph/... ./internal/par/... ./internal/dist/...
 
 echo "ok: all checks passed"
