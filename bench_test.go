@@ -2,6 +2,7 @@ package ccp_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -57,7 +58,9 @@ func BenchmarkParallelReduction(b *testing.B) {
 		b.StopTimer()
 		clone := g.Clone()
 		b.StartTimer()
-		control.ParallelReduction(clone, q, x, control.Options{DisableTermination: true})
+		if _, err := control.ParallelReduction(context.Background(), clone, q, x, control.Options{DisableTermination: true}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -96,7 +99,10 @@ func BenchmarkReductionRounds(b *testing.B) {
 		b.StopTimer()
 		clone := g.Clone()
 		b.StartTimer()
-		res := control.ParallelReduction(clone, q, x, control.Options{DisableTermination: true})
+		res, err := control.ParallelReduction(context.Background(), clone, q, x, control.Options{DisableTermination: true})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.Phase2Rounds < k {
 			b.Fatalf("cascade collapsed in %d rounds, want %d", res.Phase2Rounds, k)
 		}

@@ -18,6 +18,7 @@
 package ccp
 
 import (
+	"context"
 	"io"
 
 	"ccp/internal/control"
@@ -98,19 +99,23 @@ type ReduceResult struct {
 // Note that early termination may decide the answer before the graph is
 // fully reduced; when the reduced graph itself is the product (pre-computed
 // partial answers), use ReduceFully.
-func Reduce(g *Graph, s, t NodeID, keep NodeSet, workers int) ReduceResult {
-	return reduce(g, s, t, keep, workers, false)
+//
+// Cancelling ctx (or letting its deadline expire) stops the reduction at the
+// next rule round and returns the context error; the partially reduced
+// result is discarded.
+func Reduce(ctx context.Context, g *Graph, s, t NodeID, keep NodeSet, workers int) (ReduceResult, error) {
+	return reduce(ctx, g, s, t, keep, workers, false)
 }
 
 // ReduceFully is Reduce with early termination disabled: the rules run to
 // exhaustion, producing the smallest control-equivalent graph over
 // {s, t} ∪ keep regardless of how quickly the answer became known. This is
 // what a site runs when pre-computing its query-independent partial answer.
-func ReduceFully(g *Graph, s, t NodeID, keep NodeSet, workers int) ReduceResult {
-	return reduce(g, s, t, keep, workers, true)
+func ReduceFully(ctx context.Context, g *Graph, s, t NodeID, keep NodeSet, workers int) (ReduceResult, error) {
+	return reduce(ctx, g, s, t, keep, workers, true)
 }
 
-func reduce(g *Graph, s, t NodeID, keep NodeSet, workers int, exhaustive bool) ReduceResult {
+func reduce(ctx context.Context, g *Graph, s, t NodeID, keep NodeSet, workers int, exhaustive bool) (ReduceResult, error) {
 	x := NewNodeSet(s, t)
 	for v := range keep {
 		x.Add(v)
@@ -122,11 +127,14 @@ func reduce(g *Graph, s, t NodeID, keep NodeSet, workers int, exhaustive bool) R
 		// conditions may fire.
 		trust = control.TerminationTrust{}
 	}
-	res := control.ParallelReduction(clone, Query{S: s, T: t}, x, control.Options{
+	res, err := control.ParallelReduction(ctx, clone, Query{S: s, T: t}, x, control.Options{
 		Workers:            workers,
 		Trust:              trust,
 		DisableTermination: exhaustive,
 	})
+	if err != nil {
+		return ReduceResult{}, err
+	}
 	return ReduceResult{
 		Controls:   res.Ans == control.True,
 		Decided:    res.Ans != control.Unknown,
@@ -134,7 +142,7 @@ func reduce(g *Graph, s, t NodeID, keep NodeSet, workers int, exhaustive bool) R
 		Removed:    res.Stats.Removed,
 		Contracted: res.Stats.Contracted,
 		Rounds:     res.Stats.Iterations,
-	}
+	}, nil
 }
 
 // ControlsDeclarative answers q_c(s, t) by evaluating the recursive logic

@@ -1,6 +1,7 @@
 package ccp_test
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -50,7 +51,10 @@ func TestControlledSet(t *testing.T) {
 
 func TestReduceDecides(t *testing.T) {
 	g := holding(t)
-	res := ccp.Reduce(g, 0, 3, nil, 2)
+	res, err := ccp.Reduce(context.Background(), g, 0, 3, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Decided || !res.Controls {
 		t.Fatalf("res = %+v", res)
 	}
@@ -60,7 +64,10 @@ func TestReduceDecides(t *testing.T) {
 	}
 	// With boundary nodes kept, the reduction may stay undecided but must
 	// keep the exclusion set.
-	res2 := ccp.Reduce(g, 0, 3, ccp.NewNodeSet(1, 2), 2)
+	res2, err := ccp.Reduce(context.Background(), g, 0, 3, ccp.NewNodeSet(1, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range []ccp.NodeID{0, 1, 2, 3} {
 		if !res2.Reduced.Alive(v) {
 			t.Fatalf("excluded node %d removed", v)
@@ -101,7 +108,7 @@ func TestLocalClusterMatchesCentralized(t *testing.T) {
 	if cl.Sites() != 3 {
 		t.Fatalf("sites = %d", cl.Sites())
 	}
-	if err := cl.Precompute(); err != nil {
+	if err := cl.Precompute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))
@@ -109,7 +116,7 @@ func TestLocalClusterMatchesCentralized(t *testing.T) {
 		s := ccp.NodeID(rng.Intn(eu.G.Cap()))
 		tt := ccp.NodeID(rng.Intn(eu.G.Cap()))
 		want := ccp.Controls(eu.G, s, tt)
-		got, _, err := cl.Controls(s, tt)
+		got, _, err := cl.Controls(context.Background(), s, tt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,10 +145,10 @@ func TestRemoteClusterOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer l.Close()
-		go func(p *ccp.Partition) { _ = ccp.ServeSite(l, p, 2) }(p)
+		go func(p *ccp.Partition) { _ = ccp.ServeSite(context.Background(), l, p, 2) }(p)
 		addrs[i] = l.Addr().String()
 	}
-	cl, err := ccp.ConnectCluster(addrs, ccp.ClusterOptions{SiteWorkers: 2})
+	cl, err := ccp.ConnectCluster(context.Background(), addrs, ccp.ClusterOptions{SiteWorkers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +163,7 @@ func TestRemoteClusterOverTCP(t *testing.T) {
 		s := ccp.NodeID(rng.Intn(2000))
 		tt := ccp.NodeID(rng.Intn(2000))
 		want := ccp.Controls(g, s, tt)
-		got, _, err := cl.Controls(s, tt)
+		got, _, err := cl.Controls(context.Background(), s, tt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +206,7 @@ func TestClusterLocalDecision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, m, err := cl.Controls(0, 1)
+	got, m, err := cl.Controls(context.Background(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ccp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,45 @@ type ClusterOptions struct {
 	// Concurrency is the number of batch queries ControlsBatch keeps in
 	// flight at once (<= 1 evaluates the batch serially).
 	Concurrency int
+	// SiteTimeout bounds every individual site call with its own deadline,
+	// under whatever deadline the query's context already carries. A site
+	// missing it fails the query with a *DeadlineError naming the site.
+	// 0 means no per-call bound.
+	SiteTimeout time.Duration
+	// DialTimeout bounds each connection attempt to a remote site
+	// (ConnectCluster only). 0 selects the transport default (5s).
+	DialTimeout time.Duration
+	// FailureThreshold is the number of consecutive failed calls to one
+	// remote site after which its circuit breaker opens: calls to that site
+	// fail fast without touching the network until CircuitCooldown passes,
+	// then a single probe call is let through. 0 selects the default (4).
+	FailureThreshold int
+	// CircuitCooldown is how long an open circuit rejects calls before
+	// probing the site again. 0 selects the default (1s).
+	CircuitCooldown time.Duration
 }
+
+// SiteHealth is a point-in-time snapshot of one site's transport health:
+// connection state, circuit-breaker position, and redial/retry counters.
+type SiteHealth = dist.SiteHealth
+
+// The typed errors of the distributed query path. Use errors.As to pick the
+// failure class out of a query error, or errors.Is against
+// context.DeadlineExceeded / context.Canceled for the coarse distinction.
+type (
+	// SiteError: the site was reachable but failed to execute the operation.
+	SiteError = dist.SiteError
+	// TransportError: the connection to the site broke; site state unknown.
+	TransportError = dist.TransportError
+	// DeadlineError: the call's deadline expired before the site answered.
+	DeadlineError = dist.DeadlineError
+	// CancelledError: the caller cancelled the query before it completed.
+	CancelledError = dist.CancelledError
+)
+
+// ErrCircuitOpen is found (via errors.Is) inside a TransportError when a
+// site's circuit breaker rejected the call without touching the network.
+var ErrCircuitOpen = dist.ErrCircuitOpen
 
 // QueryMetrics reports where a distributed query's time and traffic went.
 type QueryMetrics struct {
@@ -69,11 +108,15 @@ func queryMetrics(m *dist.Metrics) QueryMetrics {
 }
 
 // Cluster is a distributed company-control deployment: one coordinator over
-// a set of partition sites (in-process, or remote over TCP).
+// a set of partition sites (in-process, or remote over TCP). Every query
+// method takes a context; its deadline travels with each site call and is
+// enforced on both ends of the wire, and cancellation stops site-side
+// reductions at their next rule round.
 type Cluster struct {
 	coord    *dist.Coordinator
 	numSites int
-	sites    []*dist.Site // non-nil only for in-process clusters
+	sites    []*dist.Site      // non-nil only for in-process clusters
+	clients  []dist.SiteClient // held for Close
 }
 
 // NewLocalCluster partitions g into k contiguous-range partitions served by
@@ -96,6 +139,15 @@ func NewClusterFromAssignment(g *Graph, assign []int, k int, opts ClusterOptions
 	return NewClusterFromPartitioning(pi, opts)
 }
 
+func (o ClusterOptions) distOptions() dist.Options {
+	return dist.Options{
+		UseCache:    o.UseCache,
+		Workers:     o.CoordinatorWorkers,
+		Concurrency: o.Concurrency,
+		SiteTimeout: o.SiteTimeout,
+	}
+}
+
 // NewClusterFromPartitioning serves an existing partitioning in-process.
 func NewClusterFromPartitioning(pi *partition.Partitioning, opts ClusterOptions) (*Cluster, error) {
 	clients := make([]dist.SiteClient, len(pi.Parts))
@@ -104,40 +156,64 @@ func NewClusterFromPartitioning(pi *partition.Partitioning, opts ClusterOptions)
 		sites[i] = dist.NewSite(p, opts.SiteWorkers)
 		clients[i] = &dist.LocalClient{Site: sites[i], MeasureBytes: true}
 	}
-	coord := dist.NewCoordinator(clients, dist.Options{
-		UseCache:    opts.UseCache,
-		Workers:     opts.CoordinatorWorkers,
-		Concurrency: opts.Concurrency,
-	})
-	return &Cluster{coord: coord, numSites: len(sites), sites: sites}, nil
+	coord := dist.NewCoordinator(clients, opts.distOptions())
+	return &Cluster{coord: coord, numSites: len(sites), sites: sites, clients: clients}, nil
 }
 
 // ConnectCluster builds a coordinator over remote worker sites (started with
-// ServeSite or the ccpd command) at the given addresses.
-func ConnectCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
+// ServeSite or the ccpd command) at the given addresses. ctx bounds the
+// connection handshakes. A site that later becomes unreachable is redialed
+// with capped exponential backoff; repeated failures trip its circuit
+// breaker (see ClusterOptions.FailureThreshold / CircuitCooldown and
+// Cluster.Health).
+func ConnectCluster(ctx context.Context, addrs []string, opts ClusterOptions) (*Cluster, error) {
+	cfg := dist.ClientConfig{
+		DialTimeout:      opts.DialTimeout,
+		FailureThreshold: opts.FailureThreshold,
+		Cooldown:         opts.CircuitCooldown,
+	}
 	clients := make([]dist.SiteClient, len(addrs))
 	for i, addr := range addrs {
-		c, err := dist.Dial(addr)
+		c, err := dist.DialConfig(ctx, addr, cfg)
 		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.(*dist.RemoteClient).Close()
+			}
 			return nil, fmt.Errorf("ccp: connecting site %s: %w", addr, err)
 		}
 		clients[i] = c
 	}
-	coord := dist.NewCoordinator(clients, dist.Options{
-		UseCache:    opts.UseCache,
-		Workers:     opts.CoordinatorWorkers,
-		Concurrency: opts.Concurrency,
-	})
-	return &Cluster{coord: coord, numSites: len(addrs)}, nil
+	coord := dist.NewCoordinator(clients, opts.distOptions())
+	return &Cluster{coord: coord, numSites: len(addrs), clients: clients}, nil
 }
+
+// Close releases the cluster's site connections. In-flight queries fail with
+// a *TransportError; the remote sites themselves keep running. Closing an
+// in-process cluster is a no-op. Safe to call more than once.
+func (c *Cluster) Close() error {
+	for _, cl := range c.clients {
+		if rc, ok := cl.(*dist.RemoteClient); ok {
+			rc.Close()
+		}
+	}
+	return nil
+}
+
+// Health snapshots the transport health of every site: connection state,
+// circuit-breaker position, redial and retry counters. In-process sites
+// always report connected.
+func (c *Cluster) Health() []SiteHealth { return c.coord.Health() }
 
 // Precompute builds every site's query-independent reduction offline, so
 // that later queries touch at most the two sites storing their endpoints.
-func (c *Cluster) Precompute() error { return c.coord.PrecomputeAll() }
+func (c *Cluster) Precompute(ctx context.Context) error { return c.coord.PrecomputeAll(ctx) }
 
-// Controls answers q_c(s, t) over the distributed graph.
-func (c *Cluster) Controls(s, t NodeID) (bool, QueryMetrics, error) {
-	ans, m, err := c.coord.Answer(control.Query{S: s, T: t})
+// Controls answers q_c(s, t) over the distributed graph. The context's
+// deadline is enforced at every site (a stalled site fails the query with a
+// typed *DeadlineError within the deadline, not at the TCP timeout), and
+// cancelling ctx stops the site-side reductions promptly.
+func (c *Cluster) Controls(ctx context.Context, s, t NodeID) (bool, QueryMetrics, error) {
+	ans, m, err := c.coord.Answer(ctx, control.Query{S: s, T: t})
 	if err != nil {
 		return false, QueryMetrics{}, err
 	}
@@ -148,13 +224,15 @@ func (c *Cluster) Controls(s, t NodeID) (bool, QueryMetrics, error) {
 // partial answers across all of them (the paper's thousands-of-queries-per-
 // minute production setting). Up to ClusterOptions.Concurrency queries run
 // in flight at once. Queries are given as (s, t) pairs; the returned
-// metrics aggregate the whole batch (DecidedBySite is always -1).
-func (c *Cluster) ControlsBatch(queries [][2]NodeID) ([]bool, QueryMetrics, error) {
+// metrics aggregate the whole batch (DecidedBySite is always -1). A
+// cancelled or expired ctx abandons the queries not yet started and returns
+// the first incomplete query's error.
+func (c *Cluster) ControlsBatch(ctx context.Context, queries [][2]NodeID) ([]bool, QueryMetrics, error) {
 	qs := make([]control.Query, len(queries))
 	for i, q := range queries {
 		qs[i] = control.Query{S: q[0], T: q[1]}
 	}
-	ans, m, err := c.coord.AnswerBatch(qs)
+	ans, m, err := c.coord.AnswerBatch(ctx, qs)
 	if err != nil {
 		return nil, QueryMetrics{}, err
 	}
@@ -164,13 +242,13 @@ func (c *Cluster) ControlsBatch(queries [][2]NodeID) ([]bool, QueryMetrics, erro
 // AddStake records that owner takes the fraction w of owned, routing the
 // change to the sites concerned and invalidating their cached partial
 // answers. Parallel stakes merge by summing.
-func (c *Cluster) AddStake(owner, owned NodeID, w float64) error {
-	return c.coord.ApplyUpdate(dist.StakeUpdate{Owner: owner, Owned: owned, Weight: w})
+func (c *Cluster) AddStake(ctx context.Context, owner, owned NodeID, w float64) error {
+	return c.coord.ApplyUpdate(ctx, dist.StakeUpdate{Owner: owner, Owned: owned, Weight: w})
 }
 
 // RemoveStake divests owner's stake in owned entirely.
-func (c *Cluster) RemoveStake(owner, owned NodeID) error {
-	return c.coord.ApplyUpdate(dist.StakeUpdate{Owner: owner, Owned: owned, Remove: true})
+func (c *Cluster) RemoveStake(ctx context.Context, owner, owned NodeID) error {
+	return c.coord.ApplyUpdate(ctx, dist.StakeUpdate{Owner: owner, Owned: owned, Remove: true})
 }
 
 // Invalidate marks site i's data as changed, dropping its cached partial

@@ -1,6 +1,7 @@
 package ccp_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,12 +9,13 @@ import (
 )
 
 func TestClusterBatchQueries(t *testing.T) {
+	ctx := context.Background()
 	g := ccp.GenerateScaleFree(ccp.ScaleFreeConfig{Nodes: 3000, AvgOutDegree: 2, Seed: 77})
 	cl, err := ccp.NewLocalCluster(g, 3, ccp.ClusterOptions{UseCache: true, SiteWorkers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Precompute(); err != nil {
+	if err := cl.Precompute(ctx); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(12))
@@ -25,7 +27,7 @@ func TestClusterBatchQueries(t *testing.T) {
 		queries = append(queries, [2]ccp.NodeID{s, tt})
 		want = append(want, ccp.Controls(g, s, tt))
 	}
-	got, m, err := cl.ControlsBatch(queries)
+	got, m, err := cl.ControlsBatch(ctx, queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,6 +42,7 @@ func TestClusterBatchQueries(t *testing.T) {
 }
 
 func TestClusterStakeUpdates(t *testing.T) {
+	ctx := context.Background()
 	g := ccp.NewGraph(8)
 	if err := g.AddEdge(0, 1, 0.6); err != nil {
 		t.Fatal(err)
@@ -51,32 +54,32 @@ func TestClusterStakeUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Precompute(); err != nil {
+	if err := cl.Precompute(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// Before: 0 does not control 5.
-	if ans, _, err := cl.Controls(0, 5); err != nil || ans {
+	if ans, _, err := cl.Controls(ctx, 0, 5); err != nil || ans {
 		t.Fatalf("pre-update: ans=%v err=%v", ans, err)
 	}
 	// 1 (site 0) takes 70% of 4 (site 1): now 0 -> 1 -> 4 -> 5.
-	if err := cl.AddStake(1, 4, 0.7); err != nil {
+	if err := cl.AddStake(ctx, 1, 4, 0.7); err != nil {
 		t.Fatal(err)
 	}
-	if ans, _, err := cl.Controls(0, 5); err != nil || !ans {
+	if ans, _, err := cl.Controls(ctx, 0, 5); err != nil || !ans {
 		t.Fatalf("post-update: ans=%v err=%v", ans, err)
 	}
 	// Divest: control collapses again.
-	if err := cl.RemoveStake(1, 4); err != nil {
+	if err := cl.RemoveStake(ctx, 1, 4); err != nil {
 		t.Fatal(err)
 	}
-	if ans, _, err := cl.Controls(0, 5); err != nil || ans {
+	if ans, _, err := cl.Controls(ctx, 0, 5); err != nil || ans {
 		t.Fatalf("post-divest: ans=%v err=%v", ans, err)
 	}
 	// Error paths.
-	if err := cl.AddStake(99, 0, 0.3); err == nil {
+	if err := cl.AddStake(ctx, 99, 0, 0.3); err == nil {
 		t.Fatal("unknown owner accepted")
 	}
-	if err := cl.RemoveStake(1, 4); err == nil {
+	if err := cl.RemoveStake(ctx, 1, 4); err == nil {
 		t.Fatal("double divestment accepted")
 	}
 }

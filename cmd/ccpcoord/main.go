@@ -13,19 +13,28 @@
 //
 // With -concurrency n > 1, trailing queries are answered as one batch with
 // up to n queries in flight at once, multiplexed over the site connections.
+// With -timeout d, every query carries deadline d, enforced at the sites;
+// SIGINT/SIGTERM cancels whatever is in flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ccp"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ccpcoord: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	sites := flag.String("sites", "", "comma-separated worker addresses")
@@ -35,26 +44,39 @@ func main() {
 	t := flag.Int("t", -1, "target company")
 	workers := flag.Int("workers", 0, "coordinator reduction parallelism")
 	concurrency := flag.Int("concurrency", 1, "batch queries kept in flight at once (>1 answers the trailing queries as one concurrent batch)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline, enforced at the sites (0 = none)")
 	flag.Parse()
 	if *sites == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	cluster, err := ccp.ConnectCluster(strings.Split(*sites, ","), ccp.ClusterOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	cluster, err := ccp.ConnectCluster(ctx, strings.Split(*sites, ","), ccp.ClusterOptions{
 		UseCache:           *cache,
 		CoordinatorWorkers: *workers,
 		Concurrency:        *concurrency,
 	})
 	if err != nil {
-		log.Fatalf("ccpcoord: %v", err)
+		fatalf("cannot connect: %v", err)
 	}
+	defer cluster.Close()
 	fmt.Printf("ccpcoord: connected to %d sites\n", cluster.Sites())
+
+	// queryCtx derives one query's context, carrying the -timeout deadline.
+	queryCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(ctx, *timeout)
+		}
+		return context.WithCancel(ctx)
+	}
 
 	if *precompute {
 		start := time.Now()
-		if err := cluster.Precompute(); err != nil {
-			log.Fatalf("ccpcoord: precompute: %v", err)
+		if err := cluster.Precompute(ctx); err != nil {
+			fatalf("precompute: %v", err)
 		}
 		fmt.Printf("ccpcoord: pre-computed all partial answers in %v\n", time.Since(start))
 	}
@@ -66,33 +88,42 @@ func main() {
 	for _, arg := range flag.Args() {
 		parts := strings.SplitN(arg, ":", 2)
 		if len(parts) != 2 {
-			log.Fatalf("ccpcoord: bad query %q, want s:t", arg)
+			fatalf("bad query %q, want s:t", arg)
 		}
 		qs, err1 := strconv.Atoi(parts[0])
 		qt, err2 := strconv.Atoi(parts[1])
 		if err1 != nil || err2 != nil {
-			log.Fatalf("ccpcoord: bad query %q, want s:t", arg)
+			fatalf("bad query %q, want s:t", arg)
 		}
 		queries = append(queries, [2]int{qs, qt})
 	}
 	if len(queries) == 0 {
-		log.Fatal("ccpcoord: no queries (use -s/-t or trailing s:t args)")
+		fatalf("no queries (use -s/-t or trailing s:t args)")
 	}
+
+	answered := 0
+	start := time.Now()
+	defer func() {
+		fmt.Printf("ccpcoord: done — %d/%d queries answered over %d sites in %v\n",
+			answered, len(queries), cluster.Sites(), time.Since(start))
+	}()
 
 	if *concurrency > 1 && len(queries) > 1 {
 		pairs := make([][2]ccp.NodeID, len(queries))
 		for i, q := range queries {
 			pairs[i] = [2]ccp.NodeID{ccp.NodeID(q[0]), ccp.NodeID(q[1])}
 		}
-		start := time.Now()
-		ans, m, err := cluster.ControlsBatch(pairs)
+		bctx, cancel := queryCtx()
+		ans, m, err := cluster.ControlsBatch(bctx, pairs)
+		cancel()
 		if err != nil {
-			log.Fatalf("ccpcoord: batch: %v", err)
+			fatalf("batch: %v", err)
 		}
 		elapsed := time.Since(start)
 		for i, q := range queries {
 			fmt.Printf("q_c(%d,%d) = %v\n", q[0], q[1], ans[i])
 		}
+		answered = len(queries)
 		qpm := 0.0
 		if elapsed > 0 {
 			qpm = float64(len(queries)) / elapsed.Minutes()
@@ -104,17 +135,20 @@ func main() {
 	}
 
 	for _, q := range queries {
-		start := time.Now()
-		ans, m, err := cluster.Controls(ccp.NodeID(q[0]), ccp.NodeID(q[1]))
+		qstart := time.Now()
+		qctx, cancel := queryCtx()
+		ans, m, err := cluster.Controls(qctx, ccp.NodeID(q[0]), ccp.NodeID(q[1]))
+		cancel()
 		if err != nil {
-			log.Fatalf("ccpcoord: q_c(%d,%d): %v", q[0], q[1], err)
+			fatalf("q_c(%d,%d): %v", q[0], q[1], err)
 		}
+		answered++
 		where := "merged at coordinator"
 		if m.DecidedBySite >= 0 {
 			where = fmt.Sprintf("decided by site %d", m.DecidedBySite)
 		}
 		fmt.Printf("q_c(%d,%d) = %-5v  %-12v  %s  site-max=%v coord=%v traffic=%dB cache-hits=%d\n",
-			q[0], q[1], ans, time.Since(start), where,
+			q[0], q[1], ans, time.Since(qstart), where,
 			m.MaxSiteTime, m.CoordinatorTime, m.BytesTransferred, m.CacheHits)
 	}
 }

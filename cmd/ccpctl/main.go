@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -189,7 +190,10 @@ func cmdQuery(args []string) error {
 	case "cbe":
 		ans = ccp.Controls(g, ccp.NodeID(*s), ccp.NodeID(*t))
 	case "reduce":
-		res := ccp.Reduce(g, ccp.NodeID(*s), ccp.NodeID(*t), nil, 0)
+		res, rerr := ccp.Reduce(context.Background(), g, ccp.NodeID(*s), ccp.NodeID(*t), nil, 0)
+		if rerr != nil {
+			return rerr
+		}
 		ans = res.Controls
 	case "datalog":
 		ans, err = ccp.ControlsDeclarative(g, ccp.NodeID(*s), ccp.NodeID(*t))

@@ -1,7 +1,8 @@
 // Command ccpd runs one worker site of the distributed company-control
 // deployment: it loads a graph, takes its share of a k-way contiguous
 // partitioning, and serves partial answers to a coordinator (ccpcoord) over
-// TCP.
+// TCP. On SIGINT/SIGTERM it drains in-flight requests, logs a one-line
+// summary and exits 0.
 //
 // Usage:
 //
@@ -14,15 +15,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"ccp"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ccpd: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	partPath := flag.String("partition", "", "partition file (.ccpp) to serve")
@@ -31,6 +40,7 @@ func main() {
 	site := flag.Int("site", -1, "this site's partition index (with -graph)")
 	listen := flag.String("listen", ":7001", "listen address")
 	workers := flag.Int("workers", 0, "reduction parallelism (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	var p *ccp.Partition
@@ -38,17 +48,17 @@ func main() {
 	case *partPath != "":
 		f, err := os.Open(*partPath)
 		if err != nil {
-			log.Fatalf("ccpd: %v", err)
+			fatalf("%v", err)
 		}
 		p, err = ccp.ReadPartition(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("ccpd: loading %s: %v", *partPath, err)
+			fatalf("loading %s: %v", *partPath, err)
 		}
 	case *graphPath != "" && *parts > 0 && *site >= 0 && *site < *parts:
 		f, err := os.Open(*graphPath)
 		if err != nil {
-			log.Fatalf("ccpd: %v", err)
+			fatalf("%v", err)
 		}
 		var g *ccp.Graph
 		if strings.HasSuffix(*graphPath, ".ccpg") {
@@ -58,11 +68,11 @@ func main() {
 		}
 		f.Close()
 		if err != nil {
-			log.Fatalf("ccpd: loading %s: %v", *graphPath, err)
+			fatalf("loading %s: %v", *graphPath, err)
 		}
 		pi, err := ccp.PartitionContiguous(g, *parts)
 		if err != nil {
-			log.Fatalf("ccpd: %v", err)
+			fatalf("%v", err)
 		}
 		p = pi.Parts[*site]
 	default:
@@ -72,11 +82,36 @@ func main() {
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("ccpd: %v", err)
+		fatalf("cannot bind %s: %v", *listen, err)
 	}
 	fmt.Printf("ccpd: site %d on %s — %d members, %d boundary nodes, %d edges\n",
 		p.ID, l.Addr(), len(p.Members), len(p.Boundary()), p.Local.NumEdges())
-	if err := ccp.ServeSite(l, p, *workers); err != nil {
-		log.Fatalf("ccpd: %v", err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := ccp.NewSiteServer(p, *workers)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(dctx)
+		cancel()
+		<-serveErr
+		st := srv.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccpd: drain budget %v exceeded, forced close (%d requests served, %d/%d conns drained)\n",
+				*drain, st.Requests, st.ConnsDrained, st.ConnsAccepted)
+			os.Exit(1)
+		}
+		fmt.Printf("ccpd: shut down cleanly — %d requests served, %d/%d conns drained\n",
+			st.Requests, st.ConnsDrained, st.ConnsAccepted)
+	case err := <-serveErr:
+		if err != nil {
+			fatalf("serving %s: %v", *listen, err)
+		}
 	}
 }

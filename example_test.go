@@ -1,6 +1,7 @@
 package ccp_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,7 +63,7 @@ func ExampleReduce() {
 	g.AddEdge(2, 3, 0.7)
 	g.AddEdge(3, 4, 0.6)
 
-	res := ccp.Reduce(g, 0, 4, nil, 1)
+	res, _ := ccp.Reduce(context.Background(), g, 0, 4, nil, 1)
 	fmt.Println(res.Decided, res.Controls)
 	fmt.Println(res.Reduced.NumNodes()) // only s and t survive
 	// Output:

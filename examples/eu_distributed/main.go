@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +20,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	const countries = 6
 	const perCountry = 8000
 
@@ -64,7 +67,7 @@ func main() {
 		}
 		defer l.Close()
 		go func(p *ccp.Partition) {
-			if err := ccp.ServeSite(l, p, 0); err != nil {
+			if err := ccp.ServeSite(ctx, l, p, 0); err != nil {
 				log.Printf("site: %v", err)
 			}
 		}(p)
@@ -73,14 +76,14 @@ func main() {
 			i, addrs[i], len(p.Members), len(p.Boundary()))
 	}
 
-	cluster, err := ccp.ConnectCluster(addrs, ccp.ClusterOptions{UseCache: true})
+	cluster, err := ccp.ConnectCluster(ctx, addrs, ccp.ClusterOptions{UseCache: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\npre-computing query-independent partial answers at all sites...")
 	start := time.Now()
-	if err := cluster.Precompute(); err != nil {
+	if err := cluster.Precompute(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  done in %v\n", time.Since(start))
@@ -97,7 +100,7 @@ func main() {
 	fmt.Println("\ncross-border control queries:")
 	for _, q := range queries {
 		start := time.Now()
-		ans, m, err := cluster.Controls(q[0], q[1])
+		ans, m, err := cluster.Controls(ctx, q[0], q[1])
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	fmt.Println("building a 4-country register with cached partial answers...")
 	eu := ccp.GenerateEU(ccp.EUConfig{
 		Countries:        4,
@@ -27,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := cluster.Precompute(); err != nil {
+	if err := cluster.Precompute(ctx); err != nil {
 		log.Fatal(err)
 	}
 
@@ -42,7 +45,7 @@ func main() {
 		})
 	}
 	start := time.Now()
-	answers, m, err := cluster.ControlsBatch(batch)
+	answers, m, err := cluster.ControlsBatch(ctx, batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,16 +72,16 @@ func main() {
 		log.Fatal("no takeover candidate found")
 	}
 	acquirer := ccp.NodeID(11)
-	before, _, err := cluster.Controls(acquirer, target)
+	before, _, err := cluster.Controls(ctx, acquirer, target)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntakeover: company %d acquires 65%% of %d (pre-deal control: %v)\n",
 		acquirer, target, before)
-	if err := cluster.AddStake(acquirer, target, 0.65); err != nil {
+	if err := cluster.AddStake(ctx, acquirer, target, 0.65); err != nil {
 		log.Fatal(err)
 	}
-	after, m2, err := cluster.Controls(acquirer, target)
+	after, m2, err := cluster.Controls(ctx, acquirer, target)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,10 +90,10 @@ func main() {
 		after, m2.CacheHits)
 
 	// The deal is unwound.
-	if err := cluster.RemoveStake(acquirer, target); err != nil {
+	if err := cluster.RemoveStake(ctx, acquirer, target); err != nil {
 		log.Fatal(err)
 	}
-	final, _, err := cluster.Controls(acquirer, target)
+	final, _, err := cluster.Controls(ctx, acquirer, target)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,10 @@ func main() {
 
 	// The reduction view: the same answer, plus the control-equivalent
 	// reduced graph the distributed algorithm ships between sites.
-	res := ccp.Reduce(g, 0, 3, nil, 0)
+	res, err := ccp.Reduce(context.Background(), g, 0, 3, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nReduce: controls=%v removed=%d contracted=%d rounds=%d\n",
 		res.Controls, res.Removed, res.Contracted, res.Rounds)
 }

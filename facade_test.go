@@ -1,6 +1,7 @@
 package ccp_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -136,8 +137,14 @@ func TestReduceFullyExhausts(t *testing.T) {
 	// but ReduceFully keeps reducing to just {s, t}.
 	g := ccp.GenerateScaleFree(ccp.ScaleFreeConfig{Nodes: 4000, AvgOutDegree: 2, Seed: 61})
 	s, tt := ccp.NodeID(0), ccp.NodeID(3999)
-	quick := ccp.Reduce(g, s, tt, nil, 2)
-	full := ccp.ReduceFully(g, s, tt, nil, 2)
+	quick, err := ccp.Reduce(context.Background(), g, s, tt, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ccp.ReduceFully(context.Background(), g, s, tt, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !quick.Decided || !full.Decided {
 		t.Fatalf("undecided: %+v %+v", quick.Decided, full.Decided)
 	}

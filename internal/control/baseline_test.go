@@ -44,7 +44,7 @@ func TestNaiveContractionPureCycle(t *testing.T) {
 	// controllers only after phase 1... simpler: query (0,4) directly.
 	q := Query{0, 4}
 	want := CBE(g, q)
-	res := ParallelReduction(g.Clone(), q, graph.NewNodeSet(0, 4),
+	res := mustReduce(t, g.Clone(), q, graph.NewNodeSet(0, 4),
 		Options{Workers: 2, NaiveContraction: true, Trust: FullTrust})
 	if res.Ans == Unknown || res.Ans.Bool() != want {
 		t.Fatalf("naive contraction: got %v, want %v", res.Ans, want)
@@ -61,7 +61,7 @@ func TestNaiveContractionPureCycle(t *testing.T) {
 	)
 	q2 := Query{0, 3}
 	want2 := CBE(g2, q2)
-	res2 := ParallelReduction(g2.Clone(), q2, graph.NewNodeSet(0, 3),
+	res2 := mustReduce(t, g2.Clone(), q2, graph.NewNodeSet(0, 3),
 		Options{Workers: 2, NaiveContraction: true, DisableTermination: true, Trust: FullTrust})
 	if res2.Ans == Unknown || res2.Ans.Bool() != want2 {
 		t.Fatalf("naive contraction on mutual pair: got %v, want %v", res2.Ans, want2)
@@ -75,7 +75,7 @@ func TestNaiveContractionMatchesDefaultRandom(t *testing.T) {
 		g := gen.Random(n, rng.Intn(5*n), rng.Int63())
 		q := Query{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}
 		want := CBE(g, q)
-		res := ParallelReduction(g.Clone(), q, graph.NewNodeSet(q.S, q.T),
+		res := mustReduce(t, g.Clone(), q, graph.NewNodeSet(q.S, q.T),
 			Options{Workers: 3, NaiveContraction: true, Trust: FullTrust})
 		if res.Ans == Unknown || res.Ans.Bool() != want {
 			t.Fatalf("trial %d: naive=%v want=%v", trial, res.Ans, want)

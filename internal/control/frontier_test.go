@@ -1,12 +1,24 @@
 package control
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"ccp/internal/gen"
 	"ccp/internal/graph"
 )
+
+// mustReduce runs ParallelReduction with a background context and fails the
+// test on an (impossible there) context error. Shared by the package's tests.
+func mustReduce(t *testing.T, g *graph.Graph, q Query, x graph.NodeSet, opt Options) Result {
+	t.Helper()
+	res, err := ParallelReduction(context.Background(), g, q, x, opt)
+	if err != nil {
+		t.Fatalf("ParallelReduction(%v): unexpected error %v", q, err)
+	}
+	return res
+}
 
 // requireSameReduction runs the frontier engine and the full-rescan engine
 // on clones of g and requires identical answers, statistics, round counts
@@ -16,8 +28,8 @@ func requireSameReduction(t *testing.T, seed int64, g *graph.Graph, q Query, x g
 	gFrontier, gFull := g.Clone(), g.Clone()
 	optFull := opt
 	optFull.FullRescan = true
-	rf := ParallelReduction(gFrontier, q, x, opt)
-	rr := ParallelReduction(gFull, q, x, optFull)
+	rf := mustReduce(t, gFrontier, q, x, opt)
+	rr := mustReduce(t, gFull, q, x, optFull)
 	if rf.Ans != rr.Ans {
 		t.Fatalf("seed %d %v opts %+v: frontier answered %v, full rescan %v", seed, q, opt, rf.Ans, rr.Ans)
 	}
@@ -112,8 +124,14 @@ func TestReducerReuseAcrossQueries(t *testing.T) {
 		gr, gf := g.Clone(), g.Clone()
 		optFull := opt
 		optFull.FullRescan = true
-		res := r.Reduce(gr, q, x, opt)
-		ref := fullRescanReduction(gf, q, x, optFull)
+		res, err := r.Reduce(context.Background(), gr, q, x, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := fullRescanReduction(context.Background(), gf, q, x, optFull)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		if res.Ans != ref.Ans || res.Stats != ref.Stats ||
 			gr.NumNodes() != gf.NumNodes() || gr.NumEdges() != gf.NumEdges() {
 			t.Fatalf("seed %d: reused reducer diverged: %+v vs %+v (%v vs %v)",

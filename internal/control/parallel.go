@@ -1,6 +1,7 @@
 package control
 
 import (
+	"context"
 	"sync"
 
 	"ccp/internal/graph"
@@ -75,17 +76,22 @@ var reducerPool = sync.Pool{New: func() any { return NewReducer() }}
 // mark-everything procedure. This wrapper borrows a pooled Reducer; callers
 // with a natural place to keep one (e.g. dist.Site) can hold their own and
 // call Reduce directly.
-func ParallelReduction(g *graph.Graph, q Query, x graph.NodeSet, opt Options) Result {
+//
+// ctx is checked between reduction rounds: a cancelled or expired context
+// stops the reduction promptly and returns ctx.Err() (the graph is left
+// partially reduced, the pooled Reducer stays reusable). The returned error
+// is nil whenever the reduction ran to its natural end.
+func ParallelReduction(ctx context.Context, g *graph.Graph, q Query, x graph.NodeSet, opt Options) (Result, error) {
 	r := reducerPool.Get().(*Reducer)
-	res := r.Reduce(g, q, x, opt)
+	res, err := r.Reduce(ctx, g, q, x, opt)
 	reducerPool.Put(r)
-	return res
+	return res, err
 }
 
 // fullRescanReduction is the pre-frontier engine, kept verbatim as the
 // abl-frontier ablation baseline: every round re-marks all of the id space
 // and re-tallies classes with a full parallel scan.
-func fullRescanReduction(g *graph.Graph, q Query, x graph.NodeSet, opt Options) Result {
+func fullRescanReduction(ctx context.Context, g *graph.Graph, q Query, x graph.NodeSet, opt Options) (Result, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = par.DefaultWorkers()
@@ -103,7 +109,7 @@ func fullRescanReduction(g *graph.Graph, q Query, x graph.NodeSet, opt Options) 
 		return false
 	}
 	if check() {
-		return res
+		return res, nil
 	}
 
 	n := g.Cap()
@@ -155,9 +161,12 @@ func fullRescanReduction(g *graph.Graph, q Query, x graph.NodeSet, opt Options) 
 	phase := 1
 	dead := make([]bool, n)
 	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		mark()
 		if check() {
-			return res
+			return res, nil
 		}
 		c12, c3 := countClasses()
 
@@ -199,7 +208,7 @@ func fullRescanReduction(g *graph.Graph, q Query, x graph.NodeSet, opt Options) 
 	// query whenever the exclusion set is just {s, t} (see Section VI: after
 	// Phase 2, T1 ∨ T3 always fires in the centralized setting).
 	res.Ans = CheckTermination(g, q, opt.Trust)
-	return res
+	return res, nil
 }
 
 // resolveRepresentatives computes, for every C3 node, the node that will

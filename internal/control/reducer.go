@@ -1,6 +1,7 @@
 package control
 
 import (
+	"context"
 	"slices"
 
 	"ccp/internal/graph"
@@ -92,9 +93,15 @@ func (r *Reducer) reset(g *graph.Graph, x graph.NodeSet) {
 // the exclusion set x. It is equivalent to ParallelReduction — identical
 // answers, reduced graphs and statistics — but reuses r's buffers and, unless
 // opt.FullRescan is set, re-marks only the dirty frontier each round.
-func (r *Reducer) Reduce(g *graph.Graph, q Query, x graph.NodeSet, opt Options) Result {
+//
+// ctx is checked at every round boundary: once it is cancelled or past its
+// deadline the reduction returns ctx.Err() promptly instead of burning cores
+// on a query nobody is waiting for. The graph is left partially reduced (it
+// is a per-query clone everywhere this engine runs) and r itself stays fully
+// reusable — the next Reduce call resets all scratch state.
+func (r *Reducer) Reduce(ctx context.Context, g *graph.Graph, q Query, x graph.NodeSet, opt Options) (Result, error) {
 	if opt.FullRescan {
-		return fullRescanReduction(g, q, x, opt)
+		return fullRescanReduction(ctx, g, q, x, opt)
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -112,17 +119,23 @@ func (r *Reducer) Reduce(g *graph.Graph, q Query, x graph.NodeSet, opt Options) 
 		return false
 	}
 	if check() {
-		return res
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 
 	r.reset(g, x)
 	r.markAll(g, opt.Meter, workers)
 	if check() {
-		return res
+		return res, nil
 	}
 
 	phase := 1
 	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if phase == 1 {
 			if r.c12n == 0 {
 				phase = 2
@@ -141,7 +154,7 @@ func (r *Reducer) Reduce(g *graph.Graph, q Query, x graph.NodeSet, opt Options) 
 				res.Phase1Rounds++
 				r.remark(g, opt.Meter, workers, touched)
 				if check() {
-					return res
+					return res, nil
 				}
 				continue
 			}
@@ -164,12 +177,12 @@ func (r *Reducer) Reduce(g *graph.Graph, q Query, x graph.NodeSet, opt Options) 
 		r.remark(g, opt.Meter, workers, touched)
 		r.finishContractRound(g)
 		if check() {
-			return res
+			return res, nil
 		}
 	}
 
 	res.Ans = CheckTermination(g, q, opt.Trust)
-	return res
+	return res, nil
 }
 
 // markAll classifies every node (round 1) and rebuilds the candidate lists

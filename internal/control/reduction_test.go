@@ -1,6 +1,7 @@
 package control
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -101,7 +102,7 @@ func allSolversAgree(t *testing.T, g *graph.Graph, q Query, trial int) {
 		{Workers: 2, NaiveContraction: true},
 	} {
 		opt.Trust = FullTrust
-		res := ParallelReduction(g.Clone(), q, x, opt)
+		res := mustReduce(t, g.Clone(), q, x, opt)
 		if res.Ans == Unknown {
 			t.Fatalf("trial %d %v opts %+v: parallel reduction undecided", trial, q, opt)
 		}
@@ -146,9 +147,9 @@ func TestQuickReductionEquivalence(t *testing.T) {
 		g := gen.Random(n, int(mm)%(5*n), seed)
 		q := Query{graph.NodeID(int(s) % n), graph.NodeID(int(tt) % n)}
 		want := CBE(g, q)
-		res := ParallelReduction(g.Clone(), q, graph.NewNodeSet(q.S, q.T),
+		res, err := ParallelReduction(context.Background(), g.Clone(), q, graph.NewNodeSet(q.S, q.T),
 			Options{Workers: 1 + int(workers%8), Trust: FullTrust})
-		return res.Ans != Unknown && res.Ans.Bool() == want
+		return err == nil && res.Ans != Unknown && res.Ans.Bool() == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
@@ -176,7 +177,7 @@ func TestReductionPreservesControlEquivalence(t *testing.T) {
 		red := g.Clone()
 		// Distrust T1/T2 so the reduction cannot stop early with an answer
 		// derived from the exclusion-set query nodes.
-		res := ParallelReduction(red, q, x, Options{Workers: 3})
+		res := mustReduce(t, red, q, x, Options{Workers: 3})
 		_ = res
 		for _, s := range xs {
 			for _, tt := range xs {
@@ -198,7 +199,7 @@ func TestReductionShrinksGraph(t *testing.T) {
 	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 5000, AvgOutDegree: 2, Seed: 99})
 	n0 := g.NumNodes()
 	q := Query{0, graph.NodeID(n0 - 1)}
-	res := ParallelReduction(g, q, graph.NewNodeSet(q.S, q.T),
+	res := mustReduce(t, g, q, graph.NewNodeSet(q.S, q.T),
 		Options{Workers: 4, DisableTermination: true})
 	if g.NumNodes() > n0/10 {
 		t.Fatalf("reduction left %d of %d nodes", g.NumNodes(), n0)
@@ -221,7 +222,7 @@ func TestParallelReductionC3CycleCollapse(t *testing.T) {
 	if !CBE(g, q) {
 		t.Fatal("CBE should accept")
 	}
-	res := ParallelReduction(g.Clone(), q, graph.NewNodeSet(0, 4), Options{Workers: 4, Trust: FullTrust})
+	res := mustReduce(t, g.Clone(), q, graph.NewNodeSet(0, 4), Options{Workers: 4, Trust: FullTrust})
 	if res.Ans != True {
 		t.Fatalf("cycle collapse broke the answer: %v", res.Ans)
 	}
@@ -238,7 +239,7 @@ func TestParallelReductionMutualControlPair(t *testing.T) {
 	for s := graph.NodeID(0); s < 3; s++ {
 		q := Query{s, 3}
 		want := CBE(g, q)
-		res := ParallelReduction(g.Clone(), q, graph.NewNodeSet(q.S, q.T), Options{Trust: FullTrust})
+		res := mustReduce(t, g.Clone(), q, graph.NewNodeSet(q.S, q.T), Options{Trust: FullTrust})
 		if res.Ans == Unknown || res.Ans.Bool() != want {
 			t.Fatalf("s=%d: got %v, want %v", s, res.Ans, want)
 		}
@@ -256,7 +257,7 @@ func TestStatsAdd(t *testing.T) {
 func TestParallelReductionEarlyTermination(t *testing.T) {
 	// T3 fires before any work.
 	g := build(t, 3, graph.Edge{From: 0, To: 1, Weight: 0.9}, graph.Edge{From: 2, To: 1, Weight: 0.05})
-	res := ParallelReduction(g, Query{0, 1}, graph.NewNodeSet(0, 1), Options{Trust: FullTrust})
+	res := mustReduce(t, g, Query{0, 1}, graph.NewNodeSet(0, 1), Options{Trust: FullTrust})
 	if res.Ans != True || res.Stats.Iterations != 0 {
 		t.Fatalf("early T3: %+v", res)
 	}
@@ -276,10 +277,10 @@ func TestTwoPhaseOnlyLeavesResidue(t *testing.T) {
 		x := graph.NewNodeSet(q.S, q.T)
 
 		twoPhase := g.Clone()
-		ParallelReduction(twoPhase, q, x, Options{
+		mustReduce(t, twoPhase, q, x, Options{
 			Workers: 2, TwoPhaseOnly: true, DisableTermination: true})
 		exhaustive := g.Clone()
-		ParallelReduction(exhaustive, q, x, Options{
+		mustReduce(t, exhaustive, q, x, Options{
 			Workers: 2, DisableTermination: true})
 
 		if exhaustive.NumNodes() > twoPhase.NumNodes() {

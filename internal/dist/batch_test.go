@@ -1,9 +1,11 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -23,11 +25,11 @@ func startTCPSite(t *testing.T, p *partition.Partition) *RemoteClient {
 	}
 	t.Cleanup(func() { l.Close() })
 	go func() {
-		if err := Serve(l, NewSite(p, 2)); err != nil {
+		if err := Serve(context.Background(), l, NewSite(p, 2)); err != nil {
 			t.Errorf("serve: %v", err)
 		}
 	}()
-	c, err := Dial(l.Addr().String())
+	c, err := Dial(context.Background(), l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func TestRemoteClientMultiplexing(t *testing.T) {
 			S: graph.NodeID(rng.Intn(g.Cap())),
 			T: graph.NodeID(rng.Intn(g.Cap())),
 		}
-		pa, _, err := c.Evaluate(qs[i], EvalOptions{})
+		pa, _, err := c.Evaluate(context.Background(), qs[i], EvalOptions{})
 		if err != nil {
 			t.Fatalf("serial %v: %v", qs[i], err)
 		}
@@ -69,7 +71,7 @@ func TestRemoteClientMultiplexing(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i], _, gotErr[i] = c.Evaluate(qs[i], EvalOptions{})
+			got[i], _, gotErr[i] = c.Evaluate(context.Background(), qs[i], EvalOptions{})
 		}(i)
 	}
 	// A precompute races on the same connection; it must neither fail nor
@@ -77,7 +79,7 @@ func TestRemoteClientMultiplexing(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := c.Precompute(); err != nil {
+		if err := c.Precompute(context.Background()); err != nil {
 			t.Errorf("precompute: %v", err)
 		}
 	}()
@@ -107,7 +109,7 @@ func TestSiteErrorOverWire(t *testing.T) {
 
 	// Weight 1.5 is outside (0,1]: the site is reachable but must reject the
 	// stake, and the failure must surface as a typed SiteError.
-	_, err = c.Update(StakeUpdate{Owner: 0, Owned: 1, Weight: 1.5})
+	_, err = c.Update(context.Background(), StakeUpdate{Owner: 0, Owned: 1, Weight: 1.5})
 	var se *SiteError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %v (%T), want *SiteError", err, err)
@@ -120,7 +122,7 @@ func TestSiteErrorOverWire(t *testing.T) {
 		t.Fatalf("site failure classified as transport failure: %v", err)
 	}
 	// The connection survives a site error: the next call succeeds.
-	if _, _, err := c.Evaluate(control.Query{S: 0, T: 1}, EvalOptions{}); err != nil {
+	if _, _, err := c.Evaluate(context.Background(), control.Query{S: 0, T: 1}, EvalOptions{}); err != nil {
 		t.Fatalf("connection dead after site error: %v", err)
 	}
 }
@@ -134,7 +136,7 @@ func TestTransportErrorAfterClose(t *testing.T) {
 	c := startTCPSite(t, pi.Parts[0])
 	c.Close()
 
-	_, _, err = c.Evaluate(control.Query{S: 0, T: 1}, EvalOptions{})
+	_, _, err = c.Evaluate(context.Background(), control.Query{S: 0, T: 1}, EvalOptions{})
 	var te *TransportError
 	if !errors.As(err, &te) {
 		t.Fatalf("err = %v (%T), want *TransportError", err, err)
@@ -164,7 +166,7 @@ func TestTransportErrorOnDial(t *testing.T) {
 		}
 		conn.Close()
 	}()
-	_, err = Dial(l.Addr().String())
+	_, err = Dial(context.Background(), l.Addr().String())
 	var te *TransportError
 	if !errors.As(err, &te) {
 		t.Fatalf("err = %v (%T), want *TransportError", err, err)
@@ -180,11 +182,11 @@ type failingClient struct {
 	failS graph.NodeID
 }
 
-func (c *failingClient) Evaluate(q control.Query, opts EvalOptions) (*PartialAnswer, int64, error) {
+func (c *failingClient) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) (*PartialAnswer, int64, error) {
 	if q.S == c.failS {
 		return nil, 0, &SiteError{SiteID: c.SiteID(), Op: "evaluate", Msg: "injected"}
 	}
-	return c.SiteClient.Evaluate(q, opts)
+	return c.SiteClient.Evaluate(ctx, q, opts)
 }
 
 func TestAnswerBatchQueryError(t *testing.T) {
@@ -200,7 +202,7 @@ func TestAnswerBatchQueryError(t *testing.T) {
 	qs := []control.Query{{S: 1, T: 2}, {S: 3, T: 4}, {S: 7, T: 9}, {S: 5, T: 6}}
 	for _, conc := range []int{1, 3} {
 		coord := NewCoordinator(clients, Options{Workers: 1, Concurrency: conc})
-		_, _, err := coord.AnswerBatch(qs)
+		_, _, err := coord.AnswerBatch(context.Background(), qs)
 		var qe *QueryError
 		if !errors.As(err, &qe) {
 			t.Fatalf("conc=%d: err = %v (%T), want *QueryError", conc, err, err)
@@ -229,7 +231,7 @@ func batchCluster(t *testing.T, g *graph.Graph, opts Options) *Coordinator {
 		clients[i] = &LocalClient{Site: NewSite(p, 1), MeasureBytes: true}
 	}
 	coord := NewCoordinator(clients, opts)
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return coord
@@ -240,6 +242,7 @@ func batchCluster(t *testing.T, g *graph.Graph, opts Options) *Coordinator {
 func clearTimes(m *Metrics) *Metrics {
 	c := *m
 	c.SiteElapsedMax, c.SiteElapsedSum, c.CoordElapsed = 0, 0, 0
+	c.Health = nil // point-in-time snapshot, not accounting
 	return &c
 }
 
@@ -264,7 +267,7 @@ func TestAnswerBatchSerialIdentical(t *testing.T) {
 	qs := batchQueries(g, 24, 8)
 
 	batch := batchCluster(t, g, opts)
-	got, totalGot, err := batch.AnswerBatch(qs)
+	got, totalGot, err := batch.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +276,7 @@ func TestAnswerBatchSerialIdentical(t *testing.T) {
 	want := make([]bool, len(qs))
 	totalWant := &Metrics{DecidedBy: -1}
 	for i, q := range qs {
-		ans, m, err := manual.Answer(q)
+		ans, m, err := manual.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%v: %v", q, err)
 		}
@@ -290,7 +293,7 @@ func TestAnswerBatchSerialIdentical(t *testing.T) {
 		}
 	}
 	g1, g2 := clearTimes(totalGot), clearTimes(totalWant)
-	if *g1 != *g2 {
+	if !reflect.DeepEqual(g1, g2) {
 		t.Fatalf("serial batch accounting diverged:\nbatch  %+v\nmanual %+v", g1, g2)
 	}
 }
@@ -301,13 +304,13 @@ func TestAnswerBatchConcurrentMatches(t *testing.T) {
 	g := gen.EU(gen.EUConfig{Countries: 4, NodesPerCountry: 1200, InterconnectRate: 0.01, Seed: 31}).G
 	qs := batchQueries(g, 24, 8)
 	serial := batchCluster(t, g, Options{UseCache: true, Workers: 1, Concurrency: 1})
-	want, _, err := serial.AnswerBatch(qs)
+	want, _, err := serial.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, conc := range []int{2, 4, 8} {
 		coord := batchCluster(t, g, Options{UseCache: true, Workers: 1, Concurrency: conc})
-		got, m, err := coord.AnswerBatch(qs)
+		got, m, err := coord.AnswerBatch(context.Background(), qs)
 		if err != nil {
 			t.Fatalf("conc=%d: %v", conc, err)
 		}
@@ -331,7 +334,7 @@ func TestBatchMetricsAggregation(t *testing.T) {
 	qs := batchQueries(g, 6, 15)
 
 	batch := batchCluster(t, g, opts)
-	_, total, err := batch.AnswerBatch(qs)
+	_, total, err := batch.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +342,7 @@ func TestBatchMetricsAggregation(t *testing.T) {
 	manual := batchCluster(t, g, opts)
 	want := &Metrics{DecidedBy: -1}
 	for _, q := range qs {
-		_, m, err := manual.Answer(q)
+		_, m, err := manual.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%v: %v", q, err)
 		}
@@ -359,7 +362,7 @@ func TestBatchMetricsAggregation(t *testing.T) {
 		t.Fatalf("snapshot hits not aggregated: %+v", total)
 	}
 	g1, g2 := clearTimes(total), clearTimes(want)
-	if *g1 != *g2 {
+	if !reflect.DeepEqual(g1, g2) {
 		t.Fatalf("batch aggregation diverged from per-query sum:\nbatch  %+v\nmanual %+v", g1, g2)
 	}
 }
@@ -376,7 +379,7 @@ func TestSnapshotReuseAndInvalidation(t *testing.T) {
 	q := control.Query{S: 5, T: graph.NodeID(g.Cap() - 5)}
 	want := control.CBE(mirror, q)
 	for i := 0; i < 3; i++ {
-		got, m, err := coord.Answer(q)
+		got, m, err := coord.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -400,10 +403,10 @@ func TestSnapshotReuseAndInvalidation(t *testing.T) {
 	if err := mirror.MergeEdge(up.Owner, up.Owned, up.Weight); err != nil {
 		t.Fatal(err)
 	}
-	if err := coord.ApplyUpdate(up); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), up); err != nil {
 		t.Fatal(err)
 	}
-	got, m, err := coord.Answer(q)
+	got, m, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +419,7 @@ func TestSnapshotReuseAndInvalidation(t *testing.T) {
 		t.Fatalf("after update: served %d stale coordinator copies", m.CoordCacheHits)
 	}
 	// The next round snapshots the new epoch vector again.
-	if _, m, err = coord.Answer(q); err != nil || m.SnapshotHits != 1 {
+	if _, m, err = coord.Answer(context.Background(), q); err != nil || m.SnapshotHits != 1 {
 		t.Fatalf("after update round 2: m=%+v err=%v", m, err)
 	}
 }

@@ -1,0 +1,637 @@
+package dist
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ccp/internal/control"
+	"ccp/internal/graph"
+)
+
+// ClientConfig tunes the transport lifecycle of a RemoteClient: dial and
+// retry behavior, redial backoff, and the consecutive-failure circuit
+// breaker. The zero value selects production defaults.
+type ClientConfig struct {
+	// DialTimeout bounds each dial attempt. Default 5s.
+	DialTimeout time.Duration
+	// MaxRetries is how many additional attempts an idempotent call
+	// (evaluate, precompute, info) makes after a transport failure before
+	// giving up; each attempt redials if needed. Non-idempotent calls
+	// (update, cross-in) are never retried. Default 2.
+	MaxRetries int
+	// BaseBackoff is the redial delay after the first consecutive dial
+	// failure; it doubles per failure up to MaxBackoff and resets on
+	// success. Defaults 25ms / 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// FailureThreshold is the number of consecutive call failures
+	// (transport errors or deadline misses) that open the circuit breaker:
+	// the connection is torn down and calls fail fast with ErrCircuitOpen
+	// until Cooldown has passed, after which the next call probes the site
+	// again. Default 4.
+	FailureThreshold int
+	// Cooldown is how long an open circuit rejects calls. Default 1s.
+	Cooldown time.Duration
+	// Dialer opens the transport connection; tests inject failing or
+	// fault-wrapped connections here. Default: TCP via net.Dialer.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// withDefaults fills unset config fields with the production defaults.
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 25 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.Dialer == nil {
+		c.Dialer = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return c
+}
+
+// SiteHealth is a point-in-time snapshot of one site client's transport
+// health: connection state, the consecutive-failure count feeding the
+// circuit breaker, and lifetime redial/retry counters.
+type SiteHealth struct {
+	// SiteID is the partition id served by the site (-1 before the first
+	// successful handshake).
+	SiteID int
+	// Addr is the site's dial address (empty for in-process clients).
+	Addr string
+	// Connected reports whether a live connection is up right now.
+	Connected bool
+	// ConsecutiveFailures counts call failures since the last success.
+	ConsecutiveFailures int
+	// CircuitOpen reports that calls currently fail fast without touching
+	// the network; CircuitUntil is when the next probe is allowed.
+	CircuitOpen  bool
+	CircuitUntil time.Time
+	// Redials counts successful re-established connections (the initial
+	// dial excluded); Retries counts per-call transport retries.
+	Redials int64
+	Retries int64
+	// LastError is the most recent transport failure, empty when healthy.
+	LastError string
+}
+
+// HealthReporter is implemented by site clients that track transport health.
+type HealthReporter interface {
+	Health() SiteHealth
+}
+
+// countConn wraps a net.Conn counting the bytes read (the traffic the
+// coordinator receives from the site). Only the client's reader goroutine
+// touches the counter.
+type countConn struct {
+	net.Conn
+	read *int64
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	*c.read += int64(n)
+	return n, err
+}
+
+// rpcResult is one routed response plus the bytes it occupied on the wire.
+type rpcResult struct {
+	resp  *response
+	bytes int64
+}
+
+// muxConn is one connection generation: a gob stream multiplexing any number
+// of in-flight requests, with a single reader goroutine routing responses by
+// id. When the reader exits it fails every pending call exactly once and the
+// generation is dead for good — the owning RemoteClient then dials a fresh
+// generation on the next call instead of serving the stale error forever.
+type muxConn struct {
+	conn net.Conn
+
+	encMu sync.Mutex // serializes writes; gob encoders are not concurrent-safe
+	enc   *gob.Encoder
+
+	read int64 // total bytes read; owned by the reader goroutine
+
+	mu      sync.Mutex
+	pending map[uint64]chan rpcResult
+	nextID  uint64
+	err     error // the transport error that killed this generation
+}
+
+func newMuxConn(conn net.Conn) *muxConn {
+	return &muxConn{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan rpcResult),
+	}
+}
+
+// register allocates a request id and parks ch to receive its response.
+func (m *muxConn) register(ch chan rpcResult) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return 0, m.err
+	}
+	m.nextID++
+	m.pending[m.nextID] = ch
+	return m.nextID, nil
+}
+
+// deregister abandons a pending request (caller gave up waiting). The
+// response, if it ever arrives, is discarded by the read loop.
+func (m *muxConn) deregister(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
+// readLoop is the generation's only reader: it decodes responses, measures
+// the bytes each occupied on the wire (gob reads exactly one length-prefixed
+// message per Decode), and routes them to the waiting caller by id.
+func (m *muxConn) readLoop() error {
+	dec := gob.NewDecoder(countConn{Conn: m.conn, read: &m.read})
+	for {
+		before := m.read
+		resp := new(response)
+		if err := dec.Decode(resp); err != nil {
+			m.fail(err)
+			return err
+		}
+		n := m.read - before
+		m.mu.Lock()
+		ch, ok := m.pending[resp.ID]
+		delete(m.pending, resp.ID)
+		m.mu.Unlock()
+		if ok {
+			ch <- rpcResult{resp: resp, bytes: n}
+		}
+	}
+}
+
+// fail marks the generation dead and wakes every in-flight call exactly
+// once: pending channels are closed, and any register after this returns the
+// error immediately (no request can join a dead generation and hang).
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	m.conn.Close()
+}
+
+// RemoteClient talks to a worker site over a multiplexed connection: any
+// number of calls can be in flight at once on one conn. Unlike its pre-
+// lifecycle ancestor it is not bricked by a transport hiccup — a broken
+// connection fails the in-flight calls once, and the next call redials with
+// capped exponential backoff. Consecutive failures (transport or deadline)
+// open a circuit breaker that fails fast until a cooldown passes. All calls
+// take a context; its deadline is enforced locally, carried over the wire,
+// and enforced again server-side.
+type RemoteClient struct {
+	addr string
+	cfg  ClientConfig
+
+	mu          sync.Mutex
+	conn        *muxConn // live generation, nil when disconnected
+	dialing     chan struct{}
+	closed      bool
+	siteID      int
+	consecFails int
+	circuit     time.Time // calls fail fast until this instant (zero = closed)
+	nextDialAt  time.Time // redial backoff gate
+	backoff     time.Duration
+	redials     int64
+	retries     int64
+	dialed      bool // first successful dial done (redials counts the rest)
+	lastErr     error
+}
+
+// Dial connects to a worker site with default lifecycle configuration and
+// fetches its identity. ctx bounds the handshake.
+func Dial(ctx context.Context, addr string) (*RemoteClient, error) {
+	return DialConfig(ctx, addr, ClientConfig{})
+}
+
+// DialConfig is Dial with explicit lifecycle configuration.
+func DialConfig(ctx context.Context, addr string, cfg ClientConfig) (*RemoteClient, error) {
+	c := &RemoteClient{addr: addr, cfg: cfg.withDefaults(), siteID: -1}
+	// The identity handshake is bounded by DialTimeout even when ctx has no
+	// deadline of its own: a site that accepts and then stalls must not
+	// hang Dial forever.
+	hctx := ctx
+	if c.cfg.DialTimeout > 0 {
+		var cancel context.CancelFunc
+		hctx, cancel = context.WithTimeout(ctx, c.cfg.DialTimeout)
+		defer cancel()
+	}
+	resp, _, err := c.roundTrip(hctx, &request{Op: opInfo})
+	if err != nil {
+		c.Close()
+		// A handshake that ran out the dial budget (rather than the
+		// caller's own deadline) is a transport-level dial failure.
+		var de *DeadlineError
+		if errors.As(err, &de) && ctx.Err() == nil {
+			err = &TransportError{SiteID: -1, Op: "dial", Err: fmt.Errorf("handshake timed out after %v", c.cfg.DialTimeout)}
+		}
+		return nil, fmt.Errorf("dist: dialing site %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	c.siteID = resp.SiteID
+	c.mu.Unlock()
+	return c, nil
+}
+
+// acquireConn returns the live connection generation, dialing one (with
+// backoff and circuit-breaker gating) if necessary. Concurrent callers
+// share one dial.
+func (c *RemoteClient) acquireConn(ctx context.Context) (*muxConn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errors.New("client closed")
+		}
+		if c.conn != nil {
+			mc := c.conn
+			c.mu.Unlock()
+			return mc, nil
+		}
+		if ch := c.dialing; ch != nil {
+			c.mu.Unlock()
+			select {
+			case <-ch:
+				continue // re-check: dial finished (either way)
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if until := c.circuit; !until.IsZero() {
+			if time.Now().Before(until) {
+				err := c.lastErr
+				c.mu.Unlock()
+				return nil, fmt.Errorf("%w until %s (after: %v)", ErrCircuitOpen, until.Format(time.RFC3339Nano), err)
+			}
+			c.circuit = time.Time{} // cooldown over: half-open, probe below
+		}
+		wait := time.Until(c.nextDialAt)
+		done := make(chan struct{})
+		c.dialing = done
+		c.mu.Unlock()
+
+		mc, err := c.dialOnce(ctx, wait)
+
+		c.mu.Lock()
+		c.dialing = nil
+		close(done)
+		if err != nil {
+			c.noteFailureLocked(err)
+			// Grow the redial backoff; reset on the next success.
+			if c.backoff == 0 {
+				c.backoff = c.cfg.BaseBackoff
+			} else if c.backoff *= 2; c.backoff > c.cfg.MaxBackoff {
+				c.backoff = c.cfg.MaxBackoff
+			}
+			c.nextDialAt = time.Now().Add(c.backoff)
+			c.mu.Unlock()
+			return nil, err
+		}
+		if c.closed {
+			c.mu.Unlock()
+			mc.fail(errors.New("client closed"))
+			return nil, errors.New("client closed")
+		}
+		c.conn = mc
+		c.backoff = 0
+		c.nextDialAt = time.Time{}
+		if c.dialed {
+			c.redials++
+		}
+		c.dialed = true
+		c.mu.Unlock()
+		go func() {
+			err := mc.readLoop()
+			c.dropConn(mc, err)
+		}()
+		return mc, nil
+	}
+}
+
+// dialOnce waits out the backoff window (context permitting) and makes one
+// dial attempt bounded by DialTimeout.
+func (c *RemoteClient) dialOnce(ctx context.Context, wait time.Duration) (*muxConn, error) {
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	dctx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
+	defer cancel()
+	conn, err := c.cfg.Dialer(dctx, c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("dialing %s: %w", c.addr, err)
+	}
+	return newMuxConn(conn), nil
+}
+
+// dropConn retires a dead generation so the next call redials.
+func (c *RemoteClient) dropConn(mc *muxConn, err error) {
+	c.mu.Lock()
+	if c.conn == mc {
+		c.conn = nil
+		c.noteFailureLocked(err)
+	}
+	c.mu.Unlock()
+}
+
+// noteFailureLocked records one call/transport failure and opens the circuit
+// at the configured threshold. Callers hold c.mu.
+func (c *RemoteClient) noteFailureLocked(err error) {
+	c.consecFails++
+	if err != nil {
+		c.lastErr = err
+	}
+	if c.consecFails >= c.cfg.FailureThreshold && c.circuit.IsZero() {
+		c.circuit = time.Now().Add(c.cfg.Cooldown)
+		if c.conn != nil {
+			// A site that times out call after call is stalled, not slow:
+			// tear the generation down so the probe after cooldown starts
+			// on a fresh connection.
+			mc := c.conn
+			c.conn = nil
+			go mc.fail(fmt.Errorf("dist: circuit opened: %w", err))
+		}
+	}
+}
+
+// noteDegraded counts a deadline/cancel miss toward the circuit breaker
+// without a dead connection.
+func (c *RemoteClient) noteDegraded(err error) {
+	c.mu.Lock()
+	c.noteFailureLocked(err)
+	c.mu.Unlock()
+}
+
+// noteSuccess resets the failure tracking after any successful exchange.
+func (c *RemoteClient) noteSuccess() {
+	c.mu.Lock()
+	c.consecFails = 0
+	c.circuit = time.Time{}
+	c.lastErr = nil
+	c.mu.Unlock()
+}
+
+// Close releases the connection. In-flight calls fail with a TransportError;
+// subsequent calls fail immediately.
+func (c *RemoteClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	mc := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if mc != nil {
+		mc.fail(errors.New("client closed"))
+	}
+	return nil
+}
+
+// SiteID implements SiteClient.
+func (c *RemoteClient) SiteID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.siteID
+}
+
+// Health implements HealthReporter.
+func (c *RemoteClient) Health() SiteHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := SiteHealth{
+		SiteID:              c.siteID,
+		Addr:                c.addr,
+		Connected:           c.conn != nil,
+		ConsecutiveFailures: c.consecFails,
+		Redials:             c.redials,
+		Retries:             c.retries,
+	}
+	if !c.circuit.IsZero() && time.Now().Before(c.circuit) {
+		h.CircuitOpen = true
+		h.CircuitUntil = c.circuit
+	}
+	if c.lastErr != nil {
+		h.LastError = c.lastErr.Error()
+	}
+	return h
+}
+
+// Precompute implements SiteClient.
+func (c *RemoteClient) Precompute(ctx context.Context) error {
+	_, _, err := c.roundTrip(ctx, &request{Op: opPrecompute})
+	return err
+}
+
+// Evaluate implements SiteClient.
+func (c *RemoteClient) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) (*PartialAnswer, int64, error) {
+	resp, n, err := c.roundTrip(ctx, &request{
+		Op:           opEvaluate,
+		S:            int32(q.S),
+		T:            int32(q.T),
+		UseCache:     opts.UseCache,
+		ForcePartial: opts.ForcePartial,
+		IfEpoch:      opts.IfEpoch,
+		HasIfEpoch:   opts.HasIfEpoch,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	pa, err := decodePartial(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pa, n, nil
+}
+
+// Update implements SiteClient.
+func (c *RemoteClient) Update(ctx context.Context, up StakeUpdate) (UpdateResult, error) {
+	resp, _, err := c.roundTrip(ctx, &request{Op: opUpdate, Update: up})
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return resp.UpdateRes, nil
+}
+
+// AdjustCrossIn implements SiteClient.
+func (c *RemoteClient) AdjustCrossIn(ctx context.Context, v graph.NodeID, delta int) (bool, error) {
+	resp, _, err := c.roundTrip(ctx, &request{Op: opCrossIn, S: int32(v), Delta: delta})
+	if err != nil {
+		return false, err
+	}
+	return resp.Acted, nil
+}
+
+// idempotent reports whether an operation may safely be retried after a
+// transport failure whose outcome is unknown. Updates and cross-in deltas
+// mutate site state and must not be replayed.
+func idempotent(o op) bool {
+	switch o {
+	case opEvaluate, opPrecompute, opInfo:
+		return true
+	}
+	return false
+}
+
+// roundTrip sends one request and waits for its response, returning the
+// bytes the response occupied on the wire. Any number of roundTrips may run
+// concurrently. Transport failures on idempotent ops are retried up to
+// MaxRetries times, redialing as needed; ctx cancellation/deadline returns a
+// typed CancelledError/DeadlineError and counts toward the circuit breaker.
+func (c *RemoteClient) roundTrip(ctx context.Context, req *request) (*response, int64, error) {
+	opname := opName(req.Op)
+	attempts := 1
+	if idempotent(req.Op) {
+		attempts += c.cfg.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+		}
+		if err := ctx.Err(); err != nil {
+			c.noteDegraded(err)
+			return nil, 0, ctxError(c.SiteID(), opname, err)
+		}
+		resp, n, err, retryable := c.try(ctx, req)
+		if err == nil {
+			c.noteSuccess()
+			return resp, n, nil
+		}
+		if !retryable {
+			return nil, 0, err
+		}
+		lastErr = err
+	}
+	return nil, 0, lastErr
+}
+
+// try makes one attempt: acquire a connection, send, await the response or
+// the context. The extra bool reports whether the failure is retryable
+// (transport-level, outcome unknown but op idempotent-safe to resend).
+func (c *RemoteClient) try(ctx context.Context, req *request) (*response, int64, error, bool) {
+	opname := opName(req.Op)
+	mc, err := c.acquireConn(ctx)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, 0, ctxError(c.SiteID(), opname, cerr), false
+		}
+		return nil, 0, &TransportError{SiteID: c.SiteID(), Op: opname, Err: err}, true
+	}
+
+	ch := make(chan rpcResult, 1)
+	id, err := mc.register(ch)
+	if err != nil {
+		return nil, 0, &TransportError{SiteID: c.SiteID(), Op: opname, Err: err}, true
+	}
+	req.ID = id
+	req.DeadlineNS = 0
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			mc.deregister(id)
+			c.noteDegraded(context.DeadlineExceeded)
+			return nil, 0, ctxError(c.SiteID(), opname, context.DeadlineExceeded), false
+		}
+		req.DeadlineNS = rem.Nanoseconds()
+		mc.conn.SetWriteDeadline(dl)
+	} else {
+		mc.conn.SetWriteDeadline(time.Time{})
+	}
+
+	mc.encMu.Lock()
+	err = mc.enc.Encode(req)
+	mc.encMu.Unlock()
+	if err != nil {
+		mc.deregister(id)
+		// A failed or partial write poisons the gob stream for every other
+		// in-flight call on this generation; retire it.
+		mc.fail(fmt.Errorf("sending request: %w", err))
+		c.dropConn(mc, err)
+		return nil, 0, &TransportError{SiteID: c.SiteID(), Op: opname,
+			Err: fmt.Errorf("sending request: %w", err)}, true
+	}
+
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			mc.mu.Lock()
+			err := mc.err
+			mc.mu.Unlock()
+			if err == nil {
+				err = errors.New("connection closed")
+			}
+			return nil, 0, &TransportError{SiteID: c.SiteID(), Op: opname,
+				Err: fmt.Errorf("reading response: %w", err)}, true
+		}
+		if r.resp.Err != "" {
+			switch r.resp.Code {
+			case codeDeadline:
+				err := &DeadlineError{SiteID: r.resp.SiteID, Op: opname,
+					Err: fmt.Errorf("site-side: %s: %w", r.resp.Err, context.DeadlineExceeded)}
+				c.noteDegraded(err)
+				return nil, 0, err, false
+			case codeCancelled:
+				return nil, 0, &CancelledError{SiteID: r.resp.SiteID, Op: opname,
+					Err: fmt.Errorf("site-side: %s: %w", r.resp.Err, context.Canceled)}, false
+			}
+			return nil, 0, &SiteError{SiteID: r.resp.SiteID, Op: opname, Msg: r.resp.Err}, false
+		}
+		return r.resp, r.bytes, nil, false
+	case <-ctx.Done():
+		// Abandon the call but keep the generation: a late response is
+		// discarded by id, other in-flight calls continue. Repeated deadline
+		// misses open the circuit, which does retire the generation.
+		mc.deregister(id)
+		err := ctx.Err()
+		c.noteDegraded(err)
+		return nil, 0, ctxError(c.SiteID(), opname, err), false
+	}
+}

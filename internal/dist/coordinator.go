@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -16,19 +17,22 @@ import (
 // remote. Implementations must be safe for concurrent use: the batch
 // scheduler keeps several queries in flight, so one client may carry many
 // overlapping calls (RemoteClient multiplexes them over one connection).
+// Every call takes a context: cancellation and deadlines propagate to the
+// site (over the wire for remote clients) and surface as typed
+// CancelledError / DeadlineError values.
 type SiteClient interface {
 	// SiteID returns the partition id served by the site.
 	SiteID() int
 	// Evaluate posts q to the site and returns its partial answer together
 	// with the bytes that crossed the transport for this exchange.
-	Evaluate(q control.Query, opts EvalOptions) (*PartialAnswer, int64, error)
+	Evaluate(ctx context.Context, q control.Query, opts EvalOptions) (*PartialAnswer, int64, error)
 	// Precompute asks the site to build its query-independent reduction
 	// offline.
-	Precompute() error
+	Precompute(ctx context.Context) error
 	// Update offers the edge half of a stake update to the site.
-	Update(up StakeUpdate) (UpdateResult, error)
+	Update(ctx context.Context, up StakeUpdate) (UpdateResult, error)
 	// AdjustCrossIn offers an in-node bookkeeping adjustment to the site.
-	AdjustCrossIn(v graph.NodeID, delta int) (bool, error)
+	AdjustCrossIn(ctx context.Context, v graph.NodeID, delta int) (bool, error)
 }
 
 // Options configures one distributed query evaluation.
@@ -57,6 +61,11 @@ type Options struct {
 	// full-rescan engine (ablation abl-frontier). Site-side evaluations are
 	// switched independently via Site.SetFullRescan.
 	FullRescan bool
+	// SiteTimeout bounds each per-site call (evaluate, update, cross-in)
+	// with its own deadline, layered under whatever deadline the caller's
+	// context already carries. 0 means no per-call bound. A site missing the
+	// deadline fails the query with a *DeadlineError naming the site.
+	SiteTimeout time.Duration
 }
 
 // Metrics reports where the time and bytes of a distributed query went —
@@ -96,6 +105,10 @@ type Metrics struct {
 	SitesQueried int
 	// Stats accumulates the reduction work across sites and coordinator.
 	Stats control.Stats
+	// Health is a per-site transport-health snapshot taken when the query
+	// (or the last query of a batch) finished: connection state, circuit-
+	// breaker position, redial and retry counters.
+	Health []SiteHealth
 }
 
 // AddQuery accumulates one query's metrics into a batch total. Every
@@ -117,6 +130,9 @@ func (m *Metrics) AddQuery(q *Metrics) {
 	m.SnapshotHits += q.SnapshotHits
 	m.SitesQueried += q.SitesQueried
 	m.Stats.Add(q.Stats)
+	if q.Health != nil {
+		m.Health = q.Health
+	}
 }
 
 // Coordinator implements Algorithm 2: it posts q_c(s,t) to every site,
@@ -187,12 +203,26 @@ func (c *Coordinator) dropSnapshots() {
 	c.snapMu.Unlock()
 }
 
+// Health snapshots the transport health of every site client. Clients that
+// do not track health (in-process ones) report as connected.
+func (c *Coordinator) Health() []SiteHealth {
+	hs := make([]SiteHealth, 0, len(c.clients))
+	for _, cl := range c.clients {
+		if hr, ok := cl.(HealthReporter); ok {
+			hs = append(hs, hr.Health())
+		} else {
+			hs = append(hs, SiteHealth{SiteID: cl.SiteID(), Connected: true})
+		}
+	}
+	return hs
+}
+
 // PrecomputeAll asks every site to build its query-independent reduction,
 // the offline phase of the pre-caching setting.
-func (c *Coordinator) PrecomputeAll() error {
+func (c *Coordinator) PrecomputeAll(ctx context.Context) error {
 	errs := make(chan error, len(c.clients))
 	for _, cl := range c.clients {
-		go func(cl SiteClient) { errs <- cl.Precompute() }(cl)
+		go func(cl SiteClient) { errs <- cl.Precompute(ctx) }(cl)
 	}
 	for range c.clients {
 		if err := <-errs; err != nil {
@@ -202,18 +232,42 @@ func (c *Coordinator) PrecomputeAll() error {
 	return nil
 }
 
-// Answer evaluates q_c(s, t) over the distributed graph.
-func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
+// siteCtx derives the context for one per-site call, layering the
+// configured SiteTimeout (if any) under the caller's own deadline.
+func (c *Coordinator) siteCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.opts.SiteTimeout > 0 {
+		return context.WithTimeout(ctx, c.opts.SiteTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Answer evaluates q_c(s, t) over the distributed graph. Degradation is
+// fail-fast: the first site failure (typed *SiteError, *TransportError,
+// *DeadlineError or *CancelledError) cancels the evaluations still in
+// flight at the other sites and fails the query.
+func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metrics, error) {
 	m := &Metrics{DecidedBy: -1}
+	defer func() { m.Health = c.Health() }()
 	if len(c.clients) == 0 {
 		return false, m, fmt.Errorf("dist: no sites")
 	}
+	if err := ctx.Err(); err != nil {
+		return false, m, ctxError(-1, "answer", err)
+	}
+
+	// qctx fans out to the per-site evaluations; cancelling it on the first
+	// failure stops the surviving sites at their next reduction round.
+	qctx, cancelQuery := context.WithCancel(ctx)
+	defer cancelQuery()
 
 	type reply struct {
 		pa    *PartialAnswer
 		bytes int64
 		err   error
 	}
+	// Buffered to len(clients): after a fail-fast return the remaining
+	// evaluations deposit their (cancelled) replies without blocking, so no
+	// goroutine outlives the query.
 	replies := make(chan reply, len(c.clients))
 	ask := func(cl SiteClient) {
 		opts := EvalOptions{
@@ -225,7 +279,9 @@ func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
 				opts.IfEpoch, opts.HasIfEpoch = epoch, true
 			}
 		}
-		pa, n, err := cl.Evaluate(q, opts)
+		ectx, cancel := c.siteCtx(qctx)
+		pa, n, err := cl.Evaluate(ectx, q, opts)
+		cancel()
 		replies <- reply{pa, n, err}
 	}
 	for _, cl := range c.clients {
@@ -242,6 +298,7 @@ func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
 	for range c.clients {
 		r := <-replies
 		if r.err != nil {
+			cancelQuery()
 			return false, m, fmt.Errorf("dist: site evaluation: %w", r.err)
 		}
 		m.SitesQueried++
@@ -332,13 +389,16 @@ func (c *Coordinator) Answer(q control.Query) (bool, *Metrics, error) {
 	}
 	m.MGraphNodes = mg.NumNodes()
 	m.MGraphEdges = mg.NumEdges()
-	res := control.ParallelReduction(mg, q, graph.NewNodeSet(q.S, q.T), control.Options{
+	res, err := control.ParallelReduction(ctx, mg, q, graph.NewNodeSet(q.S, q.T), control.Options{
 		Workers:    c.opts.Workers,
 		Trust:      control.FullTrust,
 		FullRescan: c.opts.FullRescan,
 	})
 	m.CoordElapsed = time.Since(start)
 	m.Stats.Add(res.Stats)
+	if err != nil {
+		return false, m, ctxError(-1, "merge", err)
+	}
 	if res.Ans == control.Unknown {
 		return false, m, fmt.Errorf("dist: merged reduction could not decide %v", q)
 	}
@@ -388,8 +448,10 @@ func (c *Coordinator) snapshotFor(cached []*PartialAnswer) *mergedSnapshot {
 // batch total in query order, so the aggregate is deterministic regardless
 // of completion order. It returns one answer per query and aggregate
 // metrics; on failure the error is a *QueryError naming the lowest-index
-// failing query.
-func (c *Coordinator) AnswerBatch(qs []control.Query) ([]bool, *Metrics, error) {
+// failing query. A cancelled or expired ctx stops the batch: queries not
+// yet started are abandoned, and the error names the first query that did
+// not complete.
+func (c *Coordinator) AnswerBatch(ctx context.Context, qs []control.Query) ([]bool, *Metrics, error) {
 	total := &Metrics{DecidedBy: -1}
 	out := make([]bool, len(qs))
 	conc := c.opts.Concurrency
@@ -398,7 +460,7 @@ func (c *Coordinator) AnswerBatch(qs []control.Query) ([]bool, *Metrics, error) 
 	}
 	if conc <= 1 {
 		for i, q := range qs {
-			ans, m, err := c.Answer(q)
+			ans, m, err := c.Answer(ctx, q)
 			if err != nil {
 				return nil, total, &QueryError{Index: i, Query: q, Err: err}
 			}
@@ -416,12 +478,12 @@ func (c *Coordinator) AnswerBatch(qs []control.Query) ([]bool, *Metrics, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(qs) {
 					return
 				}
-				out[i], ms[i], errs[i] = c.Answer(qs[i])
+				out[i], ms[i], errs[i] = c.Answer(ctx, qs[i])
 			}
 		}()
 	}
@@ -429,6 +491,10 @@ func (c *Coordinator) AnswerBatch(qs []control.Query) ([]bool, *Metrics, error) 
 	for i := range qs {
 		if errs[i] != nil {
 			return nil, total, &QueryError{Index: i, Query: qs[i], Err: errs[i]}
+		}
+		if ms[i] == nil {
+			// Never started: the ctx died before a worker claimed it.
+			return nil, total, &QueryError{Index: i, Query: qs[i], Err: ctxError(-1, "batch", ctx.Err())}
 		}
 		total.AddQuery(ms[i])
 	}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -40,7 +41,7 @@ func TestDistributedMatchesCentralizedRandom(t *testing.T) {
 					T: graph.NodeID(rng.Intn(n)),
 				}
 				want := control.CBE(g, q)
-				got, m, err := coord.Answer(q)
+				got, m, err := coord.Answer(context.Background(), q)
 				if err != nil {
 					t.Fatalf("trial %d cache=%v %v: %v", trial, useCache, q, err)
 				}
@@ -69,7 +70,7 @@ func TestDistributedMatchesCentralizedEU(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		q := control.Query{S: graph.NodeID(rng.Intn(n)), T: graph.NodeID(rng.Intn(n))}
 		want := control.CBE(eu.G, q)
-		got, _, err := coord.Answer(q)
+		got, _, err := coord.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%v: %v", q, err)
 		}
@@ -92,13 +93,13 @@ func TestCacheHitsAndInvalidate(t *testing.T) {
 		clients[i] = &LocalClient{Site: sites[i], MeasureBytes: true}
 	}
 	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 2})
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// s in partition 0, t in partition 3: sites 1 and 2 must hit the cache.
 	q := control.Query{S: 10, T: graph.NodeID(g.Cap() - 10)}
 	want := control.CBE(g, q)
-	got, m, err := coord.Answer(q)
+	got, m, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestCacheHitsAndInvalidate(t *testing.T) {
 	}
 	// After invalidation the site recomputes; answers stay correct.
 	sites[1].Invalidate()
-	got2, m2, err := coord.Answer(q)
+	got2, m2, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestPartialAnswersAreSmall(t *testing.T) {
 	}
 	coord := NewCoordinator(clients, Options{Workers: 2})
 	q := control.Query{S: 3, T: graph.NodeID(g.Cap() - 3)}
-	_, m, err := coord.Answer(q)
+	_, m, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,10 @@ func TestSiteEvaluateDecidesT3Locally(t *testing.T) {
 		t.Fatal(err)
 	}
 	site := NewSite(pi.Parts[0], 1)
-	pa := site.Evaluate(control.Query{S: 0, T: 1}, EvalOptions{})
+	pa, err := site.Evaluate(context.Background(), control.Query{S: 0, T: 1}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pa.Ans != control.True || pa.Reduced != nil {
 		t.Fatalf("partial = %+v", pa)
 	}
@@ -192,7 +196,10 @@ func TestSiteDoesNotTrustT1WithoutS(t *testing.T) {
 		t.Fatal(err)
 	}
 	site1 := NewSite(pi.Parts[1], 1)
-	pa := site1.Evaluate(control.Query{S: 0, T: 3}, EvalOptions{})
+	pa, err := site1.Evaluate(context.Background(), control.Query{S: 0, T: 3}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pa.Ans == control.False {
 		t.Fatal("site invented a global false without holding s")
 	}
@@ -200,7 +207,7 @@ func TestSiteDoesNotTrustT1WithoutS(t *testing.T) {
 
 func TestCoordinatorNoSites(t *testing.T) {
 	coord := NewCoordinator(nil, Options{})
-	if _, _, err := coord.Answer(control.Query{S: 0, T: 1}); err == nil {
+	if _, _, err := coord.Answer(context.Background(), control.Query{S: 0, T: 1}); err == nil {
 		t.Fatal("empty cluster accepted")
 	}
 }
@@ -219,11 +226,11 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		}
 		defer l.Close()
 		go func(p *partition.Partition) {
-			if err := Serve(l, NewSite(p, 2)); err != nil {
+			if err := Serve(context.Background(), l, NewSite(p, 2)); err != nil {
 				t.Errorf("serve: %v", err)
 			}
 		}(p)
-		c, err := Dial(l.Addr().String())
+		c, err := Dial(context.Background(), l.Addr().String())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +241,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		clients[i] = c
 	}
 	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 2})
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(3))
@@ -244,7 +251,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 			T: graph.NodeID(rng.Intn(g.Cap())),
 		}
 		want := control.CBE(g, q)
-		got, m, err := coord.Answer(q)
+		got, m, err := coord.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%v: %v", q, err)
 		}
@@ -268,7 +275,7 @@ func TestQuickDistributedEquivalence(t *testing.T) {
 		coord, _ := localCluster(t, g, k, Options{UseCache: useCache, Workers: 1})
 		q := control.Query{S: graph.NodeID(int(ss) % n), T: graph.NodeID(int(tt) % n)}
 		want := control.CBE(g, q)
-		got, _, err := coord.Answer(q)
+		got, _, err := coord.Answer(context.Background(), q)
 		return err == nil && got == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {

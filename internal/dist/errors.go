@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ccp/internal/control"
@@ -8,9 +10,12 @@ import (
 
 // Typed errors for the distributed runtime. The scheduler and callers can
 // tell a site-side failure (the site served the request but could not
-// execute it) from a transport failure (the connection to the site broke)
+// execute it) from a transport failure (the connection to the site broke),
+// a deadline miss (DeadlineError) and a caller cancellation (CancelledError)
 // with errors.As, and a batch caller learns which query failed without
-// string matching.
+// string matching. DeadlineError and CancelledError unwrap to
+// context.DeadlineExceeded and context.Canceled respectively, so plain
+// errors.Is checks against the context sentinels also work.
 
 // SiteError reports that a worker site failed while executing an operation.
 // The site itself was reachable; the operation was invalid or failed there.
@@ -46,6 +51,63 @@ func (e *TransportError) Error() string {
 }
 
 func (e *TransportError) Unwrap() error { return e.Err }
+
+// DeadlineError reports that an operation missed its deadline: the caller's
+// context expired before the site answered, or the site itself gave up
+// server-side. The site's state is consistent (evaluations run on per-query
+// clones) but the answer was never produced.
+type DeadlineError struct {
+	// SiteID is the partition id of the slow site, or -1 when the deadline
+	// expired at the coordinator (e.g. during the merged reduction).
+	SiteID int
+	// Op names the operation that timed out ("evaluate", "merge", ...).
+	Op string
+	// Err is the underlying cause; it is (or wraps) context.DeadlineExceeded.
+	Err error
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("dist: site %d: %s: deadline exceeded: %v", e.SiteID, e.Op, e.Err)
+}
+
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// CancelledError reports that the caller cancelled the operation before it
+// completed. In-flight site work stops at the next round boundary; no answer
+// was produced.
+type CancelledError struct {
+	// SiteID is the partition id the cancelled call targeted, or -1 when the
+	// cancellation was observed at the coordinator.
+	SiteID int
+	// Op names the cancelled operation.
+	Op string
+	// Err is the underlying cause; it is (or wraps) context.Canceled.
+	Err error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("dist: site %d: %s: cancelled: %v", e.SiteID, e.Op, e.Err)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// ErrCircuitOpen is returned (wrapped in a TransportError) by a RemoteClient
+// whose circuit breaker is open: the site failed ClientConfig.FailureThreshold
+// consecutive calls and new calls are rejected without touching the network
+// until the cooldown passes.
+var ErrCircuitOpen = errors.New("circuit open")
+
+// ctxError converts a context error into the matching typed error. Non-context
+// errors pass through unchanged.
+func ctxError(siteID int, op string, err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &DeadlineError{SiteID: siteID, Op: op, Err: err}
+	case errors.Is(err, context.Canceled):
+		return &CancelledError{SiteID: siteID, Op: op, Err: err}
+	}
+	return err
+}
 
 // QueryError reports which query of a batch (or which single Answer call)
 // failed. Unwrap exposes the underlying SiteError or TransportError.

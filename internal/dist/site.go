@@ -11,6 +11,7 @@
 package dist
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -73,16 +74,19 @@ func NewSite(p *partition.Partition, workers int) *Site {
 // abl-frontier) for all subsequent evaluations of this site.
 func (s *Site) SetFullRescan(v bool) { s.fullRescan = v }
 
-// reduce runs a reduction with a site-pooled Reducer.
-func (s *Site) reduce(g *graph.Graph, q control.Query, x graph.NodeSet, opt control.Options) control.Result {
+// reduce runs a reduction with a site-pooled Reducer. A cancelled context
+// stops the reduction at the next round boundary; the Reducer is returned to
+// the pool either way (its next use resets all scratch state), so a cancelled
+// query never poisons the site for the queries after it.
+func (s *Site) reduce(ctx context.Context, g *graph.Graph, q control.Query, x graph.NodeSet, opt control.Options) (control.Result, error) {
 	opt.FullRescan = s.fullRescan
 	r, _ := s.reducers.Get().(*control.Reducer)
 	if r == nil {
 		r = control.NewReducer()
 	}
-	res := r.Reduce(g, q, x, opt)
+	res, err := r.Reduce(ctx, g, q, x, opt)
 	s.reducers.Put(r)
-	return res
+	return res, err
 }
 
 // ID returns the partition id this site serves.
@@ -106,23 +110,28 @@ func (s *Site) Invalidate() {
 // Precompute builds (or refreshes) the query-independent reduction: the
 // partition reduced with only the boundary nodes excluded. This is the
 // offline work of Figure 6's cached sites. It returns the reduction stats.
-func (s *Site) Precompute() control.Stats {
+// A cancelled or expired ctx aborts the build and leaves the cache
+// untouched; the next Precompute starts over.
+func (s *Site) Precompute(ctx context.Context) (control.Stats, error) {
 	s.mu.Lock()
 	epoch := s.epoch
 	if s.cache != nil && s.cacheEpoch == epoch {
 		st := s.cacheStats
 		s.mu.Unlock()
-		return st
+		return st, nil
 	}
 	g := s.part.Local.Clone()
 	boundary := s.part.Boundary()
 	s.mu.Unlock()
 
-	res := s.reduce(g, control.Query{S: graph.None, T: graph.None},
+	res, err := s.reduce(ctx, g, control.Query{S: graph.None, T: graph.None},
 		boundary, control.Options{
 			Workers:            s.workers,
 			DisableTermination: true, // there is no query yet
 		})
+	if err != nil {
+		return control.Stats{}, err
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -131,7 +140,7 @@ func (s *Site) Precompute() control.Stats {
 		s.cacheStats = res.Stats
 		s.cacheEpoch = epoch
 	}
-	return res.Stats
+	return res.Stats, nil
 }
 
 // EvalOptions selects how a site evaluates a query.
@@ -154,13 +163,18 @@ type EvalOptions struct {
 // Evaluate computes the partial answer to q (Algorithm 2, line 6). With
 // opts.UseCache set and neither endpoint stored here, the cached
 // query-independent reduction is returned (computing it on demand).
-func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
+// A cancelled or expired ctx stops the evaluation at the next reduction
+// round and returns the context error; the site (and its pooled reducers)
+// stay fully usable for subsequent queries.
+func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) (*PartialAnswer, error) {
 	start := time.Now()
 	holdsS := s.part.Members.Has(q.S)
 	holdsT := s.part.Members.Has(q.T)
 
 	if opts.UseCache && !holdsS && !holdsT {
-		s.Precompute()
+		if _, err := s.Precompute(ctx); err != nil {
+			return nil, err
+		}
 		s.mu.Lock()
 		cached := s.cache
 		st := s.cacheStats
@@ -174,7 +188,7 @@ func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
 				FromCache:   true,
 				Epoch:       epoch,
 				NotModified: true,
-			}
+			}, nil
 		}
 		return &PartialAnswer{
 			SiteID:    s.part.ID,
@@ -184,7 +198,7 @@ func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
 			Elapsed:   time.Since(start),
 			FromCache: true,
 			Epoch:     epoch,
-		}
+		}, nil
 	}
 
 	// Live evaluation. The exclusion set is {s, t} ∪ V^in ∪ V^virt; the
@@ -208,7 +222,7 @@ func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
 				SiteID:  s.part.ID,
 				Ans:     a,
 				Elapsed: time.Since(start),
-			}
+			}, nil
 		}
 	}
 	x := s.part.Boundary()
@@ -223,7 +237,10 @@ func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
 	if opts.ForcePartial {
 		copts.DisableTermination = true
 	}
-	res := s.reduce(g, q, x, copts)
+	res, err := s.reduce(ctx, g, q, x, copts)
+	if err != nil {
+		return nil, err
+	}
 	pa := &PartialAnswer{
 		SiteID:  s.part.ID,
 		Ans:     res.Ans,
@@ -236,5 +253,5 @@ func (s *Site) Evaluate(q control.Query, opts EvalOptions) *PartialAnswer {
 	if pa.Ans == control.Unknown {
 		pa.Reduced = g
 	}
-	return pa
+	return pa, nil
 }

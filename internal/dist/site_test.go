@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"testing"
 
 	"ccp/internal/control"
@@ -41,27 +42,42 @@ func TestPrecomputeIsIdempotentAndEpochAware(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewSite(pi.Parts[0], 1)
-	st1 := s.Precompute()
+	st1, err := s.Precompute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A second call reuses the cache (same stats back, no recompute).
-	st2 := s.Precompute()
+	st2, err := s.Precompute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st1 != st2 {
 		t.Fatalf("recompute happened: %+v vs %+v", st1, st2)
 	}
-	pa1 := s.Evaluate(control.Query{S: 900, T: 950}, EvalOptions{UseCache: true})
+	pa1, err := s.Evaluate(context.Background(), control.Query{S: 900, T: 950}, EvalOptions{UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !pa1.FromCache || pa1.Reduced == nil {
 		t.Fatalf("partial = %+v", pa1)
 	}
 	epoch1 := pa1.Epoch
 	// Conditional fetch with the current epoch: not modified.
-	pa2 := s.Evaluate(control.Query{S: 900, T: 950},
+	pa2, err := s.Evaluate(context.Background(), control.Query{S: 900, T: 950},
 		EvalOptions{UseCache: true, HasIfEpoch: true, IfEpoch: epoch1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !pa2.NotModified || pa2.Reduced != nil {
 		t.Fatalf("partial = %+v", pa2)
 	}
 	// Invalidation bumps the epoch; the conditional fetch ships again.
 	s.Invalidate()
-	pa3 := s.Evaluate(control.Query{S: 900, T: 950},
+	pa3, err := s.Evaluate(context.Background(), control.Query{S: 900, T: 950},
 		EvalOptions{UseCache: true, HasIfEpoch: true, IfEpoch: epoch1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pa3.NotModified || pa3.Reduced == nil || pa3.Epoch == epoch1 {
 		t.Fatalf("partial = %+v", pa3)
 	}
@@ -74,10 +90,15 @@ func TestEvaluateEndpointSitesNeverUseCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewSite(pi.Parts[0], 1)
-	s.Precompute()
+	if _, err := s.Precompute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	// s-query endpoint inside this partition: live evaluation, never the
 	// query-independent cache (which excludes s only as a boundary node).
-	pa := s.Evaluate(control.Query{S: 5, T: 900}, EvalOptions{UseCache: true})
+	pa, err := s.Evaluate(context.Background(), control.Query{S: 5, T: 900}, EvalOptions{UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pa.FromCache {
 		t.Fatal("endpoint site served the query-independent cache")
 	}
@@ -107,7 +128,7 @@ func TestUpdateUnknownOwnedCompanyRollsBack(t *testing.T) {
 		clients[i] = &LocalClient{Site: sites[i]}
 	}
 	coord := NewCoordinator(clients, Options{Workers: 1})
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 3, Weight: 0.2}); err == nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 0, Owned: 3, Weight: 0.2}); err == nil {
 		t.Fatal("stake in an unknown company accepted")
 	}
 	// The provisional edge must be gone everywhere.

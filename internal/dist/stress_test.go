@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -28,7 +29,7 @@ func TestConcurrentBatchMixedTransports(t *testing.T) {
 		startTCPSite(t, pi.Parts[1]),
 	}
 	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 2, Concurrency: 4})
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -50,7 +51,7 @@ func TestConcurrentBatchMixedTransports(t *testing.T) {
 						T: graph.NodeID(rng.Intn(800)),
 					}
 				}
-				if _, _, err := coord.AnswerBatch(qs); err != nil {
+				if _, _, err := coord.AnswerBatch(context.Background(), qs); err != nil {
 					t.Errorf("batch: %v", err)
 					return
 				}
@@ -64,7 +65,7 @@ func TestConcurrentBatchMixedTransports(t *testing.T) {
 		rng := rand.New(rand.NewSource(400))
 		for i := 0; i < 10; i++ {
 			q := control.Query{S: graph.NodeID(rng.Intn(800)), T: graph.NodeID(rng.Intn(800))}
-			if _, _, err := coord.Answer(q); err != nil {
+			if _, _, err := coord.Answer(context.Background(), q); err != nil {
 				t.Errorf("query: %v", err)
 				return
 			}
@@ -93,7 +94,7 @@ func TestConcurrentBatchMixedTransports(t *testing.T) {
 					continue
 				}
 				mirrorMu.Unlock()
-				if err := coord.ApplyUpdate(StakeUpdate{Owner: owner, Owned: owned, Weight: 0.1}); err != nil {
+				if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: owner, Owned: owned, Weight: 0.1}); err != nil {
 					t.Errorf("update: %v", err)
 					return
 				}
@@ -105,7 +106,7 @@ func TestConcurrentBatchMixedTransports(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 3; i++ {
-			if err := coord.PrecomputeAll(); err != nil {
+			if err := coord.PrecomputeAll(context.Background()); err != nil {
 				t.Errorf("precompute: %v", err)
 				return
 			}
@@ -122,7 +123,7 @@ func TestConcurrentBatchMixedTransports(t *testing.T) {
 	for i := range qs {
 		qs[i] = control.Query{S: graph.NodeID(rng.Intn(800)), T: graph.NodeID(rng.Intn(800))}
 	}
-	got, _, err := coord.AnswerBatch(qs)
+	got, _, err := coord.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 					continue
 				}
 				mirrorMu.Unlock()
-				if err := coord.ApplyUpdate(StakeUpdate{Owner: owner, Owned: owned, Weight: 0.1}); err != nil {
+				if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: owner, Owned: owned, Weight: 0.1}); err != nil {
 					t.Errorf("update: %v", err)
 					return
 				}
@@ -197,7 +198,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 					S: graph.NodeID(rng.Intn(800)),
 					T: graph.NodeID(rng.Intn(800)),
 				}
-				if _, _, err := coord.Answer(q); err != nil {
+				if _, _, err := coord.Answer(context.Background(), q); err != nil {
 					t.Errorf("query: %v", err)
 					return
 				}
@@ -209,7 +210,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 4; i++ {
-			if err := coord.PrecomputeAll(); err != nil {
+			if err := coord.PrecomputeAll(context.Background()); err != nil {
 				t.Errorf("precompute: %v", err)
 				return
 			}
@@ -222,7 +223,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		q := control.Query{S: graph.NodeID(rng.Intn(800)), T: graph.NodeID(rng.Intn(800))}
 		want := control.CBE(mirror, q)
-		got, _, err := coord.Answer(q)
+		got, _, err := coord.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"ccp/internal/graph"
@@ -97,14 +98,19 @@ func (s *Site) AdjustCrossIn(v graph.NodeID, delta int) bool {
 // offered the edge half (exactly the owner's site applies it), and if a
 // cross-partition edge appeared or disappeared, the owned company's site
 // adjusts its in-node bookkeeping. Affected sites drop their cached partial
-// answers.
-func (c *Coordinator) ApplyUpdate(up StakeUpdate) error {
+// answers. ctx bounds the whole routing; per-site calls additionally honor
+// Options.SiteTimeout. A failure mid-route can leave the edge applied but
+// the in-node bookkeeping not yet adjusted — re-apply the update once the
+// sites are reachable again.
+func (c *Coordinator) ApplyUpdate(ctx context.Context, up StakeUpdate) error {
 	// Any applied update moves some site's epoch, so merged skeletons built
 	// over the old epoch vector can never match again; free them eagerly.
 	defer c.dropSnapshots()
 	var applied *UpdateResult
 	for _, cl := range c.clients {
-		res, err := cl.Update(up)
+		uctx, cancel := c.siteCtx(ctx)
+		res, err := cl.Update(uctx, up)
+		cancel()
 		if err != nil {
 			return err
 		}
@@ -128,7 +134,9 @@ func (c *Coordinator) ApplyUpdate(up StakeUpdate) error {
 		}
 		acted := false
 		for _, cl := range c.clients {
-			ok, err := cl.AdjustCrossIn(up.Owned, delta)
+			actx, cancel := c.siteCtx(ctx)
+			ok, err := cl.AdjustCrossIn(actx, up.Owned, delta)
+			cancel()
 			if err != nil {
 				return err
 			}
@@ -141,7 +149,10 @@ func (c *Coordinator) ApplyUpdate(up StakeUpdate) error {
 			if applied.EdgeCreated {
 				rollback := StakeUpdate{Owner: up.Owner, Owned: up.Owned, Remove: true}
 				for _, cl := range c.clients {
-					if res, err := cl.Update(rollback); err == nil && res.Stored {
+					rctx, cancel := c.siteCtx(ctx)
+					res, err := cl.Update(rctx, rollback)
+					cancel()
+					if err == nil && res.Stored {
 						break
 					}
 				}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -41,7 +42,7 @@ func updateCluster(t *testing.T, useCache bool) (*Coordinator, []*Site, *graph.G
 func TestApplyUpdateInternalEdge(t *testing.T) {
 	coord, _, mirror := updateCluster(t, false)
 	// 1 takes 70% of 2 (same partition): 0 now controls 2 transitively.
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 2, Weight: 0.7}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 1, Owned: 2, Weight: 0.7}); err != nil {
 		t.Fatal(err)
 	}
 	if err := mirror.AddEdge(1, 2, 0.7); err != nil {
@@ -49,7 +50,7 @@ func TestApplyUpdateInternalEdge(t *testing.T) {
 	}
 	for _, q := range []control.Query{{S: 0, T: 2}, {S: 1, T: 2}, {S: 0, T: 4}} {
 		want := control.CBE(mirror, q)
-		got, _, err := coord.Answer(q)
+		got, _, err := coord.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,12 +62,12 @@ func TestApplyUpdateInternalEdge(t *testing.T) {
 
 func TestApplyUpdateCrossEdgeAndRemove(t *testing.T) {
 	coord, sites, mirror := updateCluster(t, true)
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// 1 (partition 0) takes 80% of 3 (partition 1): a cross edge. Node 3
 	// must become an in-node of partition 1, and 0 now controls 4.
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Weight: 0.8}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 1, Owned: 3, Weight: 0.8}); err != nil {
 		t.Fatal(err)
 	}
 	if err := mirror.AddEdge(1, 3, 0.8); err != nil {
@@ -80,7 +81,7 @@ func TestApplyUpdateCrossEdgeAndRemove(t *testing.T) {
 	}
 	for _, q := range []control.Query{{S: 0, T: 4}, {S: 1, T: 4}, {S: 0, T: 3}} {
 		want := control.CBE(mirror, q)
-		got, _, err := coord.Answer(q)
+		got, _, err := coord.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestApplyUpdateCrossEdgeAndRemove(t *testing.T) {
 		}
 	}
 	// Divest: everything reverts.
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Remove: true}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 1, Owned: 3, Remove: true}); err != nil {
 		t.Fatal(err)
 	}
 	mirror.RemoveEdge(1, 3)
@@ -99,7 +100,7 @@ func TestApplyUpdateCrossEdgeAndRemove(t *testing.T) {
 	if sites[0].part.CrossOut != 0 {
 		t.Fatalf("cross-out = %d after divestment", sites[0].part.CrossOut)
 	}
-	got, _, err := coord.Answer(control.Query{S: 0, T: 4})
+	got, _, err := coord.Answer(context.Background(), control.Query{S: 0, T: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,17 +112,17 @@ func TestApplyUpdateCrossEdgeAndRemove(t *testing.T) {
 func TestApplyUpdateMergeDoesNotDoubleCountInNode(t *testing.T) {
 	coord, sites, _ := updateCluster(t, false)
 	// Two increments of the same cross stake: only one in-node reference.
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Weight: 0.2}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 1, Owned: 3, Weight: 0.2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Weight: 0.2}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 1, Owned: 3, Weight: 0.2}); err != nil {
 		t.Fatal(err)
 	}
 	if sites[1].part.CrossIn[3] != 1 {
 		t.Fatalf("cross-in refcount = %d, want 1", sites[1].part.CrossIn[3])
 	}
 	// One divestment clears it.
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 1, Owned: 3, Remove: true}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 1, Owned: 3, Remove: true}); err != nil {
 		t.Fatal(err)
 	}
 	if sites[1].part.InNodes.Has(3) {
@@ -131,19 +132,19 @@ func TestApplyUpdateMergeDoesNotDoubleCountInNode(t *testing.T) {
 
 func TestApplyUpdateErrors(t *testing.T) {
 	coord, _, _ := updateCluster(t, false)
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 99, Owned: 1, Weight: 0.2}); err == nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 99, Owned: 1, Weight: 0.2}); err == nil {
 		t.Fatal("unknown owner accepted")
 	}
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 1, Remove: true, Weight: 0}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 0, Owned: 1, Remove: true, Weight: 0}); err != nil {
 		t.Fatal(err) // removing an existing stake is fine
 	}
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 1, Remove: true}); err == nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 0, Owned: 1, Remove: true}); err == nil {
 		t.Fatal("removing a missing stake accepted")
 	}
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 2, Weight: 1.5}); err == nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 0, Owned: 2, Weight: 1.5}); err == nil {
 		t.Fatal("out-of-range stake accepted")
 	}
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 0, Owned: 0, Weight: 0.2}); err == nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 0, Owned: 0, Weight: 0.2}); err == nil {
 		t.Fatal("self stake accepted")
 	}
 }
@@ -161,8 +162,8 @@ func TestUpdatesOverTCP(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer l.Close()
-		go Serve(l, NewSite(p, 1))
-		c, err := Dial(l.Addr().String())
+		go Serve(context.Background(), l, NewSite(p, 1))
+		c, err := Dial(context.Background(), l.Addr().String())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func TestUpdatesOverTCP(t *testing.T) {
 	if target == graph.None {
 		t.Skip("no takeover candidate")
 	}
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: 7, Owned: target, Weight: 0.65}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: 7, Owned: target, Weight: 0.65}); err != nil {
 		t.Fatal(err)
 	}
 	if err := mirror.AddEdge(7, target, 0.65); err != nil {
@@ -197,7 +198,7 @@ func TestUpdatesOverTCP(t *testing.T) {
 			q = control.Query{S: graph.NodeID(rng.Intn(1000)), T: graph.NodeID(rng.Intn(1000))}
 		}
 		want := control.CBE(mirror, q)
-		got, _, err := coord.Answer(q)
+		got, _, err := coord.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func TestAnswerBatch(t *testing.T) {
 		clients[i] = &LocalClient{Site: NewSite(p, 1), MeasureBytes: true}
 	}
 	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 1})
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(8))
@@ -229,7 +230,7 @@ func TestAnswerBatch(t *testing.T) {
 		qs = append(qs, q)
 		want = append(want, control.CBE(g, q))
 	}
-	got, m, err := coord.AnswerBatch(qs)
+	got, m, err := coord.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,14 +257,14 @@ func TestCoordinatorCacheRevalidation(t *testing.T) {
 		clients[i] = &LocalClient{Site: sites[i], MeasureBytes: true}
 	}
 	coord := NewCoordinator(clients, Options{UseCache: true, Workers: 1})
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Endpoints in partitions 0 and 2: site 1 serves from cache.
 	q := control.Query{S: 5, T: graph.NodeID(g.Cap() - 5)}
 	want := control.CBE(g, q)
 
-	got1, m1, err := coord.Answer(q)
+	got1, m1, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestCoordinatorCacheRevalidation(t *testing.T) {
 
 	// Second query: the coordinator revalidates by epoch; site 1 replies
 	// not-modified and ships nothing.
-	got2, m2, err := coord.Answer(q)
+	got2, m2, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,10 +291,10 @@ func TestCoordinatorCacheRevalidation(t *testing.T) {
 	// An update to site 1 bumps its epoch: the copy is refetched and
 	// answers stay correct.
 	mid := graph.NodeID(1000 + 1) // a member of partition 1
-	if err := coord.ApplyUpdate(StakeUpdate{Owner: mid, Owned: mid + 1, Weight: 0.05}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), StakeUpdate{Owner: mid, Owned: mid + 1, Weight: 0.05}); err != nil {
 		t.Fatal(err)
 	}
-	got3, m3, err := coord.Answer(q)
+	got3, m3, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestCoordinatorCacheRevalidation(t *testing.T) {
 		t.Fatalf("stale coordinator copy served after update: %+v", m3)
 	}
 	// And the fourth query revalidates again.
-	_, m4, err := coord.Answer(q)
+	_, m4, err := coord.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

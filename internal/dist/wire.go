@@ -2,12 +2,17 @@ package dist
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ccp/internal/control"
 	"ccp/internal/graph"
 )
+
+func durationNS(ns int64) time.Duration { return time.Duration(ns) }
 
 // The wire protocol: a client sends requests and reads responses over one
 // connection, both gob-encoded. Requests carry a client-chosen ID that the
@@ -57,6 +62,13 @@ type request struct {
 	// IfEpoch/HasIfEpoch carry the coordinator's conditional-fetch epoch.
 	IfEpoch    uint64
 	HasIfEpoch bool
+	// DeadlineNS is the caller's remaining time budget for this request in
+	// nanoseconds (0 = none). It travels as a relative duration rather than
+	// an absolute instant so clock skew between coordinator and site cannot
+	// distort it; the site re-anchors it on its own clock and enforces it
+	// server-side (context deadline on the evaluation, write deadline on the
+	// response).
+	DeadlineNS int64
 	// opUpdate / opCrossIn payloads.
 	Update StakeUpdate
 	Delta  int
@@ -66,8 +78,11 @@ type request struct {
 type response struct {
 	// ID echoes the request this response answers.
 	ID uint64
-	// Err is non-empty when the site failed to serve the request.
-	Err string
+	// Err is non-empty when the site failed to serve the request; Code
+	// classifies it (codeSite, codeDeadline, codeCancelled) so the client
+	// can rebuild the typed error.
+	Err  string
+	Code uint8
 	// SiteID identifies the partition (opInfo and opEvaluate).
 	SiteID int
 	// Ans is the encoded control.Answer for opEvaluate.
@@ -85,6 +100,27 @@ type response struct {
 	// Epoch and NotModified support the coordinator-side cache.
 	Epoch       uint64
 	NotModified bool
+}
+
+// Error classification codes carried in response.Code.
+const (
+	codeSite      uint8 = 0 // site-side failure (default)
+	codeDeadline  uint8 = 1 // the request's deadline expired server-side
+	codeCancelled uint8 = 2 // the server cancelled the request (shutdown)
+)
+
+// errResponse builds the error response for a failed request, classifying
+// context errors so the client can surface a typed DeadlineError or
+// CancelledError instead of an opaque SiteError.
+func errResponse(siteID int, err error) *response {
+	resp := &response{SiteID: siteID, Err: err.Error(), Code: codeSite}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Code = codeDeadline
+	case errors.Is(err, context.Canceled):
+		resp.Code = codeCancelled
+	}
+	return resp
 }
 
 // encodePartial converts a PartialAnswer for the wire.
@@ -131,7 +167,9 @@ func decodePartial(resp *response) (*PartialAnswer, error) {
 
 // LocalClient drives a Site in-process. Payload bytes are still accounted by
 // serializing the reduced graph, so local runs report the same traffic
-// numbers a TCP deployment would. It is safe for concurrent use.
+// numbers a TCP deployment would. Contexts pass straight through to the
+// site, so cancellation and deadlines behave exactly as they would across a
+// real transport (minus the wire). It is safe for concurrent use.
 type LocalClient struct {
 	Site *Site
 	// MeasureBytes disables payload serialization when false (faster, but
@@ -151,14 +189,19 @@ type LocalClient struct {
 func (c *LocalClient) SiteID() int { return c.Site.ID() }
 
 // Precompute implements SiteClient.
-func (c *LocalClient) Precompute() error {
-	c.Site.Precompute()
+func (c *LocalClient) Precompute(ctx context.Context) error {
+	if _, err := c.Site.Precompute(ctx); err != nil {
+		return ctxError(c.Site.ID(), "precompute", err)
+	}
 	return nil
 }
 
 // Evaluate implements SiteClient.
-func (c *LocalClient) Evaluate(q control.Query, opts EvalOptions) (*PartialAnswer, int64, error) {
-	pa := c.Site.Evaluate(q, opts)
+func (c *LocalClient) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) (*PartialAnswer, int64, error) {
+	pa, err := c.Site.Evaluate(ctx, q, opts)
+	if err != nil {
+		return nil, 0, ctxError(c.Site.ID(), "evaluate", err)
+	}
 	var n int64
 	if c.MeasureBytes && pa.Reduced != nil {
 		var err error
@@ -196,13 +239,24 @@ func (c *LocalClient) payloadBytes(g *graph.Graph, fromCache bool) (int64, error
 }
 
 // Update implements SiteClient.
-func (c *LocalClient) Update(up StakeUpdate) (UpdateResult, error) {
+func (c *LocalClient) Update(ctx context.Context, up StakeUpdate) (UpdateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return UpdateResult{}, ctxError(c.Site.ID(), "update", err)
+	}
 	return c.Site.ApplyEdgeUpdate(up)
 }
 
 // AdjustCrossIn implements SiteClient.
-func (c *LocalClient) AdjustCrossIn(v graph.NodeID, delta int) (bool, error) {
+func (c *LocalClient) AdjustCrossIn(ctx context.Context, v graph.NodeID, delta int) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, ctxError(c.Site.ID(), "cross-in", err)
+	}
 	return c.Site.AdjustCrossIn(v, delta), nil
+}
+
+// Health implements HealthReporter: an in-process site is always reachable.
+func (c *LocalClient) Health() SiteHealth {
+	return SiteHealth{SiteID: c.Site.ID(), Connected: true}
 }
 
 // countWriter counts bytes written to it.

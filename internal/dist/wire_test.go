@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"encoding/gob"
 	"net"
 	"strings"
@@ -32,7 +33,7 @@ func startServer(t *testing.T, site *Site) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { l.Close() })
-	go Serve(l, site)
+	go Serve(context.Background(), l, site)
 	return l.Addr().String()
 }
 
@@ -84,7 +85,7 @@ func TestServeSurvivesGarbage(t *testing.T) {
 	// The server still accepts and serves well-formed clients.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		c, err := Dial(addr)
+		c, err := Dial(context.Background(), addr)
 		if err == nil {
 			defer c.Close()
 			if c.SiteID() != 0 {
@@ -100,17 +101,17 @@ func TestServeSurvivesGarbage(t *testing.T) {
 
 func TestRemoteSiteErrorPropagates(t *testing.T) {
 	addr := startServer(t, testSite(t))
-	c, err := Dial(addr)
+	c, err := Dial(context.Background(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	// A self stake is rejected at the site; the error must travel back.
-	if _, err := c.Update(StakeUpdate{Owner: 0, Owned: 0, Weight: 0.2}); err == nil {
+	if _, err := c.Update(context.Background(), StakeUpdate{Owner: 0, Owned: 0, Weight: 0.2}); err == nil {
 		t.Fatal("remote site error lost")
 	}
 	// The client survives and can still evaluate.
-	pa, _, err := c.Evaluate(control.Query{S: 0, T: 1}, EvalOptions{})
+	pa, _, err := c.Evaluate(context.Background(), control.Query{S: 0, T: 1}, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRemoteSiteErrorPropagates(t *testing.T) {
 }
 
 func TestDialFailure(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1"); err == nil {
+	if _, err := Dial(context.Background(), "127.0.0.1:1"); err == nil {
 		t.Fatal("dialing a closed port succeeded")
 	}
 }
@@ -131,26 +132,33 @@ func TestClientAfterServerGone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go Serve(l, site)
-	c, err := Dial(l.Addr().String())
+	go Serve(context.Background(), l, site)
+	c, err := Dial(context.Background(), l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	l.Close()
-	// Give in-flight conns a moment, then the existing connection still
-	// works (Serve only stops accepting); killing the conn itself is the
-	// real test:
-	c.conn.Close()
-	if _, _, err := c.Evaluate(control.Query{S: 0, T: 1}, EvalOptions{}); err == nil {
-		t.Fatal("evaluate on a dead connection succeeded")
+	// Kill the live connection. The client redials rather than going
+	// sticky, but with the listener gone every redial is refused, so the
+	// call must fail with a transport error instead of hanging. (Recovery
+	// after redial against a live server is covered in fault_test.go.)
+	c.mu.Lock()
+	mc := c.conn
+	c.mu.Unlock()
+	if mc == nil {
+		t.Fatal("no live connection after dial")
+	}
+	mc.conn.Close()
+	if _, _, err := c.Evaluate(context.Background(), control.Query{S: 0, T: 1}, EvalOptions{}); err == nil {
+		t.Fatal("evaluate with the server gone succeeded")
 	}
 }
 
 func TestLocalClientWithoutByteMeasuring(t *testing.T) {
 	site := testSite(t)
 	lc := &LocalClient{Site: site} // MeasureBytes off
-	pa, n, err := lc.Evaluate(control.Query{S: 2, T: 3}, EvalOptions{ForcePartial: true})
+	pa, n, err := lc.Evaluate(context.Background(), control.Query{S: 2, T: 3}, EvalOptions{ForcePartial: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -65,7 +66,7 @@ func Contrast(cfg Config) ([]ContrastRow, error) {
 			x.Add(q.S)
 			x.Add(q.T)
 			g := p.Local.Clone()
-			control.ParallelReduction(g, q, x, control.Options{
+			control.ParallelReduction(context.Background(), g, q, x, control.Options{
 				Workers:            cfg.Workers,
 				DisableTermination: true,
 				FullRescan:         cfg.FullRescan,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -84,7 +85,7 @@ func runDistQuery(c *euCluster, q control.Query, repeats int) (DistPoint, error)
 	var lastErr error
 	var site, coord time.Duration
 	for i := 0; i < repeats; i++ {
-		_, m, err := c.coord.Answer(q)
+		_, m, err := c.coord.Answer(context.Background(), q)
 		if err != nil {
 			lastErr = err
 			break
@@ -198,7 +199,7 @@ func timeReduction(cfg Config, g *graph.Graph, q control.Query) time.Duration {
 	for i := 0; i < cfg.Repeats; i++ {
 		clone := g.Clone()
 		start := time.Now()
-		control.ParallelReduction(clone, q, graph.NewNodeSet(q.S, q.T), control.Options{
+		control.ParallelReduction(context.Background(), clone, q, graph.NewNodeSet(q.S, q.T), control.Options{
 			Workers:            cfg.Workers,
 			DisableTermination: true,
 			FullRescan:         cfg.FullRescan,
@@ -230,7 +231,7 @@ func Fig8d(cfg Config) ([]ParPoint, error) {
 		for r := 0; r < cfg.Repeats; r++ {
 			clone := g.Clone()
 			meter := par.NewMeter()
-			control.ParallelReduction(clone, q, graph.NewNodeSet(q.S, q.T), control.Options{
+			control.ParallelReduction(context.Background(), clone, q, graph.NewNodeSet(q.S, q.T), control.Options{
 				Workers:            cores,
 				DisableTermination: true,
 				FullRescan:         cfg.FullRescan,
@@ -360,7 +361,7 @@ func Fig8h(cfg Config) ([]SpeedupPoint, error) {
 	totalCost := func(c *euCluster, q control.Query) (time.Duration, error) {
 		var sum time.Duration
 		for i := 0; i < cfg.Repeats; i++ {
-			_, m, err := c.coord.Answer(q)
+			_, m, err := c.coord.Answer(context.Background(), q)
 			if err != nil {
 				return 0, err
 			}
@@ -385,7 +386,7 @@ func Fig8h(cfg Config) ([]SpeedupPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := cYes.coord.PrecomputeAll(); err != nil {
+			if err := cYes.coord.PrecomputeAll(context.Background()); err != nil {
 				return nil, err
 			}
 			cached, err := totalCost(cYes, q)

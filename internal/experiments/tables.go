@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -41,7 +42,7 @@ func NetworkTraffic(cfg Config) ([]TrafficRow, error) {
 			return nil, err
 		}
 		q := pickQuery(c.g, rng)
-		_, m, err := c.coord.Answer(q)
+		_, m, err := c.coord.Answer(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +175,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		opts := v.opts
 		elapsed := timeIt(cfg.Repeats, func() {
 			clone := g.Clone()
-			control.ParallelReduction(clone, q, x, opts)
+			control.ParallelReduction(context.Background(), clone, q, x, opts)
 		})
 		out = append(out, AblationRow{Variant: v.name, Elapsed: elapsed})
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -67,7 +68,7 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 		Concurrency: concurrency,
 		FullRescan:  cfg.FullRescan,
 	})
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		return ThroughputResult{}, err
 	}
 	n := eu.G.Cap()
@@ -80,7 +81,7 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 		}
 	}
 	start := time.Now()
-	_, m, err := coord.AnswerBatch(qs)
+	_, m, err := coord.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		return ThroughputResult{}, err
 	}

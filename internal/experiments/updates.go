@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -58,7 +59,7 @@ func UpdateLatency(cfg Config) (UpdateLatencyResult, error) {
 		Workers:    cfg.Workers,
 		FullRescan: cfg.FullRescan,
 	})
-	if err := coord.PrecomputeAll(); err != nil {
+	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		return UpdateLatencyResult{}, err
 	}
 	// Endpoints in partitions 0 and 3 so partitions 1 and 2 serve caches.
@@ -70,7 +71,7 @@ func UpdateLatency(cfg Config) (UpdateLatencyResult, error) {
 		var total time.Duration
 		for i := 0; i < cfg.Repeats; i++ {
 			start := time.Now()
-			if _, _, err := coord.Answer(q); err != nil {
+			if _, _, err := coord.Answer(context.Background(), q); err != nil {
 				return 0, err
 			}
 			total += time.Since(start)
@@ -78,7 +79,7 @@ func UpdateLatency(cfg Config) (UpdateLatencyResult, error) {
 		return total / time.Duration(cfg.Repeats), nil
 	}
 	var res UpdateLatencyResult
-	if _, _, err := coord.Answer(q); err != nil { // prime the coordinator copies
+	if _, _, err := coord.Answer(context.Background(), q); err != nil { // prime the coordinator copies
 		return res, err
 	}
 	if res.Warm, err = timeQuery(); err != nil {
@@ -97,11 +98,11 @@ func UpdateLatency(cfg Config) (UpdateLatencyResult, error) {
 	if owned == graph.None {
 		return res, fmt.Errorf("experiments: no update candidate in partition 1")
 	}
-	if err := coord.ApplyUpdate(dist.StakeUpdate{Owner: owner, Owned: owned, Weight: 0.02}); err != nil {
+	if err := coord.ApplyUpdate(context.Background(), dist.StakeUpdate{Owner: owner, Owned: owned, Weight: 0.02}); err != nil {
 		return res, err
 	}
 	start := time.Now()
-	if _, _, err := coord.Answer(q); err != nil {
+	if _, _, err := coord.Answer(context.Background(), q); err != nil {
 		return res, err
 	}
 	res.AfterUpdate = time.Since(start)

@@ -1,6 +1,7 @@
 package mcvp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -171,9 +172,9 @@ func TestQuickReductionCorrectness(t *testing.T) {
 		if control.CBE(g, q) != want {
 			return false
 		}
-		res := control.ParallelReduction(g.Clone(), q, graph.NewNodeSet(s, tt),
+		res, rerr := control.ParallelReduction(context.Background(), g.Clone(), q, graph.NewNodeSet(s, tt),
 			control.Options{Workers: 4, Trust: control.FullTrust})
-		return res.Ans != control.Unknown && res.Ans.Bool() == want
+		return rerr == nil && res.Ans != control.Unknown && res.Ans.Bool() == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)

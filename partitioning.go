@@ -1,6 +1,7 @@
 package ccp
 
 import (
+	"context"
 	"io"
 	"net"
 
@@ -38,7 +39,37 @@ func ReadPartition(r io.Reader) (*Partition, error) {
 }
 
 // ServeSite serves one partition as a worker site on l, speaking the
-// coordinator protocol, until l is closed. It is what the ccpd command runs.
-func ServeSite(l net.Listener, p *Partition, workers int) error {
-	return dist.Serve(l, dist.NewSite(p, workers))
+// coordinator protocol, until l is closed or ctx is cancelled. On
+// cancellation the server drains gracefully: in-flight requests finish and
+// their responses are written before the connections close.
+func ServeSite(ctx context.Context, l net.Listener, p *Partition, workers int) error {
+	return dist.Serve(ctx, l, dist.NewSite(p, workers))
 }
+
+// SiteServerStats snapshots a site server's lifetime counters: requests
+// served, connections accepted, and connections drained at shutdown.
+type SiteServerStats = dist.ServerStats
+
+// SiteServer is ServeSite with explicit lifecycle control: the ccpd command
+// uses it to shut down gracefully on SIGTERM and report what it served.
+type SiteServer struct {
+	srv *dist.Server
+}
+
+// NewSiteServer builds a server for one partition. workers <= 0 means
+// GOMAXPROCS.
+func NewSiteServer(p *Partition, workers int) *SiteServer {
+	return &SiteServer{srv: dist.NewServer(dist.NewSite(p, workers), dist.ServerConfig{})}
+}
+
+// Serve accepts coordinator connections on l until Shutdown is called or the
+// listener fails. It returns nil after a Shutdown-initiated stop.
+func (s *SiteServer) Serve(l net.Listener) error { return s.srv.Serve(l) }
+
+// Shutdown stops the server gracefully: in-flight requests finish and their
+// responses are written before the connections close. If ctx expires first,
+// the remaining work is cancelled and connections force-closed.
+func (s *SiteServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Stats snapshots the server's lifetime counters.
+func (s *SiteServer) Stats() SiteServerStats { return s.srv.Stats() }

@@ -1,6 +1,7 @@
 package ccp_test
 
 import (
+	"context"
 	"testing"
 
 	"ccp"
@@ -27,11 +28,17 @@ func TestMillionNodeReduction(t *testing.T) {
 	s, tt := ccp.NodeID(0), ccp.NodeID(999_999)
 	want := ccp.Controls(g, s, tt)
 
-	res := ccp.Reduce(g, s, tt, nil, 0)
+	res, err := ccp.Reduce(context.Background(), g, s, tt, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Decided || res.Controls != want {
 		t.Fatalf("reduction at 1M nodes: %+v, want %v", res, want)
 	}
-	full := ccp.ReduceFully(g, s, tt, nil, 0)
+	full, err := ccp.ReduceFully(context.Background(), g, s, tt, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if full.Decided && full.Controls != want {
 		t.Fatalf("exhaustive reduction disagrees: %+v, want %v", full, want)
 	}
@@ -43,7 +50,7 @@ func TestMillionNodeReduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := cl.Controls(s, tt)
+	got, _, err := cl.Controls(context.Background(), s, tt)
 	if err != nil {
 		t.Fatal(err)
 	}

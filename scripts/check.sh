@@ -1,9 +1,11 @@
 #!/bin/sh
 # check.sh — the repo's tier-1+ verification gate.
 #
-# Runs formatting, vet, build, the full test suite, and the race detector
-# over the packages that do parallel graph surgery. CI and pre-commit hooks
-# should call exactly this script; if it passes, the change is shippable.
+# Runs formatting, vet, build, the full test suite (shuffled, with an
+# explicit timeout so a hung transport test fails fast instead of stalling
+# CI), and the race detector over the packages that do parallel graph
+# surgery or concurrent transport work. CI and pre-commit hooks should call
+# exactly this script; if it passes, the change is shippable.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,9 +25,14 @@ echo "== go build =="
 go build ./...
 
 echo "== go test =="
-go test ./...
+go test -shuffle=on -timeout 10m ./...
 
-echo "== go test -race (parallel surgery) =="
-go test -race ./internal/control/... ./internal/graph/... ./internal/par/... ./internal/dist/...
+echo "== go test -race (parallel surgery + transport lifecycle) =="
+go test -race -shuffle=on -timeout 10m \
+    . \
+    ./internal/control/... \
+    ./internal/graph/... \
+    ./internal/par/... \
+    ./internal/dist/...
 
 echo "ok: all checks passed"

@@ -1,6 +1,7 @@
 package ccp
 
 import (
+	"context"
 	"fmt"
 
 	"ccp/internal/control"
@@ -28,8 +29,10 @@ type ChangedAnswer struct {
 // which of the watched control questions change answer — the shock
 // propagation and takeover-screening analysis the paper's introduction
 // motivates ("prevention of potentially hostile takeovers, evaluation of
-// risks, and shock propagation"). g itself is not modified.
-func WhatIf(g *Graph, mutations []Mutation, watch [][2]NodeID) ([]ChangedAnswer, error) {
+// risks, and shock propagation"). g itself is not modified. ctx bounds the
+// whole scenario: watch lists can be large, and cancellation stops between
+// watched queries.
+func WhatIf(ctx context.Context, g *Graph, mutations []Mutation, watch [][2]NodeID) ([]ChangedAnswer, error) {
 	clone := g.Clone()
 	for _, m := range mutations {
 		if m.Remove {
@@ -47,6 +50,9 @@ func WhatIf(g *Graph, mutations []Mutation, watch [][2]NodeID) ([]ChangedAnswer,
 	}
 	var out []ChangedAnswer
 	for _, w := range watch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		before := control.CBE(g, Query{S: w[0], T: w[1]})
 		after := control.CBE(clone, Query{S: w[0], T: w[1]})
 		if before != after {

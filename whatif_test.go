@@ -1,6 +1,7 @@
 package ccp_test
 
 import (
+	"context"
 	"testing"
 
 	"ccp"
@@ -11,7 +12,7 @@ func TestWhatIfTakeover(t *testing.T) {
 	// Scenario: a rival (new stake from 4... node 4 doesn't exist in
 	// holding(t)'s 4-node graph) — use existing nodes: 1 divests its stake
 	// in 3, breaking 0's joint majority.
-	changed, err := ccp.WhatIf(g,
+	changed, err := ccp.WhatIf(context.Background(), g,
 		[]ccp.Mutation{{Owner: 1, Owned: 3, Remove: true}},
 		[][2]ccp.NodeID{{0, 3}, {0, 1}},
 	)
@@ -32,7 +33,7 @@ func TestWhatIfAddStake(t *testing.T) {
 	if err := g.AddEdge(0, 1, 0.4); err != nil {
 		t.Fatal(err)
 	}
-	changed, err := ccp.WhatIf(g,
+	changed, err := ccp.WhatIf(context.Background(), g,
 		[]ccp.Mutation{{Owner: 0, Owned: 1, Weight: 0.2}}, // tops up to 0.6
 		[][2]ccp.NodeID{{0, 1}},
 	)
@@ -46,15 +47,15 @@ func TestWhatIfAddStake(t *testing.T) {
 
 func TestWhatIfErrors(t *testing.T) {
 	g := holding(t)
-	if _, err := ccp.WhatIf(g, []ccp.Mutation{{Owner: 0, Owned: 3, Remove: true}}, nil); err == nil {
+	if _, err := ccp.WhatIf(context.Background(), g, []ccp.Mutation{{Owner: 0, Owned: 3, Remove: true}}, nil); err == nil {
 		t.Fatal("divesting a missing stake accepted")
 	}
-	if _, err := ccp.WhatIf(g, []ccp.Mutation{{Owner: 1, Owned: 1, Weight: 0.1}}, nil); err == nil {
+	if _, err := ccp.WhatIf(context.Background(), g, []ccp.Mutation{{Owner: 1, Owned: 1, Weight: 0.1}}, nil); err == nil {
 		t.Fatal("self stake accepted")
 	}
 	// Over-allocation: node 3 already carries 55%; adding 0.6 from a new
 	// shareholder overflows its equity.
-	if _, err := ccp.WhatIf(g, []ccp.Mutation{{Owner: 0, Owned: 3, Weight: 0.6}}, nil); err == nil {
+	if _, err := ccp.WhatIf(context.Background(), g, []ccp.Mutation{{Owner: 0, Owned: 3, Weight: 0.6}}, nil); err == nil {
 		t.Fatal("over-allocated equity accepted")
 	}
 }
