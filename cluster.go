@@ -38,6 +38,13 @@ type ClusterOptions struct {
 	// CircuitCooldown is how long an open circuit rejects calls before
 	// probing the site again. 0 selects the default (1s).
 	CircuitCooldown time.Duration
+	// Observer, when non-nil, instruments the whole cluster-side query
+	// path: coordinator latency/phase histograms and cache counters,
+	// per-site transport metrics (remote clusters), site evaluation and
+	// reduction metrics (in-process clusters), and — when the observer's
+	// slow-query log is enabled — per-query stitched traces. Nil runs
+	// uninstrumented at the cost of pointer checks.
+	Observer *Observer
 }
 
 // SiteHealth is a point-in-time snapshot of one site's transport health:
@@ -145,6 +152,7 @@ func (o ClusterOptions) distOptions() dist.Options {
 		Workers:     o.CoordinatorWorkers,
 		Concurrency: o.Concurrency,
 		SiteTimeout: o.SiteTimeout,
+		Observer:    o.Observer,
 	}
 }
 
@@ -154,6 +162,9 @@ func NewClusterFromPartitioning(pi *partition.Partitioning, opts ClusterOptions)
 	sites := make([]*dist.Site, len(pi.Parts))
 	for i, p := range pi.Parts {
 		sites[i] = dist.NewSite(p, opts.SiteWorkers)
+		if opts.Observer != nil {
+			sites[i].Observe(opts.Observer)
+		}
 		clients[i] = &dist.LocalClient{Site: sites[i], MeasureBytes: true}
 	}
 	coord := dist.NewCoordinator(clients, opts.distOptions())
@@ -171,6 +182,7 @@ func ConnectCluster(ctx context.Context, addrs []string, opts ClusterOptions) (*
 		DialTimeout:      opts.DialTimeout,
 		FailureThreshold: opts.FailureThreshold,
 		Cooldown:         opts.CircuitCooldown,
+		Observer:         opts.Observer,
 	}
 	clients := make([]dist.SiteClient, len(addrs))
 	for i, addr := range addrs {
@@ -218,6 +230,20 @@ func (c *Cluster) Controls(ctx context.Context, s, t NodeID) (bool, QueryMetrics
 		return false, QueryMetrics{}, err
 	}
 	return ans, queryMetrics(m), nil
+}
+
+// ControlsTraced is Controls plus the stitched cross-site trace of the
+// query: the coordinator's merge/reduce spans, one transport envelope span
+// per contacted site, and every site's own evaluation spans re-based onto
+// the coordinator's timeline. Render it with QueryTrace.WriteTable. The
+// trace is returned even when the query failed (it shows how far the query
+// got); it is nil only when the cluster itself rejected the call.
+func (c *Cluster) ControlsTraced(ctx context.Context, s, t NodeID) (bool, QueryMetrics, *QueryTrace, error) {
+	ans, m, tr, err := c.coord.AnswerTraced(ctx, control.Query{S: s, T: t})
+	if err != nil {
+		return false, QueryMetrics{}, tr, err
+	}
+	return ans, queryMetrics(m), tr, nil
 }
 
 // ControlsBatch answers a batch of queries, amortizing the pre-computed

@@ -82,9 +82,14 @@ type throughputRow struct {
 	Queries          int     `json:"queries"`
 	ElapsedMS        float64 `json:"elapsed_ms"`
 	QueriesPerMinute float64 `json:"queries_per_minute"`
-	CacheHitRate     float64 `json:"cache_hit_rate"`
-	SnapshotHitRate  float64 `json:"snapshot_hit_rate"`
-	SpeedupVsSerial  float64 `json:"speedup_vs_serial"`
+	// P50/P95/P99 per-query latency, read back from the coordinator's
+	// ccp_query_seconds histogram.
+	P50MS           float64 `json:"p50_ms"`
+	P95MS           float64 `json:"p95_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	SnapshotHitRate float64 `json:"snapshot_hit_rate"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
 // throughputDoc is the BENCH_throughput.json payload.
@@ -126,6 +131,9 @@ func runThroughputSweep(cfg experiments.Config, outPath string, baselineQPM floa
 			Queries:          r.Queries,
 			ElapsedMS:        float64(r.Elapsed.Microseconds()) / 1000,
 			QueriesPerMinute: r.QueriesPerMinute,
+			P50MS:            float64(r.P50.Microseconds()) / 1000,
+			P95MS:            float64(r.P95.Microseconds()) / 1000,
+			P99MS:            float64(r.P99.Microseconds()) / 1000,
 			CacheHitRate:     r.CacheHitRate,
 			SnapshotHitRate:  r.SnapshotHitRate,
 		}

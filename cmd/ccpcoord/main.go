@@ -45,6 +45,8 @@ func main() {
 	workers := flag.Int("workers", 0, "coordinator reduction parallelism")
 	concurrency := flag.Int("concurrency", 1, "batch queries kept in flight at once (>1 answers the trailing queries as one concurrent batch)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline, enforced at the sites (0 = none)")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/pprof (empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 0, "record stitched traces of queries slower than this in /varz (0 = disabled)")
 	flag.Parse()
 	if *sites == "" {
 		flag.Usage()
@@ -54,16 +56,45 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	var observer *ccp.Observer
+	if *opsAddr != "" || *slowQuery > 0 {
+		observer = ccp.NewObserver(ccp.ObserverConfig{SlowQueryThreshold: *slowQuery})
+	}
+
 	cluster, err := ccp.ConnectCluster(ctx, strings.Split(*sites, ","), ccp.ClusterOptions{
 		UseCache:           *cache,
 		CoordinatorWorkers: *workers,
 		Concurrency:        *concurrency,
+		Observer:           observer,
 	})
 	if err != nil {
 		fatalf("cannot connect: %v", err)
 	}
 	defer cluster.Close()
 	fmt.Printf("ccpcoord: connected to %d sites\n", cluster.Sites())
+
+	if *opsAddr != "" {
+		// Healthy means every site is reachable right now: connected with a
+		// closed circuit. Degraded (503) surfaces the first broken transport
+		// to an external prober; the JSON detail carries the full per-site
+		// health table either way.
+		ops, err := ccp.StartOpsServer(*opsAddr, observer, func() (bool, any) {
+			health := cluster.Health()
+			ok := true
+			for _, h := range health {
+				if !h.Connected || h.CircuitOpen {
+					ok = false
+					break
+				}
+			}
+			return ok, health
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ops.Shutdown(context.Background())
+		fmt.Printf("ccpcoord: ops endpoints on http://%s (/metrics /healthz /varz /debug/pprof)\n", ops.Addr())
+	}
 
 	// queryCtx derives one query's context, carrying the -timeout deadline.
 	queryCtx := func() (context.Context, context.CancelFunc) {

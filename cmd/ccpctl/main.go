@@ -173,16 +173,24 @@ func cmdQuery(args []string) error {
 	in := fs.String("in", "", "graph file")
 	s := fs.Int("s", -1, "source company")
 	t := fs.Int("t", -1, "target company")
-	solver := fs.String("solver", "cbe", "cbe|reduce|datalog|pathenum")
+	solver := fs.String("solver", "cbe", "cbe|reduce|datalog|pathenum|dist")
+	parts := fs.Int("parts", 2, "partitions for -solver dist (in-process sites)")
+	verbose := fs.Bool("verbose", false, "print the stitched query trace (-solver dist only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *s < 0 || *t < 0 {
 		return fmt.Errorf("query: -in, -s and -t are required")
 	}
+	if *verbose && *solver != "dist" {
+		return fmt.Errorf("query: -verbose requires -solver dist")
+	}
 	g, err := loadGraph(*in)
 	if err != nil {
 		return err
+	}
+	if *solver == "dist" {
+		return queryDist(g, ccp.NodeID(*s), ccp.NodeID(*t), *parts, *verbose)
 	}
 	start := time.Now()
 	var ans bool
@@ -210,6 +218,65 @@ func cmdQuery(args []string) error {
 		return fmt.Errorf("query: unknown solver %q", *solver)
 	}
 	fmt.Printf("q_c(%d,%d) = %v  [%s, %v]\n", *s, *t, ans, *solver, time.Since(start))
+	return nil
+}
+
+// queryDist answers one query over an in-process cluster of k contiguous
+// partitions — the distributed solver without the TCP deployment. With
+// verbose it prints the stitched cross-site trace and a per-site span
+// summary.
+func queryDist(g *ccp.Graph, s, t ccp.NodeID, parts int, verbose bool) error {
+	cluster, err := ccp.NewLocalCluster(g, parts, ccp.ClusterOptions{
+		Observer: ccp.NewObserver(ccp.ObserverConfig{}),
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	start := time.Now()
+	ans, m, tr, err := cluster.ControlsTraced(context.Background(), s, t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("q_c(%d,%d) = %v  [dist, %d sites, %v]\n", s, t, ans, parts, time.Since(start))
+	if !verbose {
+		return nil
+	}
+	fmt.Printf("site-max=%v coord=%v traffic=%dB partial=%d+%dn merged=%d+%dn\n",
+		m.MaxSiteTime, m.CoordinatorTime, m.BytesTransferred,
+		m.PartialNodes, m.PartialEdges, m.MergedNodes, m.MergedEdges)
+	if _, err := tr.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	// Per-site rollup of the stitched spans: how much wall time and payload
+	// each contacted site contributed.
+	type rollup struct {
+		spans int
+		dur   time.Duration
+		bytes int64
+	}
+	perSite := map[int32]*rollup{}
+	var order []int32
+	for _, sp := range tr.Spans {
+		r := perSite[sp.Site]
+		if r == nil {
+			r = &rollup{}
+			perSite[sp.Site] = r
+			order = append(order, sp.Site)
+		}
+		r.spans++
+		r.dur += time.Duration(sp.DurNS)
+		r.bytes += sp.Bytes
+	}
+	fmt.Println("per-site summary:")
+	for _, id := range order {
+		who := "coord"
+		if id >= 0 {
+			who = fmt.Sprintf("site %d", id)
+		}
+		r := perSite[id]
+		fmt.Printf("  %-8s spans=%-3d busy=%-12v bytes=%d\n", who, r.spans, r.dur, r.bytes)
+	}
 	return nil
 }
 

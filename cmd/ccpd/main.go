@@ -41,6 +41,7 @@ func main() {
 	listen := flag.String("listen", ":7001", "listen address")
 	workers := flag.Int("workers", 0, "reduction parallelism (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	var p *ccp.Partition
@@ -91,6 +92,20 @@ func main() {
 	defer stop()
 
 	srv := ccp.NewSiteServer(p, *workers)
+
+	var ops *ccp.OpsServer
+	if *opsAddr != "" {
+		obs := ccp.NewObserver(ccp.ObserverConfig{})
+		srv.Observe(obs)
+		ops, err = ccp.StartOpsServer(*opsAddr, obs, func() (bool, any) {
+			return true, srv.Stats()
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("ccpd: ops endpoints on http://%s (/metrics /healthz /varz /debug/pprof)\n", ops.Addr())
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 
@@ -99,6 +114,9 @@ func main() {
 		stop() // a second signal kills immediately
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(dctx)
+		if ops != nil {
+			ops.Shutdown(dctx)
+		}
 		cancel()
 		<-serveErr
 		st := srv.Stats()

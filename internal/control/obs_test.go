@@ -1,0 +1,86 @@
+package control
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+	"ccp/internal/obs"
+)
+
+// TestReducerObsMatchesStats cross-checks the streamed reduction telemetry
+// against the Stats the reduction itself returns: the same removals and
+// contractions must arrive through both channels, for the frontier engine
+// and the full-rescan ablation alike.
+func TestReducerObsMatchesStats(t *testing.T) {
+	for _, fullRescan := range []bool{false, true} {
+		name := "frontier"
+		if fullRescan {
+			name = "full-rescan"
+		}
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				rng := rand.New(rand.NewSource(900 + seed))
+				n := 20 + rng.Intn(60)
+				g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: n, AvgOutDegree: 1 + rng.Float64()*2, Seed: seed})
+				q := Query{S: graph.NodeID(rng.Intn(n)), T: graph.NodeID(rng.Intn(n))}
+				x := graph.NewNodeSet(q.S, q.T)
+
+				reg := obs.NewRegistry()
+				ro := obs.NewReducerObs(reg, "test")
+				res, err := ParallelReduction(context.Background(), g, q, x, Options{
+					Trust:              FullTrust,
+					FullRescan:         fullRescan,
+					DisableTermination: true, // run every round so counts are total
+					Obs:                ro,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				removed := ro.RemovedR1.Value() + ro.RemovedR2.Value()
+				if removed != int64(res.Stats.Removed) {
+					t.Errorf("seed %d: obs removed r1+r2 = %d, Stats.Removed = %d",
+						seed, removed, res.Stats.Removed)
+				}
+				if got := ro.Contracted.Value(); got != int64(res.Stats.Contracted) {
+					t.Errorf("seed %d: obs contracted = %d, Stats.Contracted = %d",
+						seed, got, res.Stats.Contracted)
+				}
+				wantRounds := int64(res.Phase1Rounds + res.Phase2Rounds)
+				if got := ro.Rounds.Value(); got != wantRounds {
+					t.Errorf("seed %d: obs rounds = %d, phase rounds = %d",
+						seed, got, wantRounds)
+				}
+				if got := ro.FrontierSize.Snapshot().Count; got != uint64(wantRounds) {
+					t.Errorf("seed %d: frontier observations = %d, rounds = %d",
+						seed, got, wantRounds)
+				}
+			}
+		})
+	}
+}
+
+// TestReducerObsNilIsFree checks the uninstrumented configuration still
+// reduces identically (nil Obs must change nothing but skip the recording).
+func TestReducerObsNilIsFree(t *testing.T) {
+	g1 := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 40, AvgOutDegree: 2, Seed: 5})
+	g2 := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: 40, AvgOutDegree: 2, Seed: 5})
+	q := Query{S: 1, T: 30}
+	x := graph.NewNodeSet(q.S, q.T)
+	withObs, err := ParallelReduction(context.Background(), g1, q, x, Options{
+		Trust: FullTrust, Obs: obs.NewReducerObs(obs.NewRegistry(), "t"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ParallelReduction(context.Background(), g2, q, x, Options{Trust: FullTrust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withObs.Ans != without.Ans || withObs.Stats != without.Stats {
+		t.Fatalf("instrumentation changed the reduction: %+v vs %+v", withObs, without)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ccp/internal/graph"
+	"ccp/internal/obs"
 	"ccp/internal/par"
 )
 
@@ -42,6 +43,11 @@ type Options struct {
 	// step, letting par.Meter.SimulatedElapsed estimate the wall clock of
 	// the same run on a machine with one core per worker.
 	Meter *par.Meter
+
+	// Obs, when non-nil, streams reduction telemetry — rounds, nodes
+	// removed by R1/R2, nodes contracted by R3, frontier widths — into an
+	// obs metrics registry. Nil costs one pointer check per round.
+	Obs *obs.ReducerObs
 }
 
 // Result is the outcome of ParallelReduction: the answer to q_c(s, t) if the
@@ -182,6 +188,15 @@ func fullRescanReduction(ctx context.Context, g *graph.Graph, q Query, x graph.N
 					}
 				})
 				removed := g.ParallelRemoveMetered(opt.Meter, dead, workers)
+				if opt.Obs != nil {
+					r1 := 0
+					for i, d := range dead {
+						if d && labels[i] == graph.C1 {
+							r1++
+						}
+					}
+					opt.Obs.RemoveRound(r1, removed-r1, c12)
+				}
 				res.Stats.Removed += removed
 				res.Stats.Iterations++
 				res.Phase1Rounds++
@@ -199,6 +214,7 @@ func fullRescanReduction(ctx context.Context, g *graph.Graph, q Query, x graph.N
 		}
 		rep := resolveRepresentatives(g, labels, opt.NaiveContraction)
 		contracted := g.ParallelContractMetered(opt.Meter, rep, workers)
+		opt.Obs.ContractRound(contracted, c3)
 		res.Stats.Contracted += contracted
 		res.Stats.Iterations++
 		res.Phase2Rounds++

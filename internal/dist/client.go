@@ -5,12 +5,14 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"ccp/internal/control"
 	"ccp/internal/graph"
+	"ccp/internal/obs"
 )
 
 // ClientConfig tunes the transport lifecycle of a RemoteClient: dial and
@@ -40,6 +42,10 @@ type ClientConfig struct {
 	// Dialer opens the transport connection; tests inject failing or
 	// fault-wrapped connections here. Default: TCP via net.Dialer.
 	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Observer, when non-nil, registers per-site transport metrics
+	// (redials, retries, circuit transitions, bytes in/out, circuit state)
+	// on its registry, labeled by the site's dial address.
+	Observer *obs.Observer
 }
 
 // withDefaults fills unset config fields with the production defaults.
@@ -117,6 +123,28 @@ func (c countConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// countingWriter tees written byte counts into a (nil-safe) obs counter.
+type countingWriter struct {
+	w   io.Writer
+	ctr *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.ctr.Add(int64(n))
+	return n, err
+}
+
+// clientMetrics are a RemoteClient's registered series — zero-valued (all
+// nil) on an unobserved client, where every update is a nil-check no-op.
+type clientMetrics struct {
+	redials, retries  *obs.Counter
+	bytesIn, bytesOut *obs.Counter
+	circuitOpened     *obs.Counter
+	circuitHalfOpened *obs.Counter
+	circuitClosed     *obs.Counter
+}
+
 // rpcResult is one routed response plus the bytes it occupied on the wire.
 type rpcResult struct {
 	resp  *response
@@ -134,7 +162,8 @@ type muxConn struct {
 	encMu sync.Mutex // serializes writes; gob encoders are not concurrent-safe
 	enc   *gob.Encoder
 
-	read int64 // total bytes read; owned by the reader goroutine
+	read    int64 // total bytes read; owned by the reader goroutine
+	bytesIn *obs.Counter
 
 	mu      sync.Mutex
 	pending map[uint64]chan rpcResult
@@ -142,10 +171,16 @@ type muxConn struct {
 	err     error // the transport error that killed this generation
 }
 
-func newMuxConn(conn net.Conn) *muxConn {
+func newMuxConn(conn net.Conn, met clientMetrics) *muxConn {
+	// Only an observed client pays the writer indirection.
+	var w io.Writer = conn
+	if met.bytesOut != nil {
+		w = countingWriter{w: conn, ctr: met.bytesOut}
+	}
 	return &muxConn{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
+		enc:     gob.NewEncoder(w),
+		bytesIn: met.bytesIn,
 		pending: make(map[uint64]chan rpcResult),
 	}
 }
@@ -183,6 +218,7 @@ func (m *muxConn) readLoop() error {
 			return err
 		}
 		n := m.read - before
+		m.bytesIn.Add(n)
 		m.mu.Lock()
 		ch, ok := m.pending[resp.ID]
 		delete(m.pending, resp.ID)
@@ -234,7 +270,10 @@ type RemoteClient struct {
 	redials     int64
 	retries     int64
 	dialed      bool // first successful dial done (redials counts the rest)
+	tripped     bool // circuit opened and no success seen since
 	lastErr     error
+
+	met clientMetrics
 }
 
 // Dial connects to a worker site with default lifecycle configuration and
@@ -246,6 +285,31 @@ func Dial(ctx context.Context, addr string) (*RemoteClient, error) {
 // DialConfig is Dial with explicit lifecycle configuration.
 func DialConfig(ctx context.Context, addr string, cfg ClientConfig) (*RemoteClient, error) {
 	c := &RemoteClient{addr: addr, cfg: cfg.withDefaults(), siteID: -1}
+	if reg := c.cfg.Observer.Registry(); reg != nil {
+		l := obs.Label{Key: "site_addr", Value: addr}
+		c.met = clientMetrics{
+			redials:           reg.Counter("ccp_client_redials_total", "Connections re-established after a transport failure.", l),
+			retries:           reg.Counter("ccp_client_retries_total", "Per-call transport retries of idempotent ops.", l),
+			bytesIn:           reg.Counter("ccp_client_bytes_in_total", "Bytes received from the site.", l),
+			bytesOut:          reg.Counter("ccp_client_bytes_out_total", "Bytes sent to the site.", l),
+			circuitOpened:     reg.Counter("ccp_client_circuit_transitions_total", "Circuit-breaker state transitions, by direction.", l, obs.Label{Key: "to", Value: "open"}),
+			circuitHalfOpened: reg.Counter("ccp_client_circuit_transitions_total", "Circuit-breaker state transitions, by direction.", l, obs.Label{Key: "to", Value: "half_open"}),
+			circuitClosed:     reg.Counter("ccp_client_circuit_transitions_total", "Circuit-breaker state transitions, by direction.", l, obs.Label{Key: "to", Value: "closed"}),
+		}
+		reg.GaugeFunc("ccp_client_circuit_state",
+			"Circuit-breaker position: 0 closed, 1 open, 2 half-open.",
+			c.circuitState, l)
+		reg.GaugeFunc("ccp_client_connected",
+			"Whether a live connection to the site is up (0/1).",
+			func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				if c.conn != nil {
+					return 1
+				}
+				return 0
+			}, l)
+	}
 	// The identity handshake is bounded by DialTimeout even when ctx has no
 	// deadline of its own: a site that accepts and then stalls must not
 	// hang Dial forever.
@@ -303,6 +367,7 @@ func (c *RemoteClient) acquireConn(ctx context.Context) (*muxConn, error) {
 				return nil, fmt.Errorf("%w until %s (after: %v)", ErrCircuitOpen, until.Format(time.RFC3339Nano), err)
 			}
 			c.circuit = time.Time{} // cooldown over: half-open, probe below
+			c.met.circuitHalfOpened.Inc()
 		}
 		wait := time.Until(c.nextDialAt)
 		done := make(chan struct{})
@@ -336,6 +401,7 @@ func (c *RemoteClient) acquireConn(ctx context.Context) (*muxConn, error) {
 		c.nextDialAt = time.Time{}
 		if c.dialed {
 			c.redials++
+			c.met.redials.Inc()
 		}
 		c.dialed = true
 		c.mu.Unlock()
@@ -365,7 +431,7 @@ func (c *RemoteClient) dialOnce(ctx context.Context, wait time.Duration) (*muxCo
 	if err != nil {
 		return nil, fmt.Errorf("dialing %s: %w", c.addr, err)
 	}
-	return newMuxConn(conn), nil
+	return newMuxConn(conn, c.met), nil
 }
 
 // dropConn retires a dead generation so the next call redials.
@@ -387,6 +453,8 @@ func (c *RemoteClient) noteFailureLocked(err error) {
 	}
 	if c.consecFails >= c.cfg.FailureThreshold && c.circuit.IsZero() {
 		c.circuit = time.Now().Add(c.cfg.Cooldown)
+		c.tripped = true
+		c.met.circuitOpened.Inc()
 		if c.conn != nil {
 			// A site that times out call after call is stalled, not slow:
 			// tear the generation down so the probe after cooldown starts
@@ -411,8 +479,30 @@ func (c *RemoteClient) noteSuccess() {
 	c.mu.Lock()
 	c.consecFails = 0
 	c.circuit = time.Time{}
+	if c.tripped {
+		// A success after a trip closes the circuit (the half-open probe
+		// worked).
+		c.tripped = false
+		c.met.circuitClosed.Inc()
+	}
 	c.lastErr = nil
 	c.mu.Unlock()
+}
+
+// circuitState samples the breaker position for the scrape-time gauge:
+// 0 closed, 1 open (calls fail fast), 2 half-open (cooldown over, awaiting
+// a successful probe).
+func (c *RemoteClient) circuitState() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case !c.circuit.IsZero() && time.Now().Before(c.circuit):
+		return 1
+	case c.tripped:
+		return 2
+	default:
+		return 0
+	}
 }
 
 // Close releases the connection. In-flight calls fail with a TransportError;
@@ -478,6 +568,7 @@ func (c *RemoteClient) Evaluate(ctx context.Context, q control.Query, opts EvalO
 		ForcePartial: opts.ForcePartial,
 		IfEpoch:      opts.IfEpoch,
 		HasIfEpoch:   opts.HasIfEpoch,
+		TraceID:      opts.TraceID,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -535,6 +626,7 @@ func (c *RemoteClient) roundTrip(ctx context.Context, req *request) (*response, 
 			c.mu.Lock()
 			c.retries++
 			c.mu.Unlock()
+			c.met.retries.Inc()
 		}
 		if err := ctx.Err(); err != nil {
 			c.noteDegraded(err)

@@ -11,6 +11,7 @@ import (
 
 	"ccp/internal/control"
 	"ccp/internal/graph"
+	"ccp/internal/obs"
 )
 
 // SiteClient is the coordinator's handle to one worker site, local or
@@ -66,6 +67,11 @@ type Options struct {
 	// context already carries. 0 means no per-call bound. A site missing the
 	// deadline fails the query with a *DeadlineError naming the site.
 	SiteTimeout time.Duration
+	// Observer, when non-nil, streams coordinator metrics (latency
+	// histograms, per-phase timings, cache hit/miss counters) into its
+	// registry and, when its slow-query log is enabled, traces every query
+	// so slow ones can be captured. Nil runs uninstrumented.
+	Observer *obs.Observer
 }
 
 // Metrics reports where the time and bytes of a distributed query went —
@@ -145,12 +151,62 @@ func (m *Metrics) AddQuery(q *Metrics) {
 type Coordinator struct {
 	clients []SiteClient
 	opts    Options
+	met     coordMetrics
 
 	mu     sync.Mutex
 	pcache map[int]*coordCached
 
 	snapMu sync.Mutex
 	snaps  map[string]*mergedSnapshot
+}
+
+// Metric names shared with harnesses that read their own Observer's
+// registry back (ccpbench derives its latency percentiles from
+// MetricQuerySeconds).
+const (
+	MetricQuerySeconds      = "ccp_query_seconds"
+	MetricQueryPhaseSeconds = "ccp_query_phase_seconds"
+)
+
+// coordMetrics are the coordinator's registered series — zero-valued (all
+// nil) without an Observer, where every update is a nil-check no-op.
+type coordMetrics struct {
+	queries, queryErrors                *obs.Counter
+	querySeconds                        *obs.Histogram
+	phaseSites, phaseMerge, phaseReduce *obs.Histogram
+	cacheHits, cacheMisses              *obs.Counter
+	coordCacheHits, snapshotHits        *obs.Counter
+	payloadBytes                        *obs.Counter
+	batchInflight                       *obs.Gauge
+	reduceObs                           *obs.ReducerObs
+}
+
+func newCoordMetrics(o *obs.Observer) coordMetrics {
+	reg := o.Registry()
+	phase := func(name string) *obs.Histogram {
+		return reg.Histogram(MetricQueryPhaseSeconds,
+			"Query latency by coordinator phase (sites fan-out, merge, final reduction).",
+			obs.DefaultLatencyBuckets, obs.Label{Key: "phase", Value: name})
+	}
+	return coordMetrics{
+		queries:      reg.Counter("ccp_queries_total", "Distributed queries answered, including failed ones."),
+		queryErrors:  reg.Counter("ccp_query_errors_total", "Distributed queries that failed."),
+		querySeconds: reg.Histogram(MetricQuerySeconds, "End-to-end distributed query latency in seconds.", obs.DefaultLatencyBuckets),
+		phaseSites:   phase("sites"),
+		phaseMerge:   phase("merge"),
+		phaseReduce:  phase("reduce"),
+		cacheHits: reg.Counter("ccp_coord_cache_hits_total",
+			"Per-site partial answers served from a query-independent cache."),
+		cacheMisses: reg.Counter("ccp_coord_cache_misses_total",
+			"Per-site partial answers that needed a live site evaluation."),
+		coordCacheHits: reg.Counter("ccp_coord_revalidations_total",
+			"Partial answers served from the coordinator's own copy after an epoch revalidation (no payload shipped)."),
+		snapshotHits: reg.Counter("ccp_coord_snapshot_hits_total",
+			"Queries whose cached partials merged via a reusable merged-graph snapshot."),
+		payloadBytes:  reg.Counter("ccp_coord_payload_bytes_total", "Payload bytes returned by sites."),
+		batchInflight: reg.Gauge("ccp_batch_inflight_queries", "Batch queries currently in flight."),
+		reduceObs:     obs.NewReducerObs(reg, "coord"),
+	}
 }
 
 // coordCached is the coordinator's copy of one site's partial answer.
@@ -180,6 +236,7 @@ func NewCoordinator(clients []SiteClient, opts Options) *Coordinator {
 	return &Coordinator{
 		clients: clients,
 		opts:    opts,
+		met:     newCoordMetrics(opts.Observer),
 		pcache:  make(map[int]*coordCached),
 		snaps:   make(map[string]*mergedSnapshot),
 	}
@@ -246,6 +303,63 @@ func (c *Coordinator) siteCtx(ctx context.Context) (context.Context, context.Can
 // *DeadlineError or *CancelledError) cancels the evaluations still in
 // flight at the other sites and fails the query.
 func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metrics, error) {
+	ans, m, _, err := c.answer(ctx, q, false)
+	return ans, m, err
+}
+
+// AnswerTraced is Answer plus the stitched cross-site trace of the query:
+// the coordinator's phase spans, one envelope span per contacted site, and
+// every site's own spans re-based onto the coordinator's timeline. The
+// returned trace is owned by the caller. It is non-nil even when the query
+// failed (the trace shows how far the query got).
+func (c *Coordinator) AnswerTraced(ctx context.Context, q control.Query) (bool, *Metrics, *obs.Trace, error) {
+	return c.answer(ctx, q, true)
+}
+
+// answer wraps one query evaluation with the coordinator's observability:
+// trace allocation (when explicitly requested or needed by the slow-query
+// log), top-level counters and latency histograms, and slow-log capture.
+func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace bool) (bool, *Metrics, *obs.Trace, error) {
+	start := time.Now()
+	var tr *obs.Trace
+	if wantTrace || c.opts.Observer.TraceEnabled() {
+		tr = obs.GetTrace()
+		tr.TraceID = obs.NewTraceID()
+		tr.Query = fmt.Sprintf("controls(%d,%d)", q.S, q.T)
+		tr.Start = start
+	}
+	ans, m, err := c.eval(ctx, q, start, tr)
+	dur := time.Since(start)
+	c.met.queries.Inc()
+	c.met.querySeconds.Observe(dur.Seconds())
+	if err != nil {
+		c.met.queryErrors.Inc()
+	}
+	c.met.cacheHits.Add(int64(m.CacheHits))
+	c.met.cacheMisses.Add(int64(m.SitesQueried - m.CacheHits))
+	c.met.coordCacheHits.Add(int64(m.CoordCacheHits))
+	c.met.snapshotHits.Add(int64(m.SnapshotHits))
+	c.met.payloadBytes.Add(m.Bytes)
+	if tr == nil {
+		return ans, m, nil, err
+	}
+	tr.DurNS = dur.Nanoseconds()
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	c.opts.Observer.ObserveTrace(tr)
+	if wantTrace {
+		// The caller keeps the trace; it never returns to the pool.
+		return ans, m, tr, err
+	}
+	obs.PutTrace(tr)
+	return ans, m, nil, err
+}
+
+// eval runs one query: fan out to the sites, collect partial answers, merge
+// and reduce. When tr is non-nil it accumulates spans for every step; site
+// span buffers are released here after stitching.
+func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Time, tr *obs.Trace) (bool, *Metrics, error) {
 	m := &Metrics{DecidedBy: -1}
 	defer func() { m.Health = c.Health() }()
 	if len(c.clients) == 0 {
@@ -264,6 +378,9 @@ func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metri
 		pa    *PartialAnswer
 		bytes int64
 		err   error
+		// startNS/durNS bracket the whole site call on the coordinator's
+		// clock (the envelope the site's own spans are re-based onto).
+		startNS, durNS int64
 	}
 	// Buffered to len(clients): after a fail-fast return the remaining
 	// evaluations deposit their (cancelled) replies without blocking, so no
@@ -279,10 +396,19 @@ func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metri
 				opts.IfEpoch, opts.HasIfEpoch = epoch, true
 			}
 		}
+		var t0 int64
+		if tr != nil {
+			opts.TraceID = tr.TraceID
+			t0 = int64(time.Since(qstart))
+		}
 		ectx, cancel := c.siteCtx(qctx)
 		pa, n, err := cl.Evaluate(ectx, q, opts)
 		cancel()
-		replies <- reply{pa, n, err}
+		var d int64
+		if tr != nil {
+			d = int64(time.Since(qstart)) - t0
+		}
+		replies <- reply{pa, n, err, t0, d}
 	}
 	for _, cl := range c.clients {
 		if c.opts.SequentialSites {
@@ -306,6 +432,28 @@ func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metri
 		m.SiteElapsedSum += r.pa.Elapsed
 		if r.pa.Elapsed > m.SiteElapsedMax {
 			m.SiteElapsedMax = r.pa.Elapsed
+		}
+		if tr != nil {
+			// Stitch: the envelope span is measured on the coordinator's
+			// clock; the site's own spans are offsets from its request start
+			// and are re-based onto the envelope, so the assembled timeline
+			// is exact per process and off by at most one network flight
+			// across processes.
+			tr.Spans = append(tr.Spans, obs.Span{
+				Name:    "site.rpc",
+				Site:    int32(r.pa.SiteID),
+				StartNS: r.startNS,
+				DurNS:   r.durNS,
+				Bytes:   r.bytes,
+			})
+			for _, sp := range r.pa.Spans {
+				sp.StartNS += r.startNS
+				tr.Spans = append(tr.Spans, sp)
+			}
+		}
+		if r.pa.Spans != nil {
+			obs.PutSpans(r.pa.Spans)
+			r.pa.Spans = nil
 		}
 		if r.pa.FromCache {
 			m.CacheHits++
@@ -349,6 +497,7 @@ func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metri
 		}
 		partials = append(partials, r.pa)
 	}
+	c.met.phaseSites.Observe(time.Since(qstart).Seconds())
 	if decided != control.Unknown {
 		m.DecidedBy = decidedBy
 		return decided.Bool(), m, nil
@@ -389,12 +538,23 @@ func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metri
 	}
 	m.MGraphNodes = mg.NumNodes()
 	m.MGraphEdges = mg.NumEdges()
+	reduceStart := time.Now()
 	res, err := control.ParallelReduction(ctx, mg, q, graph.NewNodeSet(q.S, q.T), control.Options{
 		Workers:    c.opts.Workers,
 		Trust:      control.FullTrust,
 		FullRescan: c.opts.FullRescan,
+		Obs:        c.met.reduceObs,
 	})
 	m.CoordElapsed = time.Since(start)
+	c.met.phaseMerge.Observe(reduceStart.Sub(start).Seconds())
+	c.met.phaseReduce.Observe(time.Since(reduceStart).Seconds())
+	if tr != nil {
+		tr.Spans = append(tr.Spans,
+			obs.Span{Name: "coord.merge", Site: -1,
+				StartNS: int64(start.Sub(qstart)), DurNS: int64(reduceStart.Sub(start))},
+			obs.Span{Name: "coord.reduce", Site: -1,
+				StartNS: int64(reduceStart.Sub(qstart)), DurNS: int64(time.Since(reduceStart))})
+	}
 	m.Stats.Add(res.Stats)
 	if err != nil {
 		return false, m, ctxError(-1, "merge", err)
@@ -459,6 +619,8 @@ func (c *Coordinator) AnswerBatch(ctx context.Context, qs []control.Query) ([]bo
 		conc = len(qs)
 	}
 	if conc <= 1 {
+		c.met.batchInflight.Add(1)
+		defer c.met.batchInflight.Add(-1)
 		for i, q := range qs {
 			ans, m, err := c.Answer(ctx, q)
 			if err != nil {
@@ -483,7 +645,9 @@ func (c *Coordinator) AnswerBatch(ctx context.Context, qs []control.Query) ([]bo
 				if i >= len(qs) {
 					return
 				}
+				c.met.batchInflight.Add(1)
 				out[i], ms[i], errs[i] = c.Answer(ctx, qs[i])
+				c.met.batchInflight.Add(-1)
 			}
 		}()
 	}

@@ -12,6 +12,7 @@ import (
 
 	"ccp/internal/control"
 	"ccp/internal/graph"
+	"ccp/internal/obs"
 )
 
 // ServerConfig tunes a site server's connection lifecycle. The zero value
@@ -68,6 +69,7 @@ type Server struct {
 	requests atomic.Int64
 	accepted atomic.Int64
 	drained  atomic.Int64
+	inflight atomic.Int64
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -88,6 +90,26 @@ func NewServer(site *Site, cfg ServerConfig) *Server {
 		listeners:   make(map[net.Listener]struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
+}
+
+// Observe exposes the server's existing lifetime counters as scrape-time
+// sampled series (no double bookkeeping), plus an in-flight request gauge,
+// and wires the underlying site's metrics. Call once, before Serve.
+func (s *Server) Observe(o *obs.Observer) {
+	reg := o.Registry()
+	reg.CounterFunc("ccp_server_requests_total",
+		"Requests served by the site server (all ops, including failed ones).",
+		func() float64 { return float64(s.requests.Load()) })
+	reg.CounterFunc("ccp_server_conns_accepted_total",
+		"Connections accepted by the site server.",
+		func() float64 { return float64(s.accepted.Load()) })
+	reg.CounterFunc("ccp_server_conns_drained_total",
+		"Connections that finished their in-flight requests and closed cleanly during shutdown.",
+		func() float64 { return float64(s.drained.Load()) })
+	reg.GaugeFunc("ccp_server_inflight_requests",
+		"Requests currently being served.",
+		func() float64 { return float64(s.inflight.Load()) })
+	s.site.Observe(o)
 }
 
 // Stats snapshots the server's lifetime counters.
@@ -224,6 +246,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // on the server's own clock, and writes the response under a write deadline.
 func (s *Server) handle(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, req *request) {
 	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	ctx := s.baseCtx
 	cancel := context.CancelFunc(func() {})
 	if req.DeadlineNS > 0 {
@@ -234,7 +258,6 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, req 
 	resp.ID = req.ID
 
 	encMu.Lock()
-	defer encMu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	// A write failure is unrecoverable for the whole connection (the gob
 	// stream is positional); closing it fails the client's pending calls and
@@ -242,6 +265,10 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, req 
 	if err := enc.Encode(resp); err != nil {
 		conn.Close()
 	}
+	encMu.Unlock()
+	// The spans are on the wire (or lost with the conn); either way the
+	// pooled buffer is free to reuse.
+	obs.PutSpans(resp.Spans)
 }
 
 // serve executes one decoded request against the site.
@@ -263,6 +290,7 @@ func (s *Server) serve(ctx context.Context, req *request) *response {
 			ForcePartial: req.ForcePartial,
 			IfEpoch:      req.IfEpoch,
 			HasIfEpoch:   req.HasIfEpoch,
+			TraceID:      req.TraceID,
 		})
 		if err != nil {
 			return errResponse(siteID, err)

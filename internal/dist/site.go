@@ -12,11 +12,13 @@ package dist
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 
 	"ccp/internal/control"
 	"ccp/internal/graph"
+	"ccp/internal/obs"
 	"ccp/internal/partition"
 )
 
@@ -43,6 +45,11 @@ type PartialAnswer struct {
 	// NotModified reports that the coordinator's copy (requested via
 	// EvalOptions.IfEpoch) is still valid; Reduced is nil.
 	NotModified bool
+	// Spans are the site-local trace spans of a traced evaluation
+	// (EvalOptions.TraceID != 0), with StartNS relative to the start of
+	// this evaluation. The slice is pooled: whoever serializes or stitches
+	// it releases it with obs.PutSpans.
+	Spans []obs.Span
 }
 
 // Site evaluates queries over one partition — the per-site half of
@@ -63,6 +70,33 @@ type Site struct {
 	reducers sync.Pool
 
 	fullRescan bool
+
+	met siteMetrics
+}
+
+// siteMetrics are the site's registered series — zero-valued (all nil) on
+// an unobserved site, where every update is a nil-check no-op.
+type siteMetrics struct {
+	evalSeconds *obs.Histogram
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	robs        *obs.ReducerObs
+}
+
+// Observe registers the site's metrics — evaluation latency, cache
+// hits/misses, reduction-engine telemetry — on o's registry, labeled with
+// the partition id. Call once, before the site starts serving.
+func (s *Site) Observe(o *obs.Observer) {
+	reg := o.Registry()
+	id := strconv.Itoa(s.part.ID)
+	l := obs.Label{Key: "site", Value: id}
+	s.met.evalSeconds = reg.Histogram("ccp_site_evaluate_seconds",
+		"Site-side evaluation latency in seconds.", obs.DefaultLatencyBuckets, l)
+	s.met.cacheHits = reg.Counter("ccp_site_cache_hits_total",
+		"Evaluations served from the query-independent cache.", l)
+	s.met.cacheMisses = reg.Counter("ccp_site_cache_misses_total",
+		"Evaluations answered by a live reduction or local decision.", l)
+	s.met.robs = obs.NewReducerObs(reg, "site-"+id)
 }
 
 // NewSite wraps a partition. workers <= 0 means GOMAXPROCS.
@@ -80,6 +114,7 @@ func (s *Site) SetFullRescan(v bool) { s.fullRescan = v }
 // query never poisons the site for the queries after it.
 func (s *Site) reduce(ctx context.Context, g *graph.Graph, q control.Query, x graph.NodeSet, opt control.Options) (control.Result, error) {
 	opt.FullRescan = s.fullRescan
+	opt.Obs = s.met.robs
 	r, _ := s.reducers.Get().(*control.Reducer)
 	if r == nil {
 		r = control.NewReducer()
@@ -158,6 +193,10 @@ type EvalOptions struct {
 	// coordinator-side cache of Figure 6.
 	IfEpoch    uint64
 	HasIfEpoch bool
+	// TraceID, when non-zero, makes the site record spans for this
+	// evaluation and return them in PartialAnswer.Spans. Zero (the
+	// default) keeps the hot path span-free.
+	TraceID uint64
 }
 
 // Evaluate computes the partial answer to q (Algorithm 2, line 6). With
@@ -181,16 +220,18 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 		epoch := s.cacheEpoch
 		s.mu.Unlock()
 		if opts.HasIfEpoch && opts.IfEpoch == epoch {
-			return &PartialAnswer{
+			pa := &PartialAnswer{
 				SiteID:      s.part.ID,
 				Ans:         control.Unknown,
 				Elapsed:     time.Since(start),
 				FromCache:   true,
 				Epoch:       epoch,
 				NotModified: true,
-			}, nil
+			}
+			s.observeEval(pa, opts.TraceID, "site.revalidate", true)
+			return pa, nil
 		}
-		return &PartialAnswer{
+		pa := &PartialAnswer{
 			SiteID:    s.part.ID,
 			Ans:       control.Unknown,
 			Reduced:   cached,
@@ -198,7 +239,9 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 			Elapsed:   time.Since(start),
 			FromCache: true,
 			Epoch:     epoch,
-		}, nil
+		}
+		s.observeEval(pa, opts.TraceID, "site.cache", true)
+		return pa, nil
 	}
 
 	// Live evaluation. The exclusion set is {s, t} ∪ V^in ∪ V^virt; the
@@ -218,11 +261,13 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 		// stats as the reducer's round-0 exit.
 		if a := control.CheckTermination(s.part.Local, q, trust); a != control.Unknown {
 			s.mu.Unlock()
-			return &PartialAnswer{
+			pa := &PartialAnswer{
 				SiteID:  s.part.ID,
 				Ans:     a,
 				Elapsed: time.Since(start),
-			}, nil
+			}
+			s.observeEval(pa, opts.TraceID, "site.decide", false)
+			return pa, nil
 		}
 	}
 	x := s.part.Boundary()
@@ -230,6 +275,16 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 	x.Add(q.T)
 	g := s.part.Local.Clone()
 	s.mu.Unlock()
+	var spans []obs.Span
+	var reduceStart time.Time
+	if opts.TraceID != 0 {
+		reduceStart = time.Now()
+		spans = append(obs.GetSpans(), obs.Span{
+			Name:  "site.snapshot",
+			Site:  int32(s.part.ID),
+			DurNS: int64(reduceStart.Sub(start)),
+		})
+	}
 	copts := control.Options{
 		Workers: s.workers,
 		Trust:   trust,
@@ -239,6 +294,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 	}
 	res, err := s.reduce(ctx, g, q, x, copts)
 	if err != nil {
+		obs.PutSpans(spans)
 		return nil, err
 	}
 	pa := &PartialAnswer{
@@ -253,5 +309,33 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 	if pa.Ans == control.Unknown {
 		pa.Reduced = g
 	}
+	if opts.TraceID != 0 {
+		pa.Spans = append(spans, obs.Span{
+			Name:    "site.reduce",
+			Site:    int32(s.part.ID),
+			StartNS: int64(reduceStart.Sub(start)),
+			DurNS:   int64(time.Since(reduceStart)),
+		})
+	}
+	s.met.cacheMisses.Inc()
+	s.met.evalSeconds.Observe(pa.Elapsed.Seconds())
 	return pa, nil
+}
+
+// observeEval stamps metrics for a single-step evaluation outcome and, when
+// traced, attaches a one-span trace covering the whole step.
+func (s *Site) observeEval(pa *PartialAnswer, traceID uint64, span string, cacheHit bool) {
+	if cacheHit {
+		s.met.cacheHits.Inc()
+	} else {
+		s.met.cacheMisses.Inc()
+	}
+	s.met.evalSeconds.Observe(pa.Elapsed.Seconds())
+	if traceID != 0 {
+		pa.Spans = append(obs.GetSpans(), obs.Span{
+			Name:  span,
+			Site:  int32(pa.SiteID),
+			DurNS: int64(pa.Elapsed),
+		})
+	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"ccp/internal/control"
 	"ccp/internal/graph"
+	"ccp/internal/obs"
 )
 
 func durationNS(ns int64) time.Duration { return time.Duration(ns) }
@@ -69,6 +70,10 @@ type request struct {
 	// server-side (context deadline on the evaluation, write deadline on the
 	// response).
 	DeadlineNS int64
+	// TraceID, when non-zero, asks the site to record spans for this
+	// request and return them in the response; zero (the default) keeps the
+	// evaluation entirely untraced.
+	TraceID uint64
 	// opUpdate / opCrossIn payloads.
 	Update StakeUpdate
 	Delta  int
@@ -100,6 +105,10 @@ type response struct {
 	// Epoch and NotModified support the coordinator-side cache.
 	Epoch       uint64
 	NotModified bool
+	// Spans are the site-local trace spans of a traced evaluate request
+	// (request.TraceID != 0), with StartNS relative to the site's own
+	// request start; the coordinator re-bases them when stitching.
+	Spans []obs.Span
 }
 
 // Error classification codes carried in response.Code.
@@ -133,6 +142,7 @@ func encodePartial(pa *PartialAnswer) (*response, error) {
 		FromCache:   pa.FromCache,
 		Epoch:       pa.Epoch,
 		NotModified: pa.NotModified,
+		Spans:       pa.Spans,
 	}
 	if pa.Reduced != nil {
 		var buf bytes.Buffer
@@ -154,6 +164,7 @@ func decodePartial(resp *response) (*PartialAnswer, error) {
 		FromCache:   resp.FromCache,
 		Epoch:       resp.Epoch,
 		NotModified: resp.NotModified,
+		Spans:       resp.Spans,
 	}
 	if len(resp.GraphBytes) > 0 {
 		g, err := graph.ReadBinary(bytes.NewReader(resp.GraphBytes))

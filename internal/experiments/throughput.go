@@ -10,6 +10,7 @@ import (
 	"ccp/internal/dist"
 	"ccp/internal/gen"
 	"ccp/internal/graph"
+	"ccp/internal/obs"
 	"ccp/internal/partition"
 )
 
@@ -26,12 +27,16 @@ type ThroughputResult struct {
 	// SnapshotHitRate is the fraction of merged queries served from a
 	// reusable merged-graph snapshot instead of a fresh graph.Merge.
 	SnapshotHitRate float64
+	// P50 / P95 / P99 are per-query latency percentiles read back from the
+	// coordinator's ccp_query_seconds histogram (bucket-interpolated, so
+	// approximate to within one bucket width).
+	P50, P95, P99 time.Duration
 }
 
 func (r ThroughputResult) String() string {
-	return fmt.Sprintf("queries=%d concurrency=%d elapsed=%v throughput=%.0f q/min cache-hit=%.0f%% snapshot-hit=%.0f%%",
+	return fmt.Sprintf("queries=%d concurrency=%d elapsed=%v throughput=%.0f q/min p50=%v p95=%v p99=%v cache-hit=%.0f%% snapshot-hit=%.0f%%",
 		r.Queries, r.Concurrency, r.Elapsed, r.QueriesPerMinute,
-		r.CacheHitRate*100, r.SnapshotHitRate*100)
+		r.P50, r.P95, r.P99, r.CacheHitRate*100, r.SnapshotHitRate*100)
 }
 
 // Throughput measures sustained query throughput on a pre-cached 4-site EU
@@ -62,11 +67,13 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
+	observer := obs.NewObserver(obs.ObserverConfig{})
 	coord := dist.NewCoordinator(clients, dist.Options{
 		UseCache:    true,
 		Workers:     cfg.Workers,
 		Concurrency: concurrency,
 		FullRescan:  cfg.FullRescan,
+		Observer:    observer,
 	})
 	if err := coord.PrecomputeAll(context.Background()); err != nil {
 		return ThroughputResult{}, err
@@ -100,5 +107,11 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 	if queries > 0 {
 		res.SnapshotHitRate = float64(m.SnapshotHits) / float64(queries)
 	}
+	// Re-looking up the histogram by name returns the handle the coordinator
+	// has been observing into; a snapshot of it yields the percentiles.
+	lat := observer.Registry().Histogram(dist.MetricQuerySeconds, "", obs.DefaultLatencyBuckets).Snapshot()
+	res.P50 = time.Duration(lat.Quantile(0.50) * float64(time.Second))
+	res.P95 = time.Duration(lat.Quantile(0.95) * float64(time.Second))
+	res.P99 = time.Duration(lat.Quantile(0.99) * float64(time.Second))
 	return res, nil
 }

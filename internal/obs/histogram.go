@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets covers query latencies from 50µs to 30s, in
+// seconds, roughly ×2.5 per step — wide enough for both the sub-millisecond
+// cached path and a deadline-bounded slow site.
+var DefaultLatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// DefaultSizeBuckets covers payload sizes from 256B to 16MB, in bytes.
+var DefaultSizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// DefaultCountBuckets covers small cardinalities (frontier sizes, batch
+// widths): 1 to 1M, ×4 per step.
+var DefaultCountBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+}
+
+// Histogram is a fixed-bucket histogram with a lock-free Observe: one
+// atomic increment for the bucket, one for the total count, and a CAS loop
+// for the float sum. Observing on a nil Histogram is a no-op. Snapshots are
+// mergeable, so per-shard histograms can be combined into a fleet view.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram over the given upper bounds (nil selects
+// DefaultLatencyBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot captures the histogram's state. Concurrent Observes may land
+// between the bucket reads, so the snapshot is only approximately atomic —
+// fine for exposition, where the scrape interval dwarfs the skew.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, safe to merge,
+// serialize, and derive quantiles from.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the +Inf overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Merge combines two snapshots taken over the same bucket bounds into a new
+// one. Merging is commutative and associative (bucket counts add), so any
+// merge order over a set of shards produces the same aggregate. A zero
+// snapshot merges as the identity; mismatched bounds panic.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Bounds == nil {
+		return o
+	}
+	if o.Bounds == nil {
+		return s
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		panic("obs: merging histograms with different bucket bounds")
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			panic("obs: merging histograms with different bucket bounds")
+		}
+	}
+	m := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Sum:    s.Sum + o.Sum,
+		Count:  s.Count + o.Count,
+	}
+	for i := range s.Counts {
+		m.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return m
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket holding the target rank — the same estimate
+// Prometheus's histogram_quantile produces. Values in the +Inf bucket clamp
+// to the highest finite bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if float64(cum+c) >= rank {
+			if i == len(s.Bounds) {
+				// Overflow bucket: no finite upper bound to interpolate to.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			within := (rank - float64(cum)) / float64(c)
+			if within < 0 {
+				within = 0
+			}
+			return lo + (s.Bounds[i]-lo)*within
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// snap builds a snapshot by observing vals into a fresh histogram.
+func snap(bounds []float64, vals ...float64) HistogramSnapshot {
+	h := NewHistogram(bounds)
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+func eq(a, b HistogramSnapshot) bool {
+	if a.Count != b.Count || a.Sum != b.Sum || len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Prometheus semantics: upper bounds are inclusive (v <= bound lands in
+	// the bucket), values over the highest bound land in +Inf.
+	s := snap([]float64{1, 10}, 0.5, 1, 1.0001, 10, 11)
+	want := []uint64{2, 2, 1}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-23.5001) > 1e-9 {
+		t.Errorf("sum = %v, want 23.5001", s.Sum)
+	}
+}
+
+func TestHistogramMergeCommutativeAssociative(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	a := snap(bounds, 0.0005, 0.05, 2)
+	b := snap(bounds, 0.005, 0.005, 0.5)
+	c := snap(bounds, 3, 0.0001)
+
+	if !eq(a.Merge(b), b.Merge(a)) {
+		t.Error("merge is not commutative")
+	}
+	if !eq(a.Merge(b).Merge(c), a.Merge(b.Merge(c))) {
+		t.Error("merge is not associative")
+	}
+
+	m := a.Merge(b).Merge(c)
+	if m.Count != 8 {
+		t.Errorf("merged count = %d, want 8", m.Count)
+	}
+	var total uint64
+	for _, n := range m.Counts {
+		total += n
+	}
+	if total != m.Count {
+		t.Errorf("bucket totals %d != count %d", total, m.Count)
+	}
+
+	// The zero snapshot is the identity in both positions.
+	if !eq(a.Merge(HistogramSnapshot{}), a) || !eq(HistogramSnapshot{}.Merge(a), a) {
+		t.Error("zero snapshot is not the merge identity")
+	}
+
+	// Merging must not alias or mutate its inputs.
+	before := a.Counts[0]
+	_ = a.Merge(b)
+	if a.Counts[0] != before {
+		t.Error("merge mutated its receiver")
+	}
+}
+
+func TestHistogramMergeMismatchedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different bounds should panic")
+		}
+	}()
+	snap([]float64{1, 2}, 0.5).Merge(snap([]float64{1, 3}, 0.5))
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations spread evenly through (0, 1] over ten 0.1-wide
+	// buckets: the q-quantile should land near q.
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	h := NewHistogram(bounds)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		if math.Abs(got-q) > 0.1 {
+			t.Errorf("Quantile(%v) = %v, want within one bucket of %v", q, got, q)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	// Values past the last bound clamp to the highest finite bound rather
+	// than inventing an estimate inside +Inf.
+	over := snap([]float64{1, 2}, 5, 6, 7)
+	if got := over.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds should panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestHistogramNilDefaultBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	if len(h.Snapshot().Bounds) != len(DefaultLatencyBuckets) {
+		t.Fatal("nil bounds should select DefaultLatencyBuckets")
+	}
+}

@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_level", "level")
+	h := r.Histogram("test_lat_seconds", "lat", DefaultLatencyBuckets)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestRegistrySameSeriesSharesHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "x", Label{Key: "site", Value: "1"}, Label{Key: "op", Value: "get"})
+	// Label order must not matter: the rendered form is sorted by key.
+	b := r.Counter("shared_total", "x", Label{Key: "op", Value: "get"}, Label{Key: "site", Value: "1"})
+	if a != b {
+		t.Fatal("same (name, labels) should return the same handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared handle should see the increment")
+	}
+	other := r.Counter("shared_total", "x", Label{Key: "site", Value: "2"}, Label{Key: "op", Value: "get"})
+	if other == a {
+		t.Fatal("different labels must be a different series")
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering clash as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("clash", "x")
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every handle handed out by a nil registry (and every direct nil
+	// handle) must be a usable no-op: the uninstrumented configuration.
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Counter("a", "").Add(3)
+	r.Gauge("b", "").Set(1)
+	r.Gauge("b", "").Add(-1)
+	r.Histogram("c", "", nil).Observe(0.5)
+	r.GaugeFunc("d", "", func() float64 { return 1 })
+	r.CounterFunc("e", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", got)
+	}
+
+	var o *Observer
+	if o.Registry() != nil || o.SlowLog() != nil || o.TraceEnabled() {
+		t.Fatal("nil observer should expose nil parts and no tracing")
+	}
+	o.ObserveTrace(&Trace{})
+
+	var l *SlowLog
+	l.Record(&Trace{DurNS: int64(time.Hour)})
+	if l.Len() != 0 || l.Total() != 0 || l.Snapshot() != nil || l.Threshold() != 0 {
+		t.Fatal("nil slow log should be empty")
+	}
+
+	var ro *ReducerObs
+	ro.RemoveRound(1, 2, 3)
+	ro.ContractRound(4, 5)
+}
+
+// promLine matches one sample line of the Prometheus text exposition format
+// (version 0.0.4): name, optional labels, one float value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[-+]?(Inf|[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?))$`)
+
+// checkPrometheusText asserts every line of a /metrics payload is either a
+// comment or a well-formed sample — the same check scripts/smoke_ops.sh runs
+// against live daemons.
+func checkPrometheusText(t *testing.T, text string) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("not a valid exposition line: %q", line)
+		}
+	}
+	if lines == 0 {
+		t.Error("empty exposition payload")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorts last").Add(7)
+	r.Counter("aa_reqs_total", "requests", Label{Key: "site", Value: "0"}).Add(3)
+	r.Counter("aa_reqs_total", "requests", Label{Key: "site", Value: "1"}).Add(5)
+	r.Gauge("mid_level", "a gauge").Set(-2)
+	r.GaugeFunc("mid_fn", "sampled", func() float64 { return 1.5 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10) // +Inf bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	checkPrometheusText(t, out)
+
+	for _, want := range []string{
+		`aa_reqs_total{site="0"} 3`,
+		`aa_reqs_total{site="1"} 5`,
+		"# TYPE aa_reqs_total counter",
+		"mid_level -2",
+		"mid_fn 1.5",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 10.55",
+		"lat_seconds_count 3",
+		"zz_last_total 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must come out in name order so scrapes diff cleanly.
+	if strings.Index(out, "aa_reqs_total") > strings.Index(out, "zz_last_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{Key: "path", Value: "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped: %s", b.String())
+	}
+}
+
+func TestSlowLogBoundedCapacity(t *testing.T) {
+	l := NewSlowLog(4, time.Millisecond)
+	l.Record(&Trace{TraceID: 99, DurNS: int64(time.Microsecond)}) // under threshold
+	if l.Len() != 0 {
+		t.Fatal("under-threshold trace must not be recorded")
+	}
+	for i := 1; i <= 10; i++ {
+		l.Record(&Trace{TraceID: uint64(i), DurNS: int64(time.Second)})
+	}
+	if got := l.Len(); got != 4 {
+		t.Fatalf("Len = %d, want capacity 4", got)
+	}
+	if got := l.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	snap := l.Snapshot()
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if snap[i].TraceID != want {
+			t.Fatalf("snapshot[%d].TraceID = %d, want %d (newest first)", i, snap[i].TraceID, want)
+		}
+	}
+}
+
+func TestSlowLogCopiesTraces(t *testing.T) {
+	l := NewSlowLog(2, 0)
+	tr := &Trace{TraceID: 1, DurNS: 10, Spans: []Span{{Name: "x"}}}
+	l.Record(tr)
+	// The recorder keeps ownership: mutating (or pooling) the original must
+	// not reach the log's copy.
+	tr.Spans[0].Name = "mutated"
+	tr.TraceID = 42
+	got := l.Snapshot()[0]
+	if got.TraceID != 1 || got.Spans[0].Name != "x" {
+		t.Fatalf("slow log shares memory with the recorded trace: %+v", got)
+	}
+}
+
+func TestTraceWriteTable(t *testing.T) {
+	tr := &Trace{
+		TraceID: 0xabc,
+		Query:   "controls(1,2)",
+		DurNS:   int64(3 * time.Millisecond),
+		Spans: []Span{
+			{Name: "site.rpc", Site: 1, DurNS: int64(time.Millisecond), Bytes: 512},
+			{Name: "coord.merge", Site: -1, StartNS: int64(time.Millisecond), DurNS: int64(2 * time.Millisecond)},
+		},
+	}
+	var b strings.Builder
+	if _, err := tr.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"0000000000000abc", "controls(1,2)", "site 1", "coord", "bytes=512", "spans=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewTraceIDNeverZeroAndUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace id (zero means untraced on the wire)")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanPoolRoundTrip(t *testing.T) {
+	s := GetSpans()
+	if len(s) != 0 {
+		t.Fatal("pooled span buffer not empty")
+	}
+	s = append(s, Span{Name: "a"}, Span{Name: "b"}, Span{Name: "c"}, Span{Name: "d"})
+	PutSpans(s)
+	s2 := GetSpans()
+	if len(s2) != 0 {
+		t.Fatal("recycled span buffer not reset")
+	}
+	PutSpans(nil) // must not panic
+}
+
+func TestReducerObsCounts(t *testing.T) {
+	r := NewRegistry()
+	ro := NewReducerObs(r, "coord")
+	ro.RemoveRound(3, 2, 10)
+	ro.RemoveRound(1, 0, 4)
+	ro.ContractRound(5, 4)
+	if got := ro.Rounds.Value(); got != 3 {
+		t.Errorf("rounds = %d, want 3", got)
+	}
+	if got := ro.RemovedR1.Value(); got != 4 {
+		t.Errorf("removed r1 = %d, want 4", got)
+	}
+	if got := ro.RemovedR2.Value(); got != 2 {
+		t.Errorf("removed r2 = %d, want 2", got)
+	}
+	if got := ro.Contracted.Value(); got != 5 {
+		t.Errorf("contracted = %d, want 5", got)
+	}
+	if got := ro.FrontierSize.Snapshot().Count; got != 3 {
+		t.Errorf("frontier observations = %d, want 3", got)
+	}
+	// A nil registry yields a usable no-op bundle.
+	noop := NewReducerObs(nil, "x")
+	noop.RemoveRound(1, 1, 1)
+	noop.ContractRound(1, 1)
+}
+
+func TestObserverTraceEnabled(t *testing.T) {
+	if NewObserver(ObserverConfig{}).TraceEnabled() {
+		t.Fatal("no slow log configured: always-on tracing should be off")
+	}
+	o := NewObserver(ObserverConfig{SlowQueryThreshold: time.Nanosecond, SlowLogCapacity: 2})
+	if !o.TraceEnabled() {
+		t.Fatal("slow log configured: tracing should be on")
+	}
+	o.ObserveTrace(&Trace{TraceID: 1, DurNS: int64(time.Second)})
+	if o.SlowLog().Len() != 1 {
+		t.Fatal("over-threshold trace should land in the slow log")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{3, "3"}, {-2, "-2"}, {0, "0"}, {1.5, "1.5"}, {1e9, "1000000000"}} {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVarSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(2)
+	r.Histogram("b_seconds", "", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d series, want 2", len(snap))
+	}
+	if snap[0].Name != "a_total" || snap[0].Value != 2 {
+		t.Errorf("unexpected first series: %+v", snap[0])
+	}
+	if snap[1].Hist == nil || snap[1].Hist.Count != 1 {
+		t.Errorf("histogram series missing its snapshot: %+v", snap[1])
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"a_total"`) {
+		t.Errorf("JSON missing series name: %s", b.String())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 0.0001)
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("ccp_queries_total", "Queries answered.").Add(2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP ccp_queries_total Queries answered.
+	// # TYPE ccp_queries_total counter
+	// ccp_queries_total 2
+}

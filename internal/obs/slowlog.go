@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLog is a bounded ring buffer of stitched traces whose end-to-end
+// latency crossed a threshold. Recording copies the trace (callers pool
+// theirs), overwriting the oldest entry once the ring is full, so memory is
+// bounded no matter how bad a day the cluster is having. All methods are
+// nil-safe.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int   // ring index the next record lands in
+	total int64 // lifetime recorded count (>= len(ring))
+}
+
+// NewSlowLog builds a slow-query log holding the last capacity traces over
+// threshold.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SlowLog{threshold: threshold, ring: make([]*Trace, 0, capacity)}
+}
+
+// Threshold returns the slow-query latency threshold (0 for a nil log).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record stores an owned copy of t if it is at or over threshold. The
+// caller keeps ownership of t.
+func (l *SlowLog) Record(t *Trace) {
+	if l == nil || t == nil || time.Duration(t.DurNS) < l.threshold {
+		return
+	}
+	c := t.clone()
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, c)
+	} else {
+		l.ring[l.next] = c
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+	l.mu.Unlock()
+}
+
+// Len reports how many traces the log currently holds.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Total reports how many traces have ever been recorded (recorded-total
+// minus capacity have been overwritten).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the stored traces, newest first. The traces are the
+// log's own copies; callers must not mutate them.
+func (l *SlowLog) Snapshot() []*Trace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Trace, 0, len(l.ring))
+	for i := 1; i <= len(l.ring); i++ {
+		out = append(out, l.ring[(l.next-i+cap(l.ring))%cap(l.ring)])
+	}
+	return out
+}

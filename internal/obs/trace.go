@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed step of a distributed query. Sites record their spans
+// against their own clock, as offsets from the start of the request they
+// are serving; the coordinator re-bases them onto the envelope span it
+// measured around the site call when it stitches the trace, so a stitched
+// timeline is exact per process and approximate (one network flight) across
+// processes. The fields are exported so spans travel in wire responses.
+type Span struct {
+	// Name identifies the step ("site.reduce", "coord.merge", ...).
+	Name string
+	// Site is the partition id the span ran at, or -1 for the coordinator.
+	Site int32
+	// StartNS is the span's start as nanoseconds since the trace (after
+	// stitching) or the site-local request (before stitching) began.
+	StartNS int64
+	// DurNS is the span's duration in nanoseconds.
+	DurNS int64
+	// Bytes annotates transport spans with the payload size, 0 elsewhere.
+	Bytes int64
+}
+
+// Trace is a stitched cross-site query trace: the coordinator's own phase
+// spans plus every contacted site's spans, on one timeline.
+type Trace struct {
+	TraceID uint64
+	Query   string
+	Start   time.Time
+	// DurNS is the end-to-end query latency in nanoseconds.
+	DurNS int64
+	Spans []Span
+	// Err records the failure for traces of failed queries, empty on
+	// success.
+	Err string
+}
+
+// Dur returns the trace's total duration.
+func (t *Trace) Dur() time.Duration { return time.Duration(t.DurNS) }
+
+// WriteTable renders the trace as an aligned per-span table, sites in
+// stitched timeline order — the ccpctl -verbose and slow-log dump format.
+func (t *Trace) WriteTable(w io.Writer) (int64, error) {
+	var n int64
+	line := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	status := ""
+	if t.Err != "" {
+		status = "  ERROR " + t.Err
+	}
+	if err := line("trace %016x %s total=%v spans=%d%s\n",
+		t.TraceID, t.Query, t.Dur(), len(t.Spans), status); err != nil {
+		return n, err
+	}
+	for _, s := range t.Spans {
+		who := "coord"
+		if s.Site >= 0 {
+			who = fmt.Sprintf("site %d", s.Site)
+		}
+		extra := ""
+		if s.Bytes > 0 {
+			extra = fmt.Sprintf("  bytes=%d", s.Bytes)
+		}
+		if err := line("  %-8s %-18s start=%-12v dur=%-12v%s\n",
+			who, s.Name, time.Duration(s.StartNS), time.Duration(s.DurNS), extra); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// clone deep-copies the trace (the slow log stores owned copies, never
+// pooled ones).
+func (t *Trace) clone() *Trace {
+	c := *t
+	c.Spans = append([]Span(nil), t.Spans...)
+	return &c
+}
+
+// tracePool recycles Trace objects (and their span slices) across queries,
+// so a traced query that does not end up in the slow log costs no
+// steady-state trace allocations at the coordinator.
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// GetTrace borrows a cleared Trace from the pool.
+func GetTrace() *Trace {
+	t := tracePool.Get().(*Trace)
+	t.TraceID, t.Query, t.Start, t.DurNS, t.Err = 0, "", time.Time{}, 0, ""
+	t.Spans = t.Spans[:0]
+	return t
+}
+
+// PutTrace returns a borrowed Trace. The caller must not retain it (the
+// slow log copies before storing).
+func PutTrace(t *Trace) {
+	if t != nil {
+		tracePool.Put(t)
+	}
+}
+
+// spanPool recycles span slices used to accumulate a site's spans during
+// one evaluation.
+var spanPool sync.Pool
+
+// GetSpans borrows an empty span buffer.
+func GetSpans() []Span {
+	if v := spanPool.Get(); v != nil {
+		return (*v.(*[]Span))[:0]
+	}
+	return make([]Span, 0, 8)
+}
+
+// PutSpans recycles a span buffer once its contents have been copied or
+// encoded. Safe on nil/foreign slices.
+func PutSpans(s []Span) {
+	if cap(s) < 4 {
+		return
+	}
+	s = s[:0]
+	spanPool.Put(&s)
+}
+
+// globalTraceIDs backs NewTraceID for callers without an Observer. Seeded
+// from the clock so ids differ across process restarts.
+var globalTraceIDs atomic.Uint64
+
+func init() { globalTraceIDs.Store(uint64(time.Now().UnixNano())) }
+
+// NewTraceID allocates a process-unique, never-zero trace id (zero on the
+// wire means "not traced").
+func NewTraceID() uint64 {
+	id := globalTraceIDs.Add(1)
+	for id == 0 {
+		id = globalTraceIDs.Add(1)
+	}
+	return id
+}
+
+// ObserverConfig configures an Observer.
+type ObserverConfig struct {
+	// SlowQueryThreshold is the stitched-trace duration above which a query
+	// lands in the slow-query log. 0 disables the slow log — and with it
+	// the per-query tracing the coordinator would otherwise do for every
+	// query (explicitly requested traces still work).
+	SlowQueryThreshold time.Duration
+	// SlowLogCapacity bounds the slow-query ring buffer. Default 64.
+	SlowLogCapacity int
+}
+
+// Observer bundles what the instrumented layers need: the metrics registry
+// and the slow-query log. One Observer is shared by a whole process
+// (coordinator + clients, or server + site). All methods are nil-safe, so
+// a component holding a nil Observer runs uninstrumented at the cost of a
+// nil check.
+type Observer struct {
+	reg  *Registry
+	slow *SlowLog
+}
+
+// NewObserver builds an observer with a fresh registry and, when
+// cfg.SlowQueryThreshold > 0, a slow-query log.
+func NewObserver(cfg ObserverConfig) *Observer {
+	o := &Observer{reg: NewRegistry()}
+	if cfg.SlowQueryThreshold > 0 {
+		capacity := cfg.SlowLogCapacity
+		if capacity <= 0 {
+			capacity = 64
+		}
+		o.slow = NewSlowLog(capacity, cfg.SlowQueryThreshold)
+	}
+	return o
+}
+
+// Registry returns the observer's metrics registry (nil for a nil
+// observer — registrations against it hand out nil, no-op handles).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// SlowLog returns the slow-query log, nil when disabled.
+func (o *Observer) SlowLog() *SlowLog {
+	if o == nil {
+		return nil
+	}
+	return o.slow
+}
+
+// TraceEnabled reports whether the coordinator should trace every query
+// (the slow log needs a stitched trace to threshold on).
+func (o *Observer) TraceEnabled() bool {
+	return o != nil && o.slow != nil
+}
+
+// ObserveTrace offers a finished stitched trace to the slow log, which
+// stores an owned copy if it is over threshold. The caller keeps ownership
+// of t.
+func (o *Observer) ObserveTrace(t *Trace) {
+	if o == nil || o.slow == nil || t == nil {
+		return
+	}
+	o.slow.Record(t)
+}
+
+// ReducerObs is the reduction engine's telemetry bundle: built once by the
+// component that owns the reducer (site or coordinator) and threaded
+// through control.Options. All fields may be nil; a nil *ReducerObs is a
+// no-op recorder, so the reducer hot loop pays one nil check per round.
+type ReducerObs struct {
+	// Rounds counts reduction rounds (R1/R2 removal and R3 contraction
+	// rounds both).
+	Rounds *Counter
+	// RemovedR1 / RemovedR2 count nodes removed by rule R1 (no controlling
+	// out-edges) and R2 (cannot be controlled); Contracted counts nodes
+	// contracted by rule R3.
+	RemovedR1, RemovedR2 *Counter
+	Contracted           *Counter
+	// FrontierSize observes the per-round dirty-frontier width.
+	FrontierSize *Histogram
+}
+
+// RemoveRound records one R1/R2 round.
+func (o *ReducerObs) RemoveRound(r1, r2, frontier int) {
+	if o == nil {
+		return
+	}
+	o.Rounds.Inc()
+	o.RemovedR1.Add(int64(r1))
+	o.RemovedR2.Add(int64(r2))
+	o.FrontierSize.Observe(float64(frontier))
+}
+
+// ContractRound records one R3 round.
+func (o *ReducerObs) ContractRound(contracted, frontier int) {
+	if o == nil {
+		return
+	}
+	o.Rounds.Inc()
+	o.Contracted.Add(int64(contracted))
+	o.FrontierSize.Observe(float64(frontier))
+}
+
+// NewReducerObs registers the reduction-engine series on reg under the
+// given component label ("site-3", "coord") and returns the bundle. A nil
+// registry yields a usable all-no-op bundle.
+func NewReducerObs(reg *Registry, component string) *ReducerObs {
+	l := Label{Key: "component", Value: component}
+	return &ReducerObs{
+		Rounds:     reg.Counter("ccp_reduce_rounds_total", "Reduction rounds run (R1/R2 removal and R3 contraction rounds).", l),
+		RemovedR1:  reg.Counter("ccp_reduce_removed_total", "Nodes removed by reduction rules R1/R2, by rule.", l, Label{Key: "rule", Value: "r1"}),
+		RemovedR2:  reg.Counter("ccp_reduce_removed_total", "Nodes removed by reduction rules R1/R2, by rule.", l, Label{Key: "rule", Value: "r2"}),
+		Contracted: reg.Counter("ccp_reduce_contracted_total", "Nodes contracted by reduction rule R3.", l),
+		FrontierSize: reg.Histogram("ccp_reduce_frontier_size",
+			"Dirty-frontier width per reduction round.", DefaultCountBuckets, l),
+	}
+}

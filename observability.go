@@ -1,0 +1,56 @@
+package ccp
+
+import (
+	"ccp/internal/obs"
+)
+
+// The observability surface of a deployment. One Observer is shared by a
+// whole process and threaded into its components: ClusterOptions.Observer
+// on the coordinator side, SiteServer.Observe on the worker side. The
+// observer's registry collects every metric the instrumented layers emit
+// (query latency histograms, per-phase timings, cache hit/miss counters,
+// circuit-breaker state, reduction telemetry), and StartOpsServer exposes
+// it over HTTP:
+//
+//	/metrics      Prometheus text exposition (version 0.0.4)
+//	/healthz      200/503 + JSON detail from a HealthFunc
+//	/varz         JSON snapshot of every series plus the slow-query log
+//	/debug/pprof  the standard Go profiling handlers
+//
+// All instrumentation is nil-safe: components holding no Observer run
+// uninstrumented at the cost of pointer checks on the hot path.
+type (
+	// Observer bundles a process's metrics registry and slow-query log.
+	Observer = obs.Observer
+	// ObserverConfig configures NewObserver; the zero value disables the
+	// slow-query log (and with it always-on tracing).
+	ObserverConfig = obs.ObserverConfig
+	// MetricsRegistry is the concurrent metric collection behind an
+	// Observer, exposed for custom series and direct Prometheus/JSON
+	// rendering.
+	MetricsRegistry = obs.Registry
+	// QueryTrace is a stitched cross-site trace of one distributed query;
+	// WriteTable renders its per-span table.
+	QueryTrace = obs.Trace
+	// TraceSpan is one timed step of a QueryTrace.
+	TraceSpan = obs.Span
+	// SlowQueryLog is the bounded ring buffer of over-threshold traces.
+	SlowQueryLog = obs.SlowLog
+	// OpsServer is the operational HTTP endpoint started by StartOpsServer.
+	OpsServer = obs.OpsServer
+	// HealthFunc feeds /healthz: ok selects 200 vs 503, detail is the JSON
+	// body.
+	HealthFunc = obs.HealthFunc
+)
+
+// NewObserver builds an observer with a fresh metrics registry and, when
+// cfg.SlowQueryThreshold > 0, a slow-query log capturing stitched traces of
+// queries over that threshold.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.NewObserver(cfg) }
+
+// StartOpsServer binds addr (e.g. ":9090") and serves the operational
+// endpoints for o in a background goroutine until Shutdown. health may be
+// nil (always healthy); o may be nil (empty metrics).
+func StartOpsServer(addr string, o *Observer, health HealthFunc) (*OpsServer, error) {
+	return obs.StartOps(addr, o, health)
+}

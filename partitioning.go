@@ -62,6 +62,12 @@ func NewSiteServer(p *Partition, workers int) *SiteServer {
 	return &SiteServer{srv: dist.NewServer(dist.NewSite(p, workers), dist.ServerConfig{})}
 }
 
+// Observe registers the server's metrics — requests served, connections,
+// in-flight gauge, plus the underlying site's evaluation and reduction
+// series — on o's registry. Call once, before Serve; expose the registry
+// with StartOpsServer.
+func (s *SiteServer) Observe(o *Observer) { s.srv.Observe(o) }
+
 // Serve accepts coordinator connections on l until Shutdown is called or the
 // listener fails. It returns nil after a Shutdown-initiated stop.
 func (s *SiteServer) Serve(l net.Listener) error { return s.srv.Serve(l) }

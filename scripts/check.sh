@@ -33,6 +33,7 @@ go test -race -shuffle=on -timeout 10m \
     ./internal/control/... \
     ./internal/graph/... \
     ./internal/par/... \
-    ./internal/dist/...
+    ./internal/dist/... \
+    ./internal/obs/...
 
 echo "ok: all checks passed"

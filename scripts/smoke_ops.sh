@@ -1,0 +1,117 @@
+#!/bin/sh
+# smoke_ops.sh — end-to-end smoke test of the operational endpoints.
+#
+# Boots a real ccpd worker with -ops-addr, runs a distributed query against
+# it through ccpcoord (also with -ops-addr), then scrapes both /metrics
+# endpoints and asserts (1) every line parses as Prometheus text exposition
+# format, (2) the load-bearing series are present, and (3) /healthz answers
+# 200. This is the check that the observability surface actually works from
+# outside the process, not just in unit tests.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+ccpd_pid=""
+cleanup() {
+    [ -n "$ccpd_pid" ] && kill "$ccpd_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+go build -o "$workdir" ./cmd/ccpctl ./cmd/ccpd ./cmd/ccpcoord
+
+echo "== generate + split graph =="
+"$workdir/ccpctl" gen -type scalefree -nodes 2000 -seed 7 -out "$workdir/g.ccpg"
+"$workdir/ccpctl" split -in "$workdir/g.ccpg" -parts 1 -outprefix "$workdir/p"
+
+site_port=17841
+site_ops_port=17842
+coord_ops_port=17843
+
+echo "== start ccpd with ops endpoints =="
+"$workdir/ccpd" -partition "$workdir/p0.ccpp" \
+    -listen "127.0.0.1:$site_port" \
+    -ops-addr "127.0.0.1:$site_ops_port" >"$workdir/ccpd.log" 2>&1 &
+ccpd_pid=$!
+
+# Wait for both listeners.
+for i in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$site_ops_port/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" = 50 ] && { echo "ccpd ops endpoint never came up" >&2; cat "$workdir/ccpd.log" >&2; exit 1; }
+    sleep 0.2
+done
+
+echo "== run queries through ccpcoord (ops + slow-query log on) =="
+"$workdir/ccpcoord" -sites "127.0.0.1:$site_port" \
+    -ops-addr "127.0.0.1:$coord_ops_port" -slow-query 1ns \
+    0:100 5:250 17:3 >"$workdir/ccpcoord.log" 2>&1 &
+coord_pid=$!
+
+# The coordinator exits when its queries finish; scrape while it runs.
+coord_metrics=""
+for i in $(seq 1 50); do
+    if coord_metrics=$(curl -sf "http://127.0.0.1:$coord_ops_port/metrics" 2>/dev/null) \
+        && [ -n "$coord_metrics" ]; then
+        break
+    fi
+    if ! kill -0 "$coord_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+wait "$coord_pid" || { echo "ccpcoord failed" >&2; cat "$workdir/ccpcoord.log" >&2; exit 1; }
+cat "$workdir/ccpcoord.log"
+
+# check_prometheus <file> — every non-comment line must match the text
+# exposition sample grammar: name{labels} value.
+check_prometheus() {
+    bad=$(grep -v '^#' "$1" | grep -cvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?(Inf|[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?))$' || true)
+    if [ "$bad" != 0 ]; then
+        echo "unparsable Prometheus lines in $1:" >&2
+        grep -v '^#' "$1" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?(Inf|[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?))$' >&2
+        exit 1
+    fi
+}
+
+require_series() {
+    if ! grep -q "^$2" "$1"; then
+        echo "$1 is missing series $2" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+echo "== scrape + validate ccpd /metrics and /healthz =="
+curl -sf "http://127.0.0.1:$site_ops_port/metrics" >"$workdir/site_metrics.txt"
+check_prometheus "$workdir/site_metrics.txt"
+require_series "$workdir/site_metrics.txt" ccp_server_requests_total
+require_series "$workdir/site_metrics.txt" ccp_site_evaluate_seconds_count
+health=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$site_ops_port/healthz")
+[ "$health" = 200 ] || { echo "ccpd /healthz = $health, want 200" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$site_ops_port/varz" | grep -q '"metrics"' \
+    || { echo "ccpd /varz payload looks wrong" >&2; exit 1; }
+
+echo "== validate coordinator /metrics (scraped mid-run) =="
+if [ -n "$coord_metrics" ]; then
+    printf '%s\n' "$coord_metrics" >"$workdir/coord_metrics.txt"
+    check_prometheus "$workdir/coord_metrics.txt"
+    require_series "$workdir/coord_metrics.txt" ccp_queries_total
+else
+    # The queries can finish before the first scrape lands on slow CI
+    # machines; the ccpd-side checks above still covered the full format.
+    echo "  (coordinator exited before a scrape landed; skipped)"
+fi
+
+echo "== graceful shutdown drains the ops server =="
+kill -TERM "$ccpd_pid"
+wait "$ccpd_pid" || { echo "ccpd did not exit cleanly" >&2; cat "$workdir/ccpd.log" >&2; exit 1; }
+ccpd_pid=""
+grep -q "shut down cleanly" "$workdir/ccpd.log" \
+    || { echo "ccpd did not report a clean drain" >&2; cat "$workdir/ccpd.log" >&2; exit 1; }
+
+echo "ok: ops endpoints smoke test passed"
