@@ -3,6 +3,7 @@ package ccp
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"ccp/internal/control"
@@ -45,6 +46,11 @@ type ClusterOptions struct {
 	// slow-query log is enabled — per-query stitched traces. Nil runs
 	// uninstrumented at the cost of pointer checks.
 	Observer *Observer
+	// Logger receives the cluster's structured diagnostics: coordinator
+	// warnings (failed queries, failed updates, slow-query promotions),
+	// transport events (redials, circuit transitions), and — at debug level
+	// — per-reduction summaries from in-process sites. Nil discards them.
+	Logger *slog.Logger
 }
 
 // SiteHealth is a point-in-time snapshot of one site's transport health:
@@ -153,6 +159,7 @@ func (o ClusterOptions) distOptions() dist.Options {
 		Concurrency: o.Concurrency,
 		SiteTimeout: o.SiteTimeout,
 		Observer:    o.Observer,
+		Logger:      o.Logger,
 	}
 }
 
@@ -164,6 +171,9 @@ func NewClusterFromPartitioning(pi *partition.Partitioning, opts ClusterOptions)
 		sites[i] = dist.NewSite(p, opts.SiteWorkers)
 		if opts.Observer != nil {
 			sites[i].Observe(opts.Observer)
+		}
+		if opts.Logger != nil {
+			sites[i].SetLogger(opts.Logger)
 		}
 		clients[i] = &dist.LocalClient{Site: sites[i], MeasureBytes: true}
 	}
@@ -183,6 +193,7 @@ func ConnectCluster(ctx context.Context, addrs []string, opts ClusterOptions) (*
 		FailureThreshold: opts.FailureThreshold,
 		Cooldown:         opts.CircuitCooldown,
 		Observer:         opts.Observer,
+		Logger:           opts.Logger,
 	}
 	clients := make([]dist.SiteClient, len(addrs))
 	for i, addr := range addrs {

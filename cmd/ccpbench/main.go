@@ -39,13 +39,23 @@ func main() {
 		"pre-change serial q/min to record alongside the sweep (0 omits it)")
 	fullRescan := flag.Bool("full-rescan", false,
 		"use the full-rescan reduction engine instead of the frontier engine (ablation abl-frontier)")
+	compare := flag.String("compare", "",
+		"baseline bench file (BENCH_throughput.json or BENCH_reduction.json shape) to gate against")
+	compareWith := flag.String("compare-with", "",
+		"current bench file to compare against -compare (default: the -throughput-out file, after running the experiments)")
+	gateThreshold := flag.Float64("gate-threshold", 0.15,
+		"noise floor for the regression gate: gated series may move this fraction in the bad direction before failing")
+	history := flag.String("history", "",
+		"append the comparison (meta, series, deltas, verdict) as one JSON line to this file, e.g. BENCH_history.jsonl")
+	handicap := flag.Float64("handicap", 1,
+		"self-test knob: divide the current throughput (and multiply latencies) by this factor before comparing, so the gate's failure path can be exercised on an unchanged tree")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: ccpbench [flags] <experiment>...\nexperiments: %v\nflags:\n", names())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && *compare == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,6 +83,66 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *compare != "" {
+		current := *compareWith
+		if current == "" {
+			current = *throughputOut
+		}
+		regressed, err := runGate(cfg, *compare, current, *gateThreshold, *handicap, *history)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccpbench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		if regressed {
+			fmt.Fprintf(os.Stderr, "ccpbench: PERFORMANCE REGRESSION: gated series moved more than %.0f%% in the bad direction\n",
+				*gateThreshold*100)
+			os.Exit(3)
+		}
+		fmt.Printf("ccpbench: regression gate passed (threshold %.0f%%)\n", *gateThreshold*100)
+	}
+}
+
+// runGate compares the current bench file against the baseline, prints the
+// per-series deltas, and optionally appends the outcome to the history
+// file. A handicap > 1 degrades the current series first — the gate's
+// negative self-test.
+func runGate(cfg experiments.Config, baselinePath, currentPath string, threshold, handicap float64, historyPath string) (bool, error) {
+	baseline, err := experiments.LoadSeries(baselinePath)
+	if err != nil {
+		return false, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	current, err := experiments.LoadSeries(currentPath)
+	if err != nil {
+		return false, fmt.Errorf("current %s: %w", currentPath, err)
+	}
+	if handicap > 1 {
+		for i := range current {
+			if current[i].HigherIsBetter {
+				current[i].Value /= handicap
+			} else {
+				current[i].Value *= handicap
+			}
+		}
+		fmt.Printf("ccpbench: self-test handicap %.2gx applied to current series\n", handicap)
+	}
+	deltas, regressed := experiments.Compare(baseline, current, threshold)
+	fmt.Printf("== regression gate — %s vs %s ==\n", baselinePath, currentPath)
+	for _, d := range deltas {
+		fmt.Printf("  %s\n", d)
+	}
+	if historyPath != "" {
+		entry := experiments.HistoryEntry{
+			Meta:      experiments.CollectMeta(cfg.Seed, cfg.Scale),
+			Series:    current,
+			Deltas:    deltas,
+			Regressed: regressed,
+		}
+		if err := experiments.AppendHistory(historyPath, entry); err != nil {
+			return regressed, fmt.Errorf("appending %s: %w", historyPath, err)
+		}
+		fmt.Printf("  appended to %s\n", historyPath)
+	}
+	return regressed, nil
 }
 
 // throughputRow is one qps measurement of the concurrency sweep, as
@@ -97,6 +167,10 @@ type throughputDoc struct {
 	Benchmark string  `json:"benchmark"`
 	Scale     float64 `json:"scale"`
 	Seed      int64   `json:"seed"`
+	// Meta pins the run's conditions (seed, git revision, go version,
+	// GOMAXPROCS, ...) so later comparisons can reject apples-to-oranges
+	// baselines.
+	Meta experiments.BenchMeta `json:"meta"`
 	// BaselineQPM records a reference serial measurement taken before the
 	// change under test (passed via -throughput-baseline), so the file
 	// carries before and after together.
@@ -113,6 +187,7 @@ func runThroughputSweep(cfg experiments.Config, outPath string, baselineQPM floa
 		Benchmark:   "ccpbench throughput",
 		Scale:       cfg.Scale,
 		Seed:        cfg.Seed,
+		Meta:        experiments.CollectMeta(cfg.Seed, cfg.Scale),
 		BaselineQPM: baselineQPM,
 	}
 	var serialQPM float64

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ccp"
+	"ccp/cmd/internal/cli"
 )
 
 func fatalf(format string, args ...any) {
@@ -45,20 +46,42 @@ func main() {
 	workers := flag.Int("workers", 0, "coordinator reduction parallelism")
 	concurrency := flag.Int("concurrency", 1, "batch queries kept in flight at once (>1 answers the trailing queries as one concurrent batch)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline, enforced at the sites (0 = none)")
-	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/pprof (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/flight, /debug/pprof (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 0, "record stitched traces of queries slower than this in /varz (0 = disabled)")
+	flightOut := flag.String("flight-out", "", "write the coordinator's flight-recorder dump (JSON) here on exit")
+	lf := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 	if *sites == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, err := lf.Logger()
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	var observer *ccp.Observer
-	if *opsAddr != "" || *slowQuery > 0 {
-		observer = ccp.NewObserver(ccp.ObserverConfig{SlowQueryThreshold: *slowQuery})
+	// The observer (and its flight recorder) is always on; the ops HTTP
+	// surface and the slow-query log remain opt-in.
+	observer := ccp.NewObserver(ccp.ObserverConfig{SlowQueryThreshold: *slowQuery, Process: "coord"})
+	defer cli.DumpFlightOnQuit(observer)()
+	if *flightOut != "" {
+		defer func() {
+			f, err := os.Create(*flightOut)
+			if err != nil {
+				logger.Error("cannot write flight dump", "path", *flightOut, "err", err)
+				return
+			}
+			werr := cli.WriteFlightDump(f, observer)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				logger.Error("cannot write flight dump", "path", *flightOut, "err", werr)
+			}
+		}()
 	}
 
 	cluster, err := ccp.ConnectCluster(ctx, strings.Split(*sites, ","), ccp.ClusterOptions{
@@ -66,12 +89,13 @@ func main() {
 		CoordinatorWorkers: *workers,
 		Concurrency:        *concurrency,
 		Observer:           observer,
+		Logger:             logger,
 	})
 	if err != nil {
 		fatalf("cannot connect: %v", err)
 	}
 	defer cluster.Close()
-	fmt.Printf("ccpcoord: connected to %d sites\n", cluster.Sites())
+	logger.Info("connected", "sites", cluster.Sites())
 
 	if *opsAddr != "" {
 		// Healthy means every site is reachable right now: connected with a
@@ -93,7 +117,8 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer ops.Shutdown(context.Background())
-		fmt.Printf("ccpcoord: ops endpoints on http://%s (/metrics /healthz /varz /debug/pprof)\n", ops.Addr())
+		logger.Info("ops endpoints up", "url", "http://"+ops.Addr(),
+			"endpoints", "/metrics /healthz /varz /debug/flight /debug/pprof")
 	}
 
 	// queryCtx derives one query's context, carrying the -timeout deadline.
@@ -109,7 +134,7 @@ func main() {
 		if err := cluster.Precompute(ctx); err != nil {
 			fatalf("precompute: %v", err)
 		}
-		fmt.Printf("ccpcoord: pre-computed all partial answers in %v\n", time.Since(start))
+		logger.Info("pre-computed all partial answers", "elapsed", time.Since(start))
 	}
 
 	var queries [][2]int
@@ -135,8 +160,8 @@ func main() {
 	answered := 0
 	start := time.Now()
 	defer func() {
-		fmt.Printf("ccpcoord: done — %d/%d queries answered over %d sites in %v\n",
-			answered, len(queries), cluster.Sites(), time.Since(start))
+		logger.Info("done", "answered", answered, "queries", len(queries),
+			"sites", cluster.Sites(), "elapsed", time.Since(start))
 	}()
 
 	if *concurrency > 1 && len(queries) > 1 {

@@ -9,44 +9,63 @@
 //	ccpctl owned  -in file -s id [-list]
 //
 // Graph files use the compact CCPG1 binary format with a .ccpg extension, or
-// CSV ("from,to,weight" lines) with any other extension.
+// CSV ("from,to,weight" lines) with any other extension. Global flags
+// (-log-level, -log-format) go before the subcommand.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"ccp"
+	"ccp/cmd/internal/cli"
 	"ccp/internal/datalog"
 )
 
+// logger is the process logger, built from the global -log-level /
+// -log-format flags before dispatch.
+var logger = slog.Default()
+
 func main() {
-	if len(os.Args) < 2 {
+	lf := cli.RegisterLogFlags(flag.CommandLine)
+	flag.Usage = func() { usage() }
+	flag.Parse() // stops at the first non-flag: the subcommand
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	if logger, err = lf.Logger(); err != nil {
+		fmt.Fprintf(os.Stderr, "ccpctl: %v\n", err)
+		os.Exit(2)
+	}
+	switch args[0] {
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = cmdGen(args[1:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(args[1:])
 	case "query":
-		err = cmdQuery(os.Args[2:])
+		err = cmdQuery(args[1:])
 	case "owned":
-		err = cmdOwned(os.Args[2:])
+		err = cmdOwned(args[1:])
 	case "explain":
-		err = cmdExplain(os.Args[2:])
+		err = cmdExplain(args[1:])
 	case "split":
-		err = cmdSplit(os.Args[2:])
+		err = cmdSplit(args[1:])
 	case "groups":
-		err = cmdGroups(os.Args[2:])
+		err = cmdGroups(args[1:])
 	case "datalog":
-		err = cmdDatalog(os.Args[2:])
+		err = cmdDatalog(args[1:])
+	case "flight":
+		err = cmdFlight(args[1:])
+	case "top":
+		err = cmdTop(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +85,12 @@ func usage() {
   ccpctl explain -in file -s id -t id
   ccpctl split   -in file -parts k -outprefix p       (writes p0.ccpp, p1.ccpp, ...)
   ccpctl groups  -in file [-top n]                    (control groups by ultimate controller)
-  ccpctl datalog -in file -s id [-t id] [-program f]  (evaluate the logic program)`)
+  ccpctl datalog -in file -s id [-t id] [-program f]  (evaluate the logic program)
+  ccpctl flight  [-ops host:port,...] [-in dump.json,...] [-trace hex]
+                                                      (merged cross-process flight timeline)
+  ccpctl top     -ops host:port[,...] [-interval d] [-n count]
+                                                      (refresh-loop cluster health view)
+global flags (before the subcommand): -log-level debug|info|warn|error, -log-format text|json`)
 }
 
 func saveGraph(g *ccp.Graph, path string) error {

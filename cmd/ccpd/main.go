@@ -2,7 +2,8 @@
 // deployment: it loads a graph, takes its share of a k-way contiguous
 // partitioning, and serves partial answers to a coordinator (ccpcoord) over
 // TCP. On SIGINT/SIGTERM it drains in-flight requests, logs a one-line
-// summary and exits 0.
+// summary and exits 0; on SIGQUIT it dumps its flight recorder to stderr
+// and keeps serving.
 //
 // Usage:
 //
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"ccp"
+	"ccp/cmd/internal/cli"
 )
 
 func fatalf(format string, args ...any) {
@@ -41,8 +43,14 @@ func main() {
 	listen := flag.String("listen", ":7001", "listen address")
 	workers := flag.Int("workers", 0, "reduction parallelism (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/pprof (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/flight, /debug/pprof (empty = disabled)")
+	lf := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := lf.Logger()
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var p *ccp.Partition
 	switch {
@@ -85,25 +93,31 @@ func main() {
 	if err != nil {
 		fatalf("cannot bind %s: %v", *listen, err)
 	}
-	fmt.Printf("ccpd: site %d on %s — %d members, %d boundary nodes, %d edges\n",
-		p.ID, l.Addr(), len(p.Members), len(p.Boundary()), p.Local.NumEdges())
+	logger.Info("site serving", "site", p.ID, "addr", l.Addr().String(),
+		"members", len(p.Members), "boundary", len(p.Boundary()), "edges", p.Local.NumEdges())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	srv := ccp.NewSiteServer(p, *workers)
+	srv.SetLogger(logger)
+
+	// The observer (and with it the flight recorder) is always on; the ops
+	// HTTP surface is opt-in.
+	observer := ccp.NewObserver(ccp.ObserverConfig{Process: fmt.Sprintf("site-%d", p.ID)})
+	srv.Observe(observer)
+	defer cli.DumpFlightOnQuit(observer)()
 
 	var ops *ccp.OpsServer
 	if *opsAddr != "" {
-		obs := ccp.NewObserver(ccp.ObserverConfig{})
-		srv.Observe(obs)
-		ops, err = ccp.StartOpsServer(*opsAddr, obs, func() (bool, any) {
+		ops, err = ccp.StartOpsServer(*opsAddr, observer, func() (bool, any) {
 			return true, srv.Stats()
 		})
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("ccpd: ops endpoints on http://%s (/metrics /healthz /varz /debug/pprof)\n", ops.Addr())
+		logger.Info("ops endpoints up", "url", "http://"+ops.Addr(),
+			"endpoints", "/metrics /healthz /varz /debug/flight /debug/pprof")
 	}
 
 	serveErr := make(chan error, 1)
@@ -121,12 +135,12 @@ func main() {
 		<-serveErr
 		st := srv.Stats()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ccpd: drain budget %v exceeded, forced close (%d requests served, %d/%d conns drained)\n",
-				*drain, st.Requests, st.ConnsDrained, st.ConnsAccepted)
+			logger.Error("drain budget exceeded, forced close", "drain", *drain,
+				"requests", st.Requests, "conns_drained", st.ConnsDrained, "conns_accepted", st.ConnsAccepted)
 			os.Exit(1)
 		}
-		fmt.Printf("ccpd: shut down cleanly — %d requests served, %d/%d conns drained\n",
-			st.Requests, st.ConnsDrained, st.ConnsAccepted)
+		logger.Info("shut down cleanly",
+			"requests", st.Requests, "conns_drained", st.ConnsDrained, "conns_accepted", st.ConnsAccepted)
 	case err := <-serveErr:
 		if err != nil {
 			fatalf("serving %s: %v", *listen, err)

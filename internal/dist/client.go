@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"ccp/internal/control"
 	"ccp/internal/graph"
 	"ccp/internal/obs"
+	"ccp/internal/obs/flight"
 )
 
 // ClientConfig tunes the transport lifecycle of a RemoteClient: dial and
@@ -44,8 +46,13 @@ type ClientConfig struct {
 	Dialer func(ctx context.Context, addr string) (net.Conn, error)
 	// Observer, when non-nil, registers per-site transport metrics
 	// (redials, retries, circuit transitions, bytes in/out, circuit state)
-	// on its registry, labeled by the site's dial address.
+	// on its registry, labeled by the site's dial address, and feeds
+	// transport events (retries, redials, circuit transitions) into its
+	// flight recorder.
 	Observer *obs.Observer
+	// Logger receives the client's structured transport diagnostics
+	// (redials, dial failures, circuit transitions). Nil discards them.
+	Logger *slog.Logger
 }
 
 // withDefaults fills unset config fields with the production defaults.
@@ -274,6 +281,8 @@ type RemoteClient struct {
 	lastErr     error
 
 	met clientMetrics
+	fr  *flight.Recorder
+	log *slog.Logger
 }
 
 // Dial connects to a worker site with default lifecycle configuration and
@@ -285,6 +294,8 @@ func Dial(ctx context.Context, addr string) (*RemoteClient, error) {
 // DialConfig is Dial with explicit lifecycle configuration.
 func DialConfig(ctx context.Context, addr string, cfg ClientConfig) (*RemoteClient, error) {
 	c := &RemoteClient{addr: addr, cfg: cfg.withDefaults(), siteID: -1}
+	c.fr = c.cfg.Observer.Flight()
+	c.log = obs.LoggerOr(c.cfg.Logger)
 	if reg := c.cfg.Observer.Registry(); reg != nil {
 		l := obs.Label{Key: "site_addr", Value: addr}
 		c.met = clientMetrics{
@@ -368,6 +379,7 @@ func (c *RemoteClient) acquireConn(ctx context.Context) (*muxConn, error) {
 			}
 			c.circuit = time.Time{} // cooldown over: half-open, probe below
 			c.met.circuitHalfOpened.Inc()
+			c.fr.Record(flight.Circuit, int32(c.siteID), 0, 2, int64(c.consecFails))
 		}
 		wait := time.Until(c.nextDialAt)
 		done := make(chan struct{})
@@ -389,6 +401,7 @@ func (c *RemoteClient) acquireConn(ctx context.Context) (*muxConn, error) {
 			}
 			c.nextDialAt = time.Now().Add(c.backoff)
 			c.mu.Unlock()
+			c.log.Warn("dial failed", "site_addr", c.addr, "err", err)
 			return nil, err
 		}
 		if c.closed {
@@ -399,12 +412,19 @@ func (c *RemoteClient) acquireConn(ctx context.Context) (*muxConn, error) {
 		c.conn = mc
 		c.backoff = 0
 		c.nextDialAt = time.Time{}
+		redialed := false
 		if c.dialed {
 			c.redials++
 			c.met.redials.Inc()
+			c.fr.Record(flight.Redial, int32(c.siteID), 0, c.redials, 0)
+			redialed = true
 		}
 		c.dialed = true
+		site, redials := c.siteID, c.redials
 		c.mu.Unlock()
+		if redialed {
+			c.log.Info("reconnected to site", "site", site, "site_addr", c.addr, "redials", redials)
+		}
 		go func() {
 			err := mc.readLoop()
 			c.dropConn(mc, err)
@@ -455,6 +475,9 @@ func (c *RemoteClient) noteFailureLocked(err error) {
 		c.circuit = time.Now().Add(c.cfg.Cooldown)
 		c.tripped = true
 		c.met.circuitOpened.Inc()
+		c.fr.Record(flight.Circuit, int32(c.siteID), 0, 1, int64(c.consecFails))
+		c.log.Warn("circuit opened", "site", c.siteID, "site_addr", c.addr,
+			"consecutive_failures", c.consecFails, "cooldown", c.cfg.Cooldown, "err", err)
 		if c.conn != nil {
 			// A site that times out call after call is stalled, not slow:
 			// tear the generation down so the probe after cooldown starts
@@ -484,6 +507,8 @@ func (c *RemoteClient) noteSuccess() {
 		// worked).
 		c.tripped = false
 		c.met.circuitClosed.Inc()
+		c.fr.Record(flight.Circuit, int32(c.siteID), 0, 0, 0)
+		c.log.Info("circuit closed", "site", c.siteID, "site_addr", c.addr)
 	}
 	c.lastErr = nil
 	c.mu.Unlock()
@@ -569,6 +594,7 @@ func (c *RemoteClient) Evaluate(ctx context.Context, q control.Query, opts EvalO
 		IfEpoch:      opts.IfEpoch,
 		HasIfEpoch:   opts.HasIfEpoch,
 		TraceID:      opts.TraceID,
+		FlightID:     opts.FlightID,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -627,6 +653,8 @@ func (c *RemoteClient) roundTrip(ctx context.Context, req *request) (*response, 
 			c.retries++
 			c.mu.Unlock()
 			c.met.retries.Inc()
+			c.fr.Record(flight.Retry, int32(c.SiteID()), req.FlightID, int64(attempt), 0)
+			c.log.Debug("retrying call", "site", c.SiteID(), "op", opname, "attempt", attempt, "err", lastErr)
 		}
 		if err := ctx.Err(); err != nil {
 			c.noteDegraded(err)

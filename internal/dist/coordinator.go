@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"ccp/internal/control"
 	"ccp/internal/graph"
 	"ccp/internal/obs"
+	"ccp/internal/obs/flight"
 )
 
 // SiteClient is the coordinator's handle to one worker site, local or
@@ -69,9 +71,13 @@ type Options struct {
 	SiteTimeout time.Duration
 	// Observer, when non-nil, streams coordinator metrics (latency
 	// histograms, per-phase timings, cache hit/miss counters) into its
-	// registry and, when its slow-query log is enabled, traces every query
-	// so slow ones can be captured. Nil runs uninstrumented.
+	// registry, records flight events for every query, and, when its
+	// slow-query log is enabled, traces every query so slow ones can be
+	// captured. Nil runs uninstrumented.
 	Observer *obs.Observer
+	// Logger receives the coordinator's structured diagnostics (query
+	// failures, update errors). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Metrics reports where the time and bytes of a distributed query went —
@@ -152,6 +158,8 @@ type Coordinator struct {
 	clients []SiteClient
 	opts    Options
 	met     coordMetrics
+	fr      *flight.Recorder
+	log     *slog.Logger
 
 	mu     sync.Mutex
 	pcache map[int]*coordCached
@@ -237,6 +245,8 @@ func NewCoordinator(clients []SiteClient, opts Options) *Coordinator {
 		clients: clients,
 		opts:    opts,
 		met:     newCoordMetrics(opts.Observer),
+		fr:      opts.Observer.Flight(),
+		log:     obs.LoggerOr(opts.Logger),
 		pcache:  make(map[int]*coordCached),
 		snaps:   make(map[string]*mergedSnapshot),
 	}
@@ -317,24 +327,35 @@ func (c *Coordinator) AnswerTraced(ctx context.Context, q control.Query) (bool, 
 }
 
 // answer wraps one query evaluation with the coordinator's observability:
-// trace allocation (when explicitly requested or needed by the slow-query
-// log), top-level counters and latency histograms, and slow-log capture.
+// a flight id (every query flies, traced or not), trace allocation (when
+// explicitly requested or needed by the slow-query log), top-level counters
+// and latency histograms, flight events, and slow-log capture.
 func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace bool) (bool, *Metrics, *obs.Trace, error) {
 	start := time.Now()
+	// The flight id correlates this query's events across coordinator and
+	// sites; when the query is traced the trace id doubles as the flight id,
+	// so timelines and stitched traces line up.
+	fid := obs.NewTraceID()
 	var tr *obs.Trace
 	if wantTrace || c.opts.Observer.TraceEnabled() {
 		tr = obs.GetTrace()
-		tr.TraceID = obs.NewTraceID()
+		tr.TraceID = fid
 		tr.Query = fmt.Sprintf("controls(%d,%d)", q.S, q.T)
 		tr.Start = start
 	}
-	ans, m, err := c.eval(ctx, q, start, tr)
+	c.fr.Record(flight.QueryStart, -1, fid, int64(q.S), int64(q.T))
+	ans, m, err := c.eval(ctx, q, start, fid, tr)
 	dur := time.Since(start)
 	c.met.queries.Inc()
 	c.met.querySeconds.Observe(dur.Seconds())
+	errFlag := int64(0)
 	if err != nil {
 		c.met.queryErrors.Inc()
+		errFlag = 1
+		c.log.Warn("query failed", "s", q.S, "t", q.T, "dur", dur, "err", err,
+			obs.TraceIDAttr(fid))
 	}
+	c.fr.Record(flight.QueryEnd, -1, fid, dur.Nanoseconds(), errFlag)
 	c.met.cacheHits.Add(int64(m.CacheHits))
 	c.met.cacheMisses.Add(int64(m.SitesQueried - m.CacheHits))
 	c.met.coordCacheHits.Add(int64(m.CoordCacheHits))
@@ -347,7 +368,11 @@ func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace boo
 	if err != nil {
 		tr.Err = err.Error()
 	}
-	c.opts.Observer.ObserveTrace(tr)
+	if c.opts.Observer.ObserveTrace(tr) {
+		c.fr.Record(flight.SlowQuery, -1, fid, tr.DurNS, 0)
+		c.log.Info("slow query captured", "s", q.S, "t", q.T, "dur", dur,
+			obs.TraceIDAttr(fid))
+	}
 	if wantTrace {
 		// The caller keeps the trace; it never returns to the pool.
 		return ans, m, tr, err
@@ -357,9 +382,11 @@ func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace boo
 }
 
 // eval runs one query: fan out to the sites, collect partial answers, merge
-// and reduce. When tr is non-nil it accumulates spans for every step; site
-// span buffers are released here after stitching.
-func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Time, tr *obs.Trace) (bool, *Metrics, error) {
+// and reduce. fid is the query's flight id, carried to the sites so their
+// flight events correlate with the coordinator's. When tr is non-nil it
+// accumulates spans for every step; site span buffers are released here
+// after stitching.
+func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Time, fid uint64, tr *obs.Trace) (bool, *Metrics, error) {
 	m := &Metrics{DecidedBy: -1}
 	defer func() { m.Health = c.Health() }()
 	if len(c.clients) == 0 {
@@ -375,9 +402,10 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 	defer cancelQuery()
 
 	type reply struct {
-		pa    *PartialAnswer
-		bytes int64
-		err   error
+		pa     *PartialAnswer
+		bytes  int64
+		err    error
+		siteID int
 		// startNS/durNS bracket the whole site call on the coordinator's
 		// clock (the envelope the site's own spans are re-based onto).
 		startNS, durNS int64
@@ -390,25 +418,25 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 		opts := EvalOptions{
 			UseCache:     c.opts.UseCache,
 			ForcePartial: c.opts.ForcePartial,
+			FlightID:     fid,
 		}
 		if c.opts.UseCache {
 			if epoch, ok := c.cachedEpoch(cl.SiteID()); ok {
 				opts.IfEpoch, opts.HasIfEpoch = epoch, true
 			}
 		}
-		var t0 int64
 		if tr != nil {
 			opts.TraceID = tr.TraceID
-			t0 = int64(time.Since(qstart))
 		}
+		// The envelope is timed unconditionally: the flight recorder wants
+		// every site call, not just traced ones, and two clock reads cost
+		// far less than the call they bracket.
+		t0 := int64(time.Since(qstart))
 		ectx, cancel := c.siteCtx(qctx)
 		pa, n, err := cl.Evaluate(ectx, q, opts)
 		cancel()
-		var d int64
-		if tr != nil {
-			d = int64(time.Since(qstart)) - t0
-		}
-		replies <- reply{pa, n, err, t0, d}
+		d := int64(time.Since(qstart)) - t0
+		replies <- reply{pa, n, err, cl.SiteID(), t0, d}
 	}
 	for _, cl := range c.clients {
 		if c.opts.SequentialSites {
@@ -423,8 +451,11 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 	decidedBy := -1
 	for range c.clients {
 		r := <-replies
+		c.fr.Record(flight.SiteRPC, int32(r.siteID), fid, r.durNS, r.bytes)
 		if r.err != nil {
 			cancelQuery()
+			c.log.Debug("site evaluation failed", "site", r.siteID, "err", r.err,
+				obs.TraceIDAttr(fid))
 			return false, m, fmt.Errorf("dist: site evaluation: %w", r.err)
 		}
 		m.SitesQueried++
@@ -544,8 +575,11 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 		Trust:      control.FullTrust,
 		FullRescan: c.opts.FullRescan,
 		Obs:        c.met.reduceObs,
+		Logger:     c.opts.Logger,
 	})
 	m.CoordElapsed = time.Since(start)
+	c.fr.Record(flight.ReduceRound, -1, fid,
+		int64(res.Stats.Iterations), int64(res.Stats.Removed+res.Stats.Contracted))
 	c.met.phaseMerge.Observe(reduceStart.Sub(start).Seconds())
 	c.met.phaseReduce.Observe(time.Since(reduceStart).Seconds())
 	if tr != nil {

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"ccp/internal/control"
+)
+
+// waitForGoroutines retries until the process goroutine count is back at or
+// below base (readers observe EOF asynchronously after a close), failing
+// with a full stack dump if it never settles.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle: %d -> %d\n%s", base, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownLeaksNoGoroutines drives a full remote round trip — two
+// TCP site servers, remote clients, a coordinator query — then tears
+// everything down and asserts the process goroutine count returns to its
+// pre-test level: no leaked accept loops, connection readers, handler
+// goroutines, or client read loops survive Close + Shutdown.
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	var servers []*Server
+	var serveDone []chan error
+	var clients []SiteClient
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(testSite(t), ServerConfig{})
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(l) }()
+		servers = append(servers, srv)
+		serveDone = append(serveDone, done)
+
+		c, err := Dial(context.Background(), l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+
+	coord := NewCoordinator(clients, Options{})
+	if _, _, err := coord.Answer(context.Background(), control.Query{S: 0, T: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range clients {
+		c.(*RemoteClient).Close()
+	}
+	for i, srv := range servers {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("server %d shutdown: %v", i, err)
+		}
+		if err := <-serveDone[i]; err != nil {
+			t.Fatalf("server %d serve: %v", i, err)
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestClientCloseUnblocksReader asserts that closing a client mid-
+// connection (server still up) reaps its reader goroutine too — the leak
+// path where only the client side goes away.
+func TestClientCloseUnblocksReader(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(testSite(t), ServerConfig{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	c, err := Dial(context.Background(), l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Evaluate(context.Background(), control.Query{S: 0, T: 1}, EvalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	waitForGoroutines(t, base)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,9 @@ type ServerConfig struct {
 	// DrainTimeout bounds the graceful drain of the ctx-driven Serve
 	// convenience function. Default 10s.
 	DrainTimeout time.Duration
+	// Logger receives the server's structured diagnostics (connection
+	// lifecycle, shutdown progress, write failures). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -59,6 +63,7 @@ type ServerStats struct {
 type Server struct {
 	site *Site
 	cfg  ServerConfig
+	log  *slog.Logger
 
 	// baseCtx parents every request handler; forceCancel fires when a
 	// Shutdown deadline expires, stopping in-flight reductions at their next
@@ -85,11 +90,19 @@ func NewServer(site *Site, cfg ServerConfig) *Server {
 	return &Server{
 		site:        site,
 		cfg:         cfg.withDefaults(),
+		log:         obs.LoggerOr(cfg.Logger),
 		baseCtx:     ctx,
 		forceCancel: cancel,
 		listeners:   make(map[net.Listener]struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
+}
+
+// SetLogger replaces the server's and its site's logger (nil discards).
+// Call before Serve.
+func (s *Server) SetLogger(l *slog.Logger) {
+	s.log = obs.LoggerOr(l)
+	s.site.SetLogger(l)
 }
 
 // Observe exposes the server's existing lifetime counters as scrape-time
@@ -159,6 +172,7 @@ func (s *Server) isShutdown() bool {
 // exits. If ctx expires first, in-flight handlers are cancelled and the
 // remaining connections force-closed; ctx.Err() is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.log.Info("server shutting down", "site", s.site.ID(), "inflight", s.inflight.Load())
 	s.mu.Lock()
 	already := s.shutdown
 	s.shutdown = true
@@ -182,8 +196,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("server drained", "site", s.site.ID(), "conns_drained", s.drained.Load())
 		return nil
 	case <-ctx.Done():
+		s.log.Warn("server drain deadline expired, force-closing", "site", s.site.ID())
 		s.forceCancel()
 		s.mu.Lock()
 		for conn := range s.conns {
@@ -263,6 +279,8 @@ func (s *Server) handle(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, req 
 	// stream is positional); closing it fails the client's pending calls and
 	// lets it redial.
 	if err := enc.Encode(resp); err != nil {
+		s.log.Warn("response write failed, closing connection",
+			"site", s.site.ID(), "op", opName(req.Op), "err", err)
 		conn.Close()
 	}
 	encMu.Unlock()
@@ -291,6 +309,7 @@ func (s *Server) serve(ctx context.Context, req *request) *response {
 			IfEpoch:      req.IfEpoch,
 			HasIfEpoch:   req.HasIfEpoch,
 			TraceID:      req.TraceID,
+			FlightID:     req.FlightID,
 		})
 		if err != nil {
 			return errResponse(siteID, err)

@@ -12,6 +12,7 @@ package dist
 
 import (
 	"context"
+	"log/slog"
 	"strconv"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"ccp/internal/control"
 	"ccp/internal/graph"
 	"ccp/internal/obs"
+	"ccp/internal/obs/flight"
 	"ccp/internal/partition"
 )
 
@@ -72,6 +74,8 @@ type Site struct {
 	fullRescan bool
 
 	met siteMetrics
+	fr  *flight.Recorder
+	log *slog.Logger
 }
 
 // siteMetrics are the site's registered series — zero-valued (all nil) on
@@ -97,11 +101,16 @@ func (s *Site) Observe(o *obs.Observer) {
 	s.met.cacheMisses = reg.Counter("ccp_site_cache_misses_total",
 		"Evaluations answered by a live reduction or local decision.", l)
 	s.met.robs = obs.NewReducerObs(reg, "site-"+id)
+	s.fr = o.Flight()
 }
+
+// SetLogger routes the site's structured diagnostics (and the reducer's
+// debug summaries) to l. Call before the site starts serving; nil discards.
+func (s *Site) SetLogger(l *slog.Logger) { s.log = obs.LoggerOr(l) }
 
 // NewSite wraps a partition. workers <= 0 means GOMAXPROCS.
 func NewSite(p *partition.Partition, workers int) *Site {
-	return &Site{part: p, workers: workers, cacheEpoch: ^uint64(0)}
+	return &Site{part: p, workers: workers, cacheEpoch: ^uint64(0), log: obs.Discard()}
 }
 
 // SetFullRescan selects the full-rescan reduction engine (ablation
@@ -115,6 +124,7 @@ func (s *Site) SetFullRescan(v bool) { s.fullRescan = v }
 func (s *Site) reduce(ctx context.Context, g *graph.Graph, q control.Query, x graph.NodeSet, opt control.Options) (control.Result, error) {
 	opt.FullRescan = s.fullRescan
 	opt.Obs = s.met.robs
+	opt.Logger = s.log
 	r, _ := s.reducers.Get().(*control.Reducer)
 	if r == nil {
 		r = control.NewReducer()
@@ -197,6 +207,11 @@ type EvalOptions struct {
 	// evaluation and return them in PartialAnswer.Spans. Zero (the
 	// default) keeps the hot path span-free.
 	TraceID uint64
+	// FlightID correlates the site's flight-recorder events with the
+	// coordinator's for this query. Unlike TraceID it is set on every query
+	// (flight recording is always on and allocation-free), so it must not
+	// enable span recording.
+	FlightID uint64
 }
 
 // Evaluate computes the partial answer to q (Algorithm 2, line 6). With
@@ -228,7 +243,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 				Epoch:       epoch,
 				NotModified: true,
 			}
-			s.observeEval(pa, opts.TraceID, "site.revalidate", true)
+			s.observeEval(pa, opts, "site.revalidate", true)
 			return pa, nil
 		}
 		pa := &PartialAnswer{
@@ -240,7 +255,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 			FromCache: true,
 			Epoch:     epoch,
 		}
-		s.observeEval(pa, opts.TraceID, "site.cache", true)
+		s.observeEval(pa, opts, "site.cache", true)
 		return pa, nil
 	}
 
@@ -266,7 +281,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 				Ans:     a,
 				Elapsed: time.Since(start),
 			}
-			s.observeEval(pa, opts.TraceID, "site.decide", false)
+			s.observeEval(pa, opts, "site.decide", false)
 			return pa, nil
 		}
 	}
@@ -319,19 +334,28 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 	}
 	s.met.cacheMisses.Inc()
 	s.met.evalSeconds.Observe(pa.Elapsed.Seconds())
+	s.fr.Record(flight.ReduceRound, int32(s.part.ID), opts.FlightID,
+		int64(res.Stats.Iterations), int64(res.Stats.Removed+res.Stats.Contracted))
+	s.fr.Record(flight.SiteEval, int32(s.part.ID), opts.FlightID, int64(pa.Elapsed), 0)
 	return pa, nil
 }
 
-// observeEval stamps metrics for a single-step evaluation outcome and, when
-// traced, attaches a one-span trace covering the whole step.
-func (s *Site) observeEval(pa *PartialAnswer, traceID uint64, span string, cacheHit bool) {
+// observeEval stamps metrics and a flight event for a single-step
+// evaluation outcome and, when traced, attaches a one-span trace covering
+// the whole step.
+func (s *Site) observeEval(pa *PartialAnswer, opts EvalOptions, span string, cacheHit bool) {
 	if cacheHit {
 		s.met.cacheHits.Inc()
 	} else {
 		s.met.cacheMisses.Inc()
 	}
 	s.met.evalSeconds.Observe(pa.Elapsed.Seconds())
-	if traceID != 0 {
+	hitFlag := int64(0)
+	if cacheHit {
+		hitFlag = 1
+	}
+	s.fr.Record(flight.SiteEval, int32(pa.SiteID), opts.FlightID, int64(pa.Elapsed), hitFlag)
+	if opts.TraceID != 0 {
 		pa.Spans = append(obs.GetSpans(), obs.Span{
 			Name:  span,
 			Site:  int32(pa.SiteID),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ccp/internal/graph"
+	"ccp/internal/obs/flight"
 )
 
 // StakeUpdate is one change to the distributed shareholding data: owner
@@ -67,6 +68,7 @@ func (s *Site) ApplyEdgeUpdate(up StakeUpdate) (UpdateResult, error) {
 	}
 	s.epoch++
 	s.cache = nil
+	s.fr.Record(flight.Update, int32(s.part.ID), 0, int64(up.Owner), int64(up.Owned))
 	return res, nil
 }
 
@@ -106,12 +108,15 @@ func (c *Coordinator) ApplyUpdate(ctx context.Context, up StakeUpdate) error {
 	// Any applied update moves some site's epoch, so merged skeletons built
 	// over the old epoch vector can never match again; free them eagerly.
 	defer c.dropSnapshots()
+	c.fr.Record(flight.Update, -1, 0, int64(up.Owner), int64(up.Owned))
 	var applied *UpdateResult
 	for _, cl := range c.clients {
 		uctx, cancel := c.siteCtx(ctx)
 		res, err := cl.Update(uctx, up)
 		cancel()
 		if err != nil {
+			c.log.Warn("update failed", "owner", up.Owner, "owned", up.Owned,
+				"site", cl.SiteID(), "err", err)
 			return err
 		}
 		if res.Stored {

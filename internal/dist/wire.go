@@ -74,6 +74,10 @@ type request struct {
 	// request and return them in the response; zero (the default) keeps the
 	// evaluation entirely untraced.
 	TraceID uint64
+	// FlightID correlates the site's flight-recorder events with the
+	// coordinator's; unlike TraceID it is set on every query and does not
+	// enable span recording.
+	FlightID uint64
 	// opUpdate / opCrossIn payloads.
 	Update StakeUpdate
 	Delta  int

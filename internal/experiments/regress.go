@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// BenchMeta pins down the conditions a bench file was produced under, so a
+// later comparison can tell a real regression from an apples-to-oranges run
+// (different seed, scale, machine width, or toolchain). ccpbench embeds it
+// in every file it writes.
+type BenchMeta struct {
+	Seed        int64   `json:"seed"`
+	Scale       float64 `json:"scale"`
+	GitRevision string  `json:"git_revision,omitempty"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Platform    string  `json:"platform"`
+	Timestamp   string  `json:"timestamp"`
+}
+
+// CollectMeta gathers the current process's bench metadata. The git
+// revision is best-effort (empty outside a checkout or without git).
+func CollectMeta(seed int64, scale float64) BenchMeta {
+	m := BenchMeta{
+		Seed:       seed,
+		Scale:      scale,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Platform:   runtime.GOOS + "/" + runtime.GOARCH,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		m.GitRevision = strings.TrimSpace(string(out))
+	}
+	return m
+}
+
+// Series is one comparable measurement extracted from a bench file. Gated
+// series count toward the regression verdict; the rest (latency quantiles,
+// whose tails are noisy at CI scale) are reported for context only.
+type Series struct {
+	Name           string  `json:"name"`
+	Value          float64 `json:"value"`
+	HigherIsBetter bool    `json:"higher_is_better"`
+	Gated          bool    `json:"gated"`
+}
+
+// throughputFile mirrors the BENCH_throughput.json shape ccpbench writes
+// (cmd/ccpbench throughputDoc); only the fields the gate reads.
+type throughputFile struct {
+	Rows []struct {
+		Concurrency      int     `json:"concurrency"`
+		QueriesPerMinute float64 `json:"queries_per_minute"`
+		P95MS            float64 `json:"p95_ms"`
+	} `json:"rows"`
+}
+
+// reductionFile mirrors the hand-maintained BENCH_reduction.json shape: a
+// map of benchmark names to before/after ns_op blocks.
+type reductionFile struct {
+	Benchmarks map[string]struct {
+		After struct {
+			NsOp float64 `json:"ns_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// ExtractSeries pulls the comparable series out of a bench JSON document,
+// auto-detecting its shape: a BENCH_throughput.json concurrency sweep
+// (queries-per-minute gated, p95 informational) or a BENCH_reduction.json
+// record (after-state ns/op, gated, lower is better).
+func ExtractSeries(data []byte) ([]Series, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench file: %w", err)
+	}
+	var out []Series
+	switch {
+	case probe["rows"] != nil:
+		var doc throughputFile
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("experiments: parsing throughput file: %w", err)
+		}
+		for _, r := range doc.Rows {
+			out = append(out,
+				Series{Name: fmt.Sprintf("throughput/qpm/c%d", r.Concurrency),
+					Value: r.QueriesPerMinute, HigherIsBetter: true, Gated: true},
+				Series{Name: fmt.Sprintf("throughput/p95_ms/c%d", r.Concurrency),
+					Value: r.P95MS})
+		}
+	case probe["benchmarks"] != nil:
+		var doc reductionFile
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("experiments: parsing reduction file: %w", err)
+		}
+		for name, b := range doc.Benchmarks {
+			if b.After.NsOp > 0 {
+				out = append(out, Series{Name: "reduction/" + name + "/ns_op",
+					Value: b.After.NsOp, Gated: true})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unrecognized bench file shape (want a \"rows\" or \"benchmarks\" document)")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: bench file holds no comparable series")
+	}
+	return out, nil
+}
+
+// LoadSeries reads a bench file and extracts its series.
+func LoadSeries(path string) ([]Series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractSeries(data)
+}
+
+// Delta is one series' baseline-to-current movement. DeltaPct is signed so
+// that positive always means improvement, whichever direction the series
+// prefers.
+type Delta struct {
+	Name      string  `json:"name"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	DeltaPct  float64 `json:"delta_pct"`
+	Gated     bool    `json:"gated"`
+	Regressed bool    `json:"regressed"`
+}
+
+func (d Delta) String() string {
+	mark := " "
+	switch {
+	case d.Regressed:
+		mark = "✗"
+	case !d.Gated:
+		mark = "·"
+	}
+	return fmt.Sprintf("%s %-28s %12.1f -> %12.1f  %+6.1f%%", mark, d.Name, d.Baseline, d.Current, d.DeltaPct)
+}
+
+// Compare matches current series against baseline by name and flags every
+// gated series that moved in the bad direction by more than threshold
+// (0.15 = 15%) — the noise floor below which CI-machine jitter is treated
+// as a tie. Series present on only one side are skipped: a renamed or new
+// benchmark is not a regression. Returns the deltas (baseline order) and
+// whether any gated series regressed.
+func Compare(baseline, current []Series, threshold float64) ([]Delta, bool) {
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	cur := make(map[string]Series, len(current))
+	for _, s := range current {
+		cur[s.Name] = s
+	}
+	var deltas []Delta
+	regressed := false
+	for _, b := range baseline {
+		c, ok := cur[b.Name]
+		if !ok || b.Value == 0 {
+			continue
+		}
+		d := Delta{Name: b.Name, Baseline: b.Value, Current: c.Value, Gated: b.Gated}
+		if b.HigherIsBetter {
+			d.DeltaPct = 100 * (c.Value - b.Value) / b.Value
+		} else {
+			d.DeltaPct = 100 * (b.Value - c.Value) / b.Value
+		}
+		if b.Gated && d.DeltaPct < -100*threshold {
+			d.Regressed = true
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, regressed
+}
+
+// HistoryEntry is one line of BENCH_history.jsonl: the run's metadata, the
+// measured series, and — when a baseline was compared — the deltas and the
+// verdict. The file accretes one line per gate run, giving the perf history
+// CI never keeps otherwise.
+type HistoryEntry struct {
+	Meta      BenchMeta `json:"meta"`
+	Series    []Series  `json:"series"`
+	Deltas    []Delta   `json:"deltas,omitempty"`
+	Regressed bool      `json:"regressed"`
+}
+
+// AppendHistory appends e as one JSON line to path, creating the file on
+// first use.
+func AppendHistory(path string, e HistoryEntry) error {
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(buf, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

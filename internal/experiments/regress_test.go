@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const throughputFixture = `{
+  "benchmark": "ccpbench throughput",
+  "rows": [
+    {"concurrency": 1, "queries_per_minute": 1000, "p95_ms": 10},
+    {"concurrency": 4, "queries_per_minute": 3000, "p95_ms": 25}
+  ]
+}`
+
+func TestExtractSeriesThroughput(t *testing.T) {
+	series, err := ExtractSeries([]byte(throughputFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	qpm, ok := byName["throughput/qpm/c4"]
+	if !ok || qpm.Value != 3000 || !qpm.HigherIsBetter || !qpm.Gated {
+		t.Fatalf("qpm/c4 = %+v, want gated higher-is-better 3000", qpm)
+	}
+	p95, ok := byName["throughput/p95_ms/c1"]
+	if !ok || p95.Value != 10 || p95.Gated || p95.HigherIsBetter {
+		t.Fatalf("p95_ms/c1 = %+v, want ungated lower-is-better 10", p95)
+	}
+}
+
+func TestExtractSeriesReduction(t *testing.T) {
+	doc := `{"benchmarks": {"BenchmarkParallelReduction": {"after": {"ns_op": 14477817}}}}`
+	series, err := ExtractSeries([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("got %d series, want 1", len(series))
+	}
+	s := series[0]
+	if s.Name != "reduction/BenchmarkParallelReduction/ns_op" || s.Value != 14477817 ||
+		s.HigherIsBetter || !s.Gated {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestExtractSeriesRejectsUnknownShape(t *testing.T) {
+	if _, err := ExtractSeries([]byte(`{"something": 1}`)); err == nil {
+		t.Fatal("unknown shape should error")
+	}
+	if _, err := ExtractSeries([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+	if _, err := ExtractSeries([]byte(`{"rows": []}`)); err == nil {
+		t.Fatal("empty rows should error")
+	}
+}
+
+func TestCompareGatesOnlyGatedSeries(t *testing.T) {
+	baseline := []Series{
+		{Name: "qpm", Value: 1000, HigherIsBetter: true, Gated: true},
+		{Name: "p95", Value: 10},
+	}
+	// Within the 15% noise floor: no regression.
+	current := []Series{
+		{Name: "qpm", Value: 900, HigherIsBetter: true, Gated: true},
+		{Name: "p95", Value: 12},
+	}
+	deltas, regressed := Compare(baseline, current, 0.15)
+	if regressed {
+		t.Fatalf("10%% drop regressed at 15%% threshold: %+v", deltas)
+	}
+	// Past the floor: the gated series trips the gate.
+	current[0].Value = 700
+	deltas, regressed = Compare(baseline, current, 0.15)
+	if !regressed {
+		t.Fatalf("30%% drop did not regress: %+v", deltas)
+	}
+	if !deltas[0].Regressed || deltas[0].DeltaPct >= 0 {
+		t.Fatalf("qpm delta = %+v, want regressed negative", deltas[0])
+	}
+	// An ungated series collapsing does not fail the gate.
+	current[0].Value = 1000
+	current[1].Value = 1000
+	if _, regressed := Compare(baseline, current, 0.15); regressed {
+		t.Fatal("ungated p95 blow-up must not trip the gate")
+	}
+}
+
+func TestCompareDirectionality(t *testing.T) {
+	// Lower-is-better series: current going UP is the regression.
+	baseline := []Series{{Name: "ns_op", Value: 100, Gated: true}}
+	if _, regressed := Compare(baseline, []Series{{Name: "ns_op", Value: 130}}, 0.15); !regressed {
+		t.Fatal("30% ns/op increase should regress")
+	}
+	if _, regressed := Compare(baseline, []Series{{Name: "ns_op", Value: 70}}, 0.15); regressed {
+		t.Fatal("30% ns/op improvement must not regress")
+	}
+}
+
+func TestCompareSkipsUnmatchedSeries(t *testing.T) {
+	baseline := []Series{{Name: "gone", Value: 1, Gated: true}}
+	current := []Series{{Name: "new", Value: 1, Gated: true}}
+	deltas, regressed := Compare(baseline, current, 0.15)
+	if len(deltas) != 0 || regressed {
+		t.Fatalf("unmatched series produced deltas %+v (regressed=%v)", deltas, regressed)
+	}
+}
+
+func TestCollectMeta(t *testing.T) {
+	m := CollectMeta(7, 2.5)
+	if m.Seed != 7 || m.Scale != 2.5 {
+		t.Fatalf("meta = %+v", m)
+	}
+	if m.GoVersion != runtime.Version() || m.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("toolchain fields wrong: %+v", m)
+	}
+	if m.Timestamp == "" || !strings.Contains(m.Platform, "/") {
+		t.Fatalf("meta = %+v", m)
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	for i := 0; i < 2; i++ {
+		e := HistoryEntry{
+			Meta:      CollectMeta(int64(i), 1),
+			Series:    []Series{{Name: "qpm", Value: float64(1000 + i)}},
+			Regressed: i == 1,
+		}
+		if err := AppendHistory(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e HistoryEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if e.Meta.Seed != int64(lines) {
+			t.Fatalf("line %d seed = %d", lines, e.Meta.Seed)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("history has %d lines, want 2", lines)
+	}
+}
+
+// TestRepoBenchFilesExtract pins the gate to the real checked-in bench
+// files: if their shape drifts, the gate silently gating nothing would be
+// worse than a failing test.
+func TestRepoBenchFilesExtract(t *testing.T) {
+	for _, name := range []string{"BENCH_throughput.json", "BENCH_reduction.json"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Skipf("%s not present: %v", name, err)
+		}
+		series, err := ExtractSeries(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gated := 0
+		for _, s := range series {
+			if s.Gated {
+				gated++
+			}
+		}
+		if gated == 0 {
+			t.Fatalf("%s yields no gated series", name)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecordNoAllocations pins the flight recorder's hot-path overhead: with
+// recording enabled, one Record is zero allocations — the acceptance budget
+// for keeping the recorder always-on in the serial query path.
+func TestRecordNoAllocations(t *testing.T) {
+	r := New("coord", 1024)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(QueryStart, -1, 42, 7, 9)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(QueryEnd, -1, 1, 2, 3) // must not panic
+	r.SetProcess("x")
+	if r.Process() != "" || r.Len() != 0 {
+		t.Fatalf("nil recorder leaked state")
+	}
+	d := r.Snapshot()
+	if len(d.Events) != 0 {
+		t.Fatalf("nil recorder snapshot has %d events", len(d.Events))
+	}
+}
+
+// TestRingBounded drives far more events than the ring holds and checks
+// memory stays bounded: retained count never exceeds capacity, and the
+// overwritten remainder is reported as Dropped.
+func TestRingBounded(t *testing.T) {
+	const capacity = 256
+	r := New("site-0", capacity)
+	const total = 10 * capacity
+	for i := 0; i < total; i++ {
+		r.Record(SiteEval, 0, uint64(i+1), int64(i), 0)
+	}
+	if got := r.Len(); got > capacity {
+		t.Fatalf("recorder retains %d events, capacity %d", got, capacity)
+	}
+	d := r.Snapshot()
+	if len(d.Events) > capacity {
+		t.Fatalf("snapshot has %d events, capacity %d", len(d.Events), capacity)
+	}
+	if int(d.Dropped)+len(d.Events) != total {
+		t.Fatalf("dropped %d + retained %d != recorded %d", d.Dropped, len(d.Events), total)
+	}
+}
+
+// TestSnapshotWhileRecording exercises concurrent Record and Snapshot — the
+// dump-while-recording path the -race run must hold clean.
+func TestSnapshotWhileRecording(t *testing.T) {
+	r := New("coord", 512)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Record(SiteRPC, int32(w), uint64(i+1), int64(i), 64)
+				}
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		d := r.Snapshot()
+		for i := 1; i < len(d.Events); i++ {
+			if d.Events[i].TS < d.Events[i-1].TS {
+				t.Errorf("snapshot not time-ordered at %d", i)
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotTimeOrdered(t *testing.T) {
+	r := New("coord", 1024)
+	for i := 0; i < 300; i++ {
+		r.Record(QueryStart, -1, uint64(i+1), 0, 0)
+	}
+	d := r.Snapshot()
+	if len(d.Events) != 300 {
+		t.Fatalf("retained %d events, want 300", len(d.Events))
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].TS < d.Events[i-1].TS {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestTypeJSONRoundTrip(t *testing.T) {
+	for typ := QueryStart; typ < numTypes; typ++ {
+		buf, err := json.Marshal(typ)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", typ, err)
+		}
+		if !strings.Contains(string(buf), typ.String()) {
+			t.Fatalf("marshal %v = %s, want the name", typ, buf)
+		}
+		var back Type
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", buf, err)
+		}
+		if back != typ {
+			t.Fatalf("round trip %v -> %v", typ, back)
+		}
+	}
+	var numeric Type
+	if err := json.Unmarshal([]byte("3"), &numeric); err != nil || numeric != SiteRPC {
+		t.Fatalf("numeric unmarshal = %v, %v; want SiteRPC", numeric, err)
+	}
+	if err := json.Unmarshal([]byte(`"no.such.event"`), &numeric); err == nil {
+		t.Fatalf("unknown event name did not error")
+	}
+}
+
+func TestDumpJSONRoundTrip(t *testing.T) {
+	r := New("site-2", 64)
+	r.Record(SiteEval, 2, 99, int64(5*time.Millisecond), 1)
+	r.Record(ReduceRound, 2, 99, 3, 120)
+	buf, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf, &d); err != nil {
+		t.Fatalf("decoding /debug/flight payload: %v", err)
+	}
+	if d.Process != "site-2" || len(d.Events) != 2 {
+		t.Fatalf("round trip lost data: %+v", d)
+	}
+	if d.Events[0].Type != SiteEval || d.Events[1].Type != ReduceRound {
+		t.Fatalf("event types mangled: %+v", d.Events)
+	}
+}
+
+// TestMergeTimeline checks the cross-process merge: events of three
+// processes interleave into one time-ordered timeline, filterable by trace.
+func TestMergeTimeline(t *testing.T) {
+	mk := func(proc string, ts ...int64) Dump {
+		d := Dump{Process: proc}
+		for i, n := range ts {
+			d.Events = append(d.Events, Event{TS: n, Trace: uint64(i%2 + 1), Type: SiteEval})
+		}
+		return d
+	}
+	entries := MergeTimeline(mk("coord", 10, 40, 70), mk("site-0", 20, 50), mk("site-1", 30, 60))
+	if len(entries) != 7 {
+		t.Fatalf("merged %d entries, want 7", len(entries))
+	}
+	procs := map[string]bool{}
+	for i, e := range entries {
+		procs[e.Process] = true
+		if i > 0 && e.TS < entries[i-1].TS {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+	for _, p := range []string{"coord", "site-0", "site-1"} {
+		if !procs[p] {
+			t.Fatalf("process %s missing from timeline", p)
+		}
+	}
+	only := FilterTrace(entries, 2)
+	if len(only) == 0 {
+		t.Fatalf("trace filter dropped everything")
+	}
+	for _, e := range only {
+		if e.Trace != 2 {
+			t.Fatalf("trace filter kept trace %d", e.Trace)
+		}
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	r := New("coord", 64)
+	r.Record(QueryStart, -1, 7, 12, 9441)
+	r.Record(QueryEnd, -1, 7, int64(3*time.Millisecond), 0)
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, MergeTimeline(r.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"query.start", "query.end", "coord", "s=12 t=9441", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+	var empty bytes.Buffer
+	if err := WriteTimeline(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no events") {
+		t.Fatalf("empty timeline output: %q", empty.String())
+	}
+}

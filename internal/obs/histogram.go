@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 )
@@ -35,10 +36,10 @@ type Histogram struct {
 	sum    atomic.Uint64 // float64 bits
 }
 
-// NewHistogram builds a histogram over the given upper bounds (nil selects
-// DefaultLatencyBuckets).
+// NewHistogram builds a histogram over the given upper bounds (nil or empty
+// selects DefaultLatencyBuckets).
 func NewHistogram(bounds []float64) *Histogram {
-	if bounds == nil {
+	if len(bounds) == 0 {
 		bounds = DefaultLatencyBuckets
 	}
 	for i := 1; i < len(bounds); i++ {
@@ -102,23 +103,56 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 }
 
+// BucketMismatchError reports an attempt to merge histogram snapshots whose
+// bucket layouts disagree — different bound sets, or a count slice whose
+// length does not match its bounds (a corrupted or hand-built snapshot).
+// Summing such buckets would silently misattribute observations, so Merge
+// refuses instead.
+type BucketMismatchError struct {
+	// Reason says which invariant broke ("bound count", "bound value",
+	// "count length").
+	Reason string
+	// A and B describe the two layouts (lengths or differing values).
+	A, B string
+}
+
+func (e *BucketMismatchError) Error() string {
+	return fmt.Sprintf("obs: cannot merge histograms: %s mismatch (%s vs %s)", e.Reason, e.A, e.B)
+}
+
 // Merge combines two snapshots taken over the same bucket bounds into a new
 // one. Merging is commutative and associative (bucket counts add), so any
 // merge order over a set of shards produces the same aggregate. A zero
-// snapshot merges as the identity; mismatched bounds panic.
-func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
-	if s.Bounds == nil {
-		return o
+// snapshot merges as the identity; snapshots with mismatched bucket layouts
+// return a *BucketMismatchError and the zero snapshot.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if s.Bounds == nil && s.Count == 0 {
+		return o, nil
 	}
-	if o.Bounds == nil {
-		return s
+	if o.Bounds == nil && o.Count == 0 {
+		return s, nil
 	}
 	if len(s.Bounds) != len(o.Bounds) {
-		panic("obs: merging histograms with different bucket bounds")
+		return HistogramSnapshot{}, &BucketMismatchError{
+			Reason: "bound count",
+			A:      fmt.Sprintf("%d bounds", len(s.Bounds)),
+			B:      fmt.Sprintf("%d bounds", len(o.Bounds)),
+		}
 	}
 	for i := range s.Bounds {
 		if s.Bounds[i] != o.Bounds[i] {
-			panic("obs: merging histograms with different bucket bounds")
+			return HistogramSnapshot{}, &BucketMismatchError{
+				Reason: "bound value",
+				A:      fmt.Sprintf("bounds[%d]=%v", i, s.Bounds[i]),
+				B:      fmt.Sprintf("bounds[%d]=%v", i, o.Bounds[i]),
+			}
+		}
+	}
+	if len(s.Counts) != len(o.Counts) {
+		return HistogramSnapshot{}, &BucketMismatchError{
+			Reason: "count length",
+			A:      fmt.Sprintf("%d counts", len(s.Counts)),
+			B:      fmt.Sprintf("%d counts", len(o.Counts)),
 		}
 	}
 	m := HistogramSnapshot{
@@ -130,31 +164,40 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 	for i := range s.Counts {
 		m.Counts[i] = s.Counts[i] + o.Counts[i]
 	}
-	return m
+	return m, nil
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
-// inside the bucket holding the target rank — the same estimate
-// Prometheus's histogram_quantile produces. Values in the +Inf bucket clamp
-// to the highest finite bound. Returns 0 for an empty histogram.
+// Quantile estimates the q-quantile by linear interpolation inside the
+// bucket holding the target rank — the same estimate Prometheus's
+// histogram_quantile produces. q outside (0, 1] is clamped (NaN reads as 1).
+// Values in the +Inf overflow bucket clamp to the highest finite bound
+// rather than interpolating toward infinity. Returns 0 for an empty
+// histogram.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0
 	}
+	if math.IsNaN(q) || q > 1 {
+		q = 1
+	} else if q < 0 {
+		q = 0
+	}
+	top := s.Bounds[len(s.Bounds)-1]
 	rank := q * float64(s.Count)
 	cum := uint64(0)
 	for i, c := range s.Counts {
 		if c == 0 {
 			continue
 		}
-		lo := 0.0
-		if i > 0 {
-			lo = s.Bounds[i-1]
+		if i >= len(s.Bounds) {
+			// Overflow bucket (or a corrupt snapshot with extra counts):
+			// no finite upper bound to interpolate to.
+			return top
 		}
 		if float64(cum+c) >= rank {
-			if i == len(s.Bounds) {
-				// Overflow bucket: no finite upper bound to interpolate to.
-				return s.Bounds[len(s.Bounds)-1]
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
 			}
 			within := (rank - float64(cum)) / float64(c)
 			if within < 0 {
@@ -164,5 +207,5 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		}
 		cum += c
 	}
-	return s.Bounds[len(s.Bounds)-1]
+	return top
 }

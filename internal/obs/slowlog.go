@@ -36,11 +36,11 @@ func (l *SlowLog) Threshold() time.Duration {
 	return l.threshold
 }
 
-// Record stores an owned copy of t if it is at or over threshold. The
-// caller keeps ownership of t.
-func (l *SlowLog) Record(t *Trace) {
+// Record stores an owned copy of t if it is at or over threshold, reporting
+// whether it did. The caller keeps ownership of t.
+func (l *SlowLog) Record(t *Trace) bool {
 	if l == nil || t == nil || time.Duration(t.DurNS) < l.threshold {
-		return
+		return false
 	}
 	c := t.clone()
 	l.mu.Lock()
@@ -52,6 +52,7 @@ func (l *SlowLog) Record(t *Trace) {
 	l.next = (l.next + 1) % cap(l.ring)
 	l.total++
 	l.mu.Unlock()
+	return true
 }
 
 // Len reports how many traces the log currently holds.

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ccp/internal/obs/flight"
 )
 
 // Span is one timed step of a distributed query. Sites record their spans
@@ -155,6 +157,12 @@ type ObserverConfig struct {
 	SlowQueryThreshold time.Duration
 	// SlowLogCapacity bounds the slow-query ring buffer. Default 64.
 	SlowLogCapacity int
+	// FlightEvents bounds the flight recorder's event ring. 0 selects
+	// flight.DefaultEvents; negative disables the recorder entirely.
+	FlightEvents int
+	// Process attributes flight-recorder events in merged cross-process
+	// timelines ("coord", "site-3").
+	Process string
 }
 
 // Observer bundles what the instrumented layers need: the metrics registry
@@ -163,12 +171,14 @@ type ObserverConfig struct {
 // a component holding a nil Observer runs uninstrumented at the cost of a
 // nil check.
 type Observer struct {
-	reg  *Registry
-	slow *SlowLog
+	reg    *Registry
+	slow   *SlowLog
+	flight *flight.Recorder
 }
 
-// NewObserver builds an observer with a fresh registry and, when
-// cfg.SlowQueryThreshold > 0, a slow-query log.
+// NewObserver builds an observer with a fresh registry, a flight recorder
+// (unless cfg.FlightEvents < 0), and, when cfg.SlowQueryThreshold > 0, a
+// slow-query log.
 func NewObserver(cfg ObserverConfig) *Observer {
 	o := &Observer{reg: NewRegistry()}
 	if cfg.SlowQueryThreshold > 0 {
@@ -177,6 +187,9 @@ func NewObserver(cfg ObserverConfig) *Observer {
 			capacity = 64
 		}
 		o.slow = NewSlowLog(capacity, cfg.SlowQueryThreshold)
+	}
+	if cfg.FlightEvents >= 0 {
+		o.flight = flight.New(cfg.Process, cfg.FlightEvents)
 	}
 	return o
 }
@@ -188,6 +201,16 @@ func (o *Observer) Registry() *Registry {
 		return nil
 	}
 	return o.reg
+}
+
+// Flight returns the observer's flight recorder — nil for a nil observer or
+// when recording was disabled, which downstream instrumentation tolerates
+// (a nil *flight.Recorder records nothing).
+func (o *Observer) Flight() *flight.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
 }
 
 // SlowLog returns the slow-query log, nil when disabled.
@@ -206,12 +229,13 @@ func (o *Observer) TraceEnabled() bool {
 
 // ObserveTrace offers a finished stitched trace to the slow log, which
 // stores an owned copy if it is over threshold. The caller keeps ownership
-// of t.
-func (o *Observer) ObserveTrace(t *Trace) {
+// of t. Reports whether the trace was promoted into the slow log, so the
+// caller can flag the promotion in the flight recorder.
+func (o *Observer) ObserveTrace(t *Trace) bool {
 	if o == nil || o.slow == nil || t == nil {
-		return
+		return false
 	}
-	o.slow.Record(t)
+	return o.slow.Record(t)
 }
 
 // ReducerObs is the reduction engine's telemetry bundle: built once by the

@@ -1,7 +1,11 @@
 package ccp
 
 import (
+	"io"
+	"log/slog"
+
 	"ccp/internal/obs"
+	"ccp/internal/obs/flight"
 )
 
 // The observability surface of a deployment. One Observer is shared by a
@@ -41,6 +45,15 @@ type (
 	// HealthFunc feeds /healthz: ok selects 200 vs 503, detail is the JSON
 	// body.
 	HealthFunc = obs.HealthFunc
+	// FlightRecorder is the always-on bounded ring of recent runtime events
+	// an Observer carries; dump it via /debug/flight, SIGQUIT, or
+	// FlightRecorder.Snapshot.
+	FlightRecorder = flight.Recorder
+	// FlightEvent is one recorded flight event.
+	FlightEvent = flight.Event
+	// FlightDump is a point-in-time snapshot of a process's flight recorder,
+	// the JSON shape served by /debug/flight and merged by `ccpctl flight`.
+	FlightDump = flight.Dump
 )
 
 // NewObserver builds an observer with a fresh metrics registry and, when
@@ -54,3 +67,13 @@ func NewObserver(cfg ObserverConfig) *Observer { return obs.NewObserver(cfg) }
 func StartOpsServer(addr string, o *Observer, health HealthFunc) (*OpsServer, error) {
 	return obs.StartOps(addr, o, health)
 }
+
+// NewLogger builds a structured logger writing to w at the given level in
+// the given format ("text" or "json"; "" = text) — the logger behind every
+// binary's -log-level / -log-format flags.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
+// ParseLogLevel maps a -log-level flag value to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLogLevel(s) }

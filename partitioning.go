@@ -3,6 +3,7 @@ package ccp
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net"
 
 	"ccp/internal/dist"
@@ -67,6 +68,11 @@ func NewSiteServer(p *Partition, workers int) *SiteServer {
 // series — on o's registry. Call once, before Serve; expose the registry
 // with StartOpsServer.
 func (s *SiteServer) Observe(o *Observer) { s.srv.Observe(o) }
+
+// SetLogger routes the server's structured diagnostics (connection
+// lifecycle, shutdown progress, write failures, debug-level reduction
+// summaries) to l. Call before Serve; nil discards.
+func (s *SiteServer) SetLogger(l *slog.Logger) { s.srv.SetLogger(l) }
 
 // Serve accepts coordinator connections on l until Shutdown is called or the
 // listener fails. It returns nil after a Shutdown-initiated stop.

@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench_gate.sh — the continuous perf-regression gate.
+#
+# Runs the ccpbench throughput concurrency sweep twice (baseline, then
+# current), gates current against baseline with a noise threshold, and
+# appends the outcome to BENCH_history.jsonl. Then runs the gate's own
+# negative self-test: the same comparison with -handicap 2 (a synthetic 2x
+# slowdown) must exit 3, proving the gate actually fails when performance
+# collapses — a gate that cannot fail guards nothing.
+#
+# Both sweeps run on the same tree, so a pass here means "the gate machinery
+# works and the measured tree is self-consistent". To gate a change against
+# its merge-base, run the baseline sweep on the base commit and export
+# BENCH_GATE_BASELINE to point at its output.
+#
+# Tunables (env):
+#   BENCH_GATE_SCALE        graph scale factor          (default 0.25)
+#   BENCH_GATE_CONCURRENCY  sweep max concurrency       (default 4)
+#   BENCH_GATE_SEED         graph seed                  (default 11)
+#   BENCH_GATE_REPEATS      runs averaged per point     (default 2)
+#   BENCH_GATE_THRESHOLD    noise floor, fraction       (default 0.25)
+#   BENCH_GATE_BASELINE     pre-built baseline file     (default: run a sweep)
+#   BENCH_GATE_HISTORY      history file to append to   (default BENCH_history.jsonl)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+scale=${BENCH_GATE_SCALE:-0.25}
+conc=${BENCH_GATE_CONCURRENCY:-4}
+seed=${BENCH_GATE_SEED:-11}
+repeats=${BENCH_GATE_REPEATS:-2}
+threshold=${BENCH_GATE_THRESHOLD:-0.25}
+history=${BENCH_GATE_HISTORY:-BENCH_history.jsonl}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+echo "== build ccpbench =="
+go build -o "$workdir" ./cmd/ccpbench
+bench="$workdir/ccpbench"
+
+baseline=${BENCH_GATE_BASELINE:-}
+if [ -z "$baseline" ]; then
+    baseline="$workdir/baseline.json"
+    echo "== baseline sweep (scale $scale, concurrency $conc, seed $seed) =="
+    "$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+        -concurrency "$conc" -throughput-out "$baseline" throughput
+fi
+
+echo "== current sweep =="
+"$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+    -concurrency "$conc" -throughput-out "$workdir/current.json" throughput
+
+echo "== gate: current vs baseline (threshold $threshold) =="
+"$bench" -compare "$baseline" -compare-with "$workdir/current.json" \
+    -gate-threshold "$threshold" -history "$history"
+
+echo "== gate self-test: an injected 2x slowdown must fail =="
+status=0
+"$bench" -compare "$baseline" -compare-with "$workdir/current.json" \
+    -gate-threshold "$threshold" -handicap 2 >"$workdir/selftest.log" 2>&1 || status=$?
+if [ "$status" != 3 ]; then
+    echo "bench_gate: self-test expected exit 3 (regression), got $status:" >&2
+    cat "$workdir/selftest.log" >&2
+    exit 1
+fi
+grep -q "PERFORMANCE REGRESSION" "$workdir/selftest.log" \
+    || { echo "bench_gate: self-test exit 3 without the regression banner" >&2; exit 1; }
+echo "  self-test tripped the gate as expected (exit 3)"
+
+echo "ok: perf-regression gate passed (history appended to $history)"

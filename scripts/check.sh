@@ -34,6 +34,7 @@ go test -race -shuffle=on -timeout 10m \
     ./internal/graph/... \
     ./internal/par/... \
     ./internal/dist/... \
-    ./internal/obs/...
+    ./internal/obs/... \
+    ./internal/obs/flight/...
 
 echo "ok: all checks passed"

@@ -1,20 +1,22 @@
 #!/bin/sh
 # smoke_ops.sh — end-to-end smoke test of the operational endpoints.
 #
-# Boots a real ccpd worker with -ops-addr, runs a distributed query against
-# it through ccpcoord (also with -ops-addr), then scrapes both /metrics
-# endpoints and asserts (1) every line parses as Prometheus text exposition
-# format, (2) the load-bearing series are present, and (3) /healthz answers
-# 200. This is the check that the observability surface actually works from
-# outside the process, not just in unit tests.
+# Boots two real ccpd workers with -ops-addr, runs distributed queries
+# against them through ccpcoord (also with -ops-addr, dumping its flight
+# recorder on exit), then validates the observability surface from outside
+# the processes: /metrics parses as Prometheus text exposition format with
+# the load-bearing series present, /healthz answers 200, /varz and
+# /debug/flight round-trip as JSON through their real consumers (ccpctl top
+# and ccpctl flight), and `ccpctl flight` merges the coordinator and both
+# site recorders into one cross-process timeline.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
-ccpd_pid=""
+site_pids=""
 cleanup() {
-    [ -n "$ccpd_pid" ] && kill "$ccpd_pid" 2>/dev/null || true
+    for pid in $site_pids; do kill "$pid" 2>/dev/null || true; done
     wait 2>/dev/null || true
     rm -rf "$workdir"
 }
@@ -23,32 +25,41 @@ trap cleanup EXIT INT TERM
 echo "== build =="
 go build -o "$workdir" ./cmd/ccpctl ./cmd/ccpd ./cmd/ccpcoord
 
-echo "== generate + split graph =="
+echo "== generate + split graph (2 partitions) =="
 "$workdir/ccpctl" gen -type scalefree -nodes 2000 -seed 7 -out "$workdir/g.ccpg"
-"$workdir/ccpctl" split -in "$workdir/g.ccpg" -parts 1 -outprefix "$workdir/p"
+"$workdir/ccpctl" split -in "$workdir/g.ccpg" -parts 2 -outprefix "$workdir/p"
 
-site_port=17841
-site_ops_port=17842
+site0_port=17841
+site0_ops_port=17842
+site1_port=17844
+site1_ops_port=17845
 coord_ops_port=17843
 
-echo "== start ccpd with ops endpoints =="
+echo "== start two ccpd sites with ops endpoints =="
 "$workdir/ccpd" -partition "$workdir/p0.ccpp" \
-    -listen "127.0.0.1:$site_port" \
-    -ops-addr "127.0.0.1:$site_ops_port" >"$workdir/ccpd.log" 2>&1 &
-ccpd_pid=$!
+    -listen "127.0.0.1:$site0_port" \
+    -ops-addr "127.0.0.1:$site0_ops_port" >"$workdir/ccpd0.log" 2>&1 &
+site_pids="$!"
+"$workdir/ccpd" -partition "$workdir/p1.ccpp" \
+    -listen "127.0.0.1:$site1_port" \
+    -ops-addr "127.0.0.1:$site1_ops_port" >"$workdir/ccpd1.log" 2>&1 &
+site_pids="$site_pids $!"
 
-# Wait for both listeners.
-for i in $(seq 1 50); do
-    if curl -sf "http://127.0.0.1:$site_ops_port/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    [ "$i" = 50 ] && { echo "ccpd ops endpoint never came up" >&2; cat "$workdir/ccpd.log" >&2; exit 1; }
-    sleep 0.2
+# Wait for both ops listeners.
+for port in $site0_ops_port $site1_ops_port; do
+    for i in $(seq 1 50); do
+        if curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            break
+        fi
+        [ "$i" = 50 ] && { echo "ccpd ops endpoint :$port never came up" >&2; cat "$workdir"/ccpd*.log >&2; exit 1; }
+        sleep 0.2
+    done
 done
 
-echo "== run queries through ccpcoord (ops + slow-query log on) =="
-"$workdir/ccpcoord" -sites "127.0.0.1:$site_port" \
+echo "== run queries through ccpcoord (ops + slow-query log + flight dump on) =="
+"$workdir/ccpcoord" -sites "127.0.0.1:$site0_port,127.0.0.1:$site1_port" \
     -ops-addr "127.0.0.1:$coord_ops_port" -slow-query 1ns \
+    -flight-out "$workdir/coord_flight.json" \
     0:100 5:250 17:3 >"$workdir/ccpcoord.log" 2>&1 &
 coord_pid=$!
 
@@ -87,14 +98,16 @@ require_series() {
 }
 
 echo "== scrape + validate ccpd /metrics and /healthz =="
-curl -sf "http://127.0.0.1:$site_ops_port/metrics" >"$workdir/site_metrics.txt"
-check_prometheus "$workdir/site_metrics.txt"
-require_series "$workdir/site_metrics.txt" ccp_server_requests_total
-require_series "$workdir/site_metrics.txt" ccp_site_evaluate_seconds_count
-health=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$site_ops_port/healthz")
-[ "$health" = 200 ] || { echo "ccpd /healthz = $health, want 200" >&2; exit 1; }
-curl -sf "http://127.0.0.1:$site_ops_port/varz" | grep -q '"metrics"' \
-    || { echo "ccpd /varz payload looks wrong" >&2; exit 1; }
+for port in $site0_ops_port $site1_ops_port; do
+    curl -sf "http://127.0.0.1:$port/metrics" >"$workdir/site_metrics.txt"
+    check_prometheus "$workdir/site_metrics.txt"
+    require_series "$workdir/site_metrics.txt" ccp_server_requests_total
+    require_series "$workdir/site_metrics.txt" ccp_site_evaluate_seconds_count
+    health=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$port/healthz")
+    [ "$health" = 200 ] || { echo "ccpd :$port /healthz = $health, want 200" >&2; exit 1; }
+    curl -sf "http://127.0.0.1:$port/varz" | grep -q '"metrics"' \
+        || { echo "ccpd :$port /varz payload looks wrong" >&2; exit 1; }
+done
 
 echo "== validate coordinator /metrics (scraped mid-run) =="
 if [ -n "$coord_metrics" ]; then
@@ -107,11 +120,44 @@ else
     echo "  (coordinator exited before a scrape landed; skipped)"
 fi
 
-echo "== graceful shutdown drains the ops server =="
-kill -TERM "$ccpd_pid"
-wait "$ccpd_pid" || { echo "ccpd did not exit cleanly" >&2; cat "$workdir/ccpd.log" >&2; exit 1; }
-ccpd_pid=""
-grep -q "shut down cleanly" "$workdir/ccpd.log" \
-    || { echo "ccpd did not report a clean drain" >&2; cat "$workdir/ccpd.log" >&2; exit 1; }
+echo "== /varz round-trips through its real consumer (ccpctl top) =="
+"$workdir/ccpctl" top \
+    -ops "127.0.0.1:$site0_ops_port,127.0.0.1:$site1_ops_port" -n 1 \
+    >"$workdir/top.txt" 2>&1 \
+    || { echo "ccpctl top failed" >&2; cat "$workdir/top.txt" >&2; exit 1; }
+grep -qE 'served +[0-9]+ reqs' "$workdir/top.txt" \
+    || { echo "ccpctl top did not render site stats:" >&2; cat "$workdir/top.txt" >&2; exit 1; }
+if grep -q "unreachable" "$workdir/top.txt"; then
+    echo "ccpctl top could not decode a /varz payload:" >&2
+    cat "$workdir/top.txt" >&2
+    exit 1
+fi
+
+echo "== /debug/flight decodes and merges into one cross-process timeline =="
+[ -s "$workdir/coord_flight.json" ] \
+    || { echo "ccpcoord -flight-out wrote nothing" >&2; exit 1; }
+"$workdir/ccpctl" flight \
+    -ops "127.0.0.1:$site0_ops_port,127.0.0.1:$site1_ops_port" \
+    -in "$workdir/coord_flight.json" >"$workdir/timeline.txt" 2>&1 \
+    || { echo "ccpctl flight failed" >&2; cat "$workdir/timeline.txt" >&2; exit 1; }
+grep -q "^flight: " "$workdir/timeline.txt" \
+    || { echo "ccpctl flight produced no timeline header:" >&2; cat "$workdir/timeline.txt" >&2; exit 1; }
+for proc in coord site-0 site-1; do
+    grep -q " $proc " "$workdir/timeline.txt" \
+        || { echo "merged timeline is missing $proc events:" >&2; cat "$workdir/timeline.txt" >&2; exit 1; }
+done
+grep -q "query.start" "$workdir/timeline.txt" \
+    || { echo "merged timeline has no query.start event:" >&2; cat "$workdir/timeline.txt" >&2; exit 1; }
+
+echo "== graceful shutdown drains the ops servers =="
+for pid in $site_pids; do
+    kill -TERM "$pid"
+    wait "$pid" || { echo "ccpd ($pid) did not exit cleanly" >&2; cat "$workdir"/ccpd*.log >&2; exit 1; }
+done
+site_pids=""
+for log in "$workdir"/ccpd0.log "$workdir"/ccpd1.log; do
+    grep -q "shut down cleanly" "$log" \
+        || { echo "$log did not report a clean drain" >&2; cat "$log" >&2; exit 1; }
+done
 
 echo "ok: ops endpoints smoke test passed"
