@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ccp/internal/experiments"
 )
@@ -49,6 +51,10 @@ func main() {
 		"append the comparison (meta, series, deltas, verdict) as one JSON line to this file, e.g. BENCH_history.jsonl")
 	handicap := flag.Float64("handicap", 1,
 		"self-test knob: divide the current throughput (and multiply latencies) by this factor before comparing, so the gate's failure path can be exercised on an unchanged tree")
+	mutexProfile := flag.String("mutexprofile", "",
+		"write a mutex contention profile of the run to this file (pprof format)")
+	blockProfile := flag.String("blockprofile", "",
+		"write a blocking profile of the run to this file (pprof format)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: ccpbench [flags] <experiment>...\nexperiments: %v\nflags:\n", names())
@@ -67,6 +73,15 @@ func main() {
 		Concurrency: *concurrency,
 		FullRescan:  *fullRescan,
 	}
+	// Contention profiling must be armed before any experiment runs; the
+	// profiles are cumulative over the whole process, which is exactly what
+	// a sweep wants (every concurrency level contributes its contention).
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(100_000) // sample blocking events >= 100µs
+	}
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {
 		args = names()
@@ -80,6 +95,12 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	for profile, path := range map[string]string{"mutex": *mutexProfile, "block": *blockProfile} {
+		if err := writeProfile(profile, path); err != nil {
+			fmt.Fprintf(os.Stderr, "ccpbench: %s profile: %v\n", profile, err)
 			os.Exit(1)
 		}
 	}
@@ -100,6 +121,27 @@ func main() {
 		}
 		fmt.Printf("ccpbench: regression gate passed (threshold %.0f%%)\n", *gateThreshold*100)
 	}
+}
+
+// writeProfile dumps the named runtime profile to path in pprof format.
+// An empty path means the profile was not requested.
+func writeProfile(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("runtime has no %q profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := p.WriteTo(f, 0)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // runGate compares the current bench file against the baseline, prints the
@@ -154,10 +196,14 @@ type throughputRow struct {
 	QueriesPerMinute float64 `json:"queries_per_minute"`
 	// P50/P95/P99 per-query latency, read back from the coordinator's
 	// ccp_query_seconds histogram.
-	P50MS           float64 `json:"p50_ms"`
-	P95MS           float64 `json:"p95_ms"`
-	P99MS           float64 `json:"p99_ms"`
-	CacheHitRate    float64 `json:"cache_hit_rate"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// MergedQueries counts the queries that reached the coordinator's
+	// merge path — the denominator of SnapshotHitRate. A sweep whose rows
+	// report 0 here is measuring site evaluation, not coordination.
+	MergedQueries   int     `json:"merged_queries"`
 	SnapshotHitRate float64 `json:"snapshot_hit_rate"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
@@ -174,8 +220,11 @@ type throughputDoc struct {
 	// BaselineQPM records a reference serial measurement taken before the
 	// change under test (passed via -throughput-baseline), so the file
 	// carries before and after together.
-	BaselineQPM float64         `json:"baseline_queries_per_minute,omitempty"`
-	Rows        []throughputRow `json:"rows"`
+	BaselineQPM float64 `json:"baseline_queries_per_minute,omitempty"`
+	// Note flags measurement caveats (set automatically on a single-core
+	// runner, where batch concurrency cannot buy wall-clock speedup).
+	Note string          `json:"note,omitempty"`
+	Rows []throughputRow `json:"rows"`
 }
 
 // runThroughputSweep measures throughput at concurrency 1, 2, 4, ... up to
@@ -189,6 +238,12 @@ func runThroughputSweep(cfg experiments.Config, outPath string, baselineQPM floa
 		Seed:        cfg.Seed,
 		Meta:        experiments.CollectMeta(cfg.Seed, cfg.Scale),
 		BaselineQPM: baselineQPM,
+	}
+	if runtime.NumCPU() == 1 {
+		doc.Note = "single-core runner: all concurrency levels timeshare one core, so " +
+			"speedup_vs_serial ~= 1 by construction and per-query latency at concurrency > 1 " +
+			"includes scheduler and GC queueing; see EXPERIMENTS.md (scaling sweep) for the " +
+			"contention-profile evidence behind the multi-core expectation"
 	}
 	var serialQPM float64
 	for _, conc := range sweepLevels(cfg.Concurrency) {
@@ -210,6 +265,7 @@ func runThroughputSweep(cfg experiments.Config, outPath string, baselineQPM floa
 			P95MS:            float64(r.P95.Microseconds()) / 1000,
 			P99MS:            float64(r.P99.Microseconds()) / 1000,
 			CacheHitRate:     r.CacheHitRate,
+			MergedQueries:    r.MergedQueries,
 			SnapshotHitRate:  r.SnapshotHitRate,
 		}
 		if serialQPM > 0 {

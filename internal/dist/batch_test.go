@@ -386,8 +386,18 @@ func TestSnapshotReuseAndInvalidation(t *testing.T) {
 		if got != want {
 			t.Fatalf("round %d: got %v, want %v", i, got, want)
 		}
-		if m.SnapshotHits != 1 {
-			t.Fatalf("round %d: snapshot hits = %d, want 1", i, m.SnapshotHits)
+		// The first merge over a fresh epoch vector builds the skeleton;
+		// every later one hits it. Both are merge-path queries.
+		wantHits, wantBuilds := 1, 0
+		if i == 0 {
+			wantHits, wantBuilds = 0, 1
+		}
+		if m.SnapshotHits != wantHits || m.SnapshotBuilds != wantBuilds {
+			t.Fatalf("round %d: snapshot hits=%d builds=%d, want hits=%d builds=%d",
+				i, m.SnapshotHits, m.SnapshotBuilds, wantHits, wantBuilds)
+		}
+		if m.MergedQueries != 1 {
+			t.Fatalf("round %d: merged queries = %d, want 1", i, m.MergedQueries)
 		}
 		if i > 0 && m.CoordCacheHits == 0 {
 			t.Fatalf("round %d: revalidation shipped payloads again: %+v", i, m)
@@ -418,7 +428,11 @@ func TestSnapshotReuseAndInvalidation(t *testing.T) {
 	if m.CoordCacheHits > 1 {
 		t.Fatalf("after update: served %d stale coordinator copies", m.CoordCacheHits)
 	}
-	// The next round snapshots the new epoch vector again.
+	// The update invalidated the old skeleton, so this merge rebuilt one...
+	if m.SnapshotHits != 0 || m.SnapshotBuilds != 1 {
+		t.Fatalf("after update: snapshot hits=%d builds=%d, want a rebuild", m.SnapshotHits, m.SnapshotBuilds)
+	}
+	// ...and the next round hits the new epoch vector's skeleton.
 	if _, m, err = coord.Answer(context.Background(), q); err != nil || m.SnapshotHits != 1 {
 		t.Fatalf("after update round 2: m=%+v err=%v", m, err)
 	}

@@ -283,6 +283,12 @@ type RemoteClient struct {
 	met clientMetrics
 	fr  *flight.Recorder
 	log *slog.Logger
+
+	// graphs recycles the decode targets of live partial answers: each
+	// evaluate decodes its reduced graph into a pooled arena instead of a
+	// fresh allocation, and the coordinator returns it with
+	// PartialAnswer.Release once merged.
+	graphs sync.Pool
 }
 
 // Dial connects to a worker site with default lifecycle configuration and
@@ -599,7 +605,7 @@ func (c *RemoteClient) Evaluate(ctx context.Context, q control.Query, opts EvalO
 	if err != nil {
 		return nil, 0, err
 	}
-	pa, err := decodePartial(resp)
+	pa, err := decodePartial(resp, &c.graphs)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -111,8 +111,16 @@ type Metrics struct {
 	CoordCacheHits int
 	// SnapshotHits counts queries served from a reusable merged-graph
 	// snapshot (the cached partials were merged once and the skeleton
-	// cloned instead of re-merged).
+	// cloned instead of re-merged). A query that builds the snapshot is a
+	// SnapshotBuild, not a hit.
 	SnapshotHits int
+	// SnapshotBuilds counts queries that merged their cached partials into
+	// a new skeleton and published it for later queries to hit.
+	SnapshotBuilds int
+	// MergedQueries counts queries that reached the coordinator merge path
+	// at all (no site decided them early) — the denominator of the
+	// snapshot hit rate.
+	MergedQueries int
 	// SitesQueried counts sites contacted.
 	SitesQueried int
 	// Stats accumulates the reduction work across sites and coordinator.
@@ -140,6 +148,8 @@ func (m *Metrics) AddQuery(q *Metrics) {
 	m.CacheHits += q.CacheHits
 	m.CoordCacheHits += q.CoordCacheHits
 	m.SnapshotHits += q.SnapshotHits
+	m.SnapshotBuilds += q.SnapshotBuilds
+	m.MergedQueries += q.MergedQueries
 	m.SitesQueried += q.SitesQueried
 	m.Stats.Add(q.Stats)
 	if q.Health != nil {
@@ -161,11 +171,22 @@ type Coordinator struct {
 	fr      *flight.Recorder
 	log     *slog.Logger
 
-	mu     sync.Mutex
-	pcache map[int]*coordCached
+	// slots maps each site id to its index in pcache. The map is fixed at
+	// construction and only read afterwards, so the per-site cache needs no
+	// lock at all: each slot is one atomic pointer, swapped whole.
+	slots  map[int]int
+	pcache []atomic.Pointer[coordCached]
 
-	snapMu sync.Mutex
-	snaps  map[string]*mergedSnapshot
+	// snaps is the merged-skeleton cache, striped so concurrent batch
+	// workers looking up different epoch vectors never serialize on one
+	// lock.
+	snaps [numSnapShards]snapShard
+
+	// mergeGraphs recycles merge scratch across queries (the snapshot
+	// skeleton is cloned into a pooled graph instead of a fresh one);
+	// mergeSets recycles the two-element {s,t} exclusion sets.
+	mergeGraphs sync.Pool
+	mergeSets   sync.Pool
 }
 
 // Metric names shared with harnesses that read their own Observer's
@@ -184,6 +205,8 @@ type coordMetrics struct {
 	phaseSites, phaseMerge, phaseReduce *obs.Histogram
 	cacheHits, cacheMisses              *obs.Counter
 	coordCacheHits, snapshotHits        *obs.Counter
+	snapshotBuilds, snapshotEvictions   *obs.Counter
+	shardWaits, mergedQueries           *obs.Counter
 	payloadBytes                        *obs.Counter
 	batchInflight                       *obs.Gauge
 	reduceObs                           *obs.ReducerObs
@@ -211,6 +234,14 @@ func newCoordMetrics(o *obs.Observer) coordMetrics {
 			"Partial answers served from the coordinator's own copy after an epoch revalidation (no payload shipped)."),
 		snapshotHits: reg.Counter("ccp_coord_snapshot_hits_total",
 			"Queries whose cached partials merged via a reusable merged-graph snapshot."),
+		snapshotBuilds: reg.Counter("ccp_coord_snapshot_builds_total",
+			"Merged-graph snapshots built and published for reuse."),
+		snapshotEvictions: reg.Counter("ccp_coord_snapshot_evictions_total",
+			"Merged-graph snapshots evicted when a cache shard filled up."),
+		shardWaits: reg.Counter("ccp_coord_shard_waits_total",
+			"Snapshot-cache shard lock acquisitions that found the shard already locked."),
+		mergedQueries: reg.Counter("ccp_coord_merged_queries_total",
+			"Queries that reached the coordinator merge path (no site decided them early)."),
 		payloadBytes:  reg.Counter("ccp_coord_payload_bytes_total", "Payload bytes returned by sites."),
 		batchInflight: reg.Gauge("ccp_batch_inflight_queries", "Batch queries currently in flight."),
 		reduceObs:     obs.NewReducerObs(reg, "coord"),
@@ -227,47 +258,147 @@ type coordCached struct {
 // mergedSnapshot is a reusable merge of cached partial answers: the
 // skeleton is merged once per epoch vector and cloned per query, so a batch
 // over an unchanged cluster never re-runs graph.Merge over the same cached
-// partials. The skeleton itself is never mutated.
+// partials. The skeleton itself is never mutated; invalidation replaces the
+// entry, it never touches a published skeleton.
 type mergedSnapshot struct {
 	skeleton     *graph.Graph
-	nodes, edges int // Σ NumNodes/NumEdges of the merged partials
+	nodes, edges int   // Σ NumNodes/NumEdges of the merged partials
+	sites        []int // sites whose partials the skeleton merges (sorted)
 }
 
-// maxSnapshots bounds the snapshot cache. Entries are keyed by (site,
-// epoch) vectors, so epochs moving under live updates would otherwise leave
-// stale skeletons behind; past the bound the whole map is dropped (the next
-// query per key rebuilds in one merge).
-const maxSnapshots = 32
+// The snapshot cache is striped into numSnapShards independently locked
+// shards, each bounded to maxSnapshotsPerShard entries. Entries are keyed by
+// (site, epoch) vectors, so epochs moving under live updates would otherwise
+// leave stale skeletons behind; past the bound the shard is dropped (the
+// next query per key rebuilds in one merge).
+const (
+	numSnapShards        = 8
+	maxSnapshotsPerShard = 8
+)
+
+// snapShard is one stripe of the snapshot cache. The padding keeps two
+// shards' locks off one cache line, so uncontended shards stay uncontended.
+type snapShard struct {
+	mu      sync.Mutex
+	entries map[string]*mergedSnapshot
+	_       [40]byte
+}
+
+// snapShardOf picks the shard for a snapshot key (FNV-1a over the key).
+func snapShardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % numSnapShards)
+}
+
+// lockShard takes a shard lock, recording the cases where the lock was
+// already held — the contention the striping is meant to make rare.
+func (c *Coordinator) lockShard(sh *snapShard, shard int, fid uint64) {
+	if sh.mu.TryLock() {
+		return
+	}
+	c.met.shardWaits.Inc()
+	c.fr.Record(flight.ShardWait, -1, fid, int64(shard), 0)
+	sh.mu.Lock()
+}
 
 // NewCoordinator builds a coordinator over the given site clients.
 func NewCoordinator(clients []SiteClient, opts Options) *Coordinator {
-	return &Coordinator{
+	c := &Coordinator{
 		clients: clients,
 		opts:    opts,
 		met:     newCoordMetrics(opts.Observer),
 		fr:      opts.Observer.Flight(),
 		log:     obs.LoggerOr(opts.Logger),
-		pcache:  make(map[int]*coordCached),
-		snaps:   make(map[string]*mergedSnapshot),
+		slots:   make(map[int]int, len(clients)),
 	}
+	for _, cl := range clients {
+		if _, ok := c.slots[cl.SiteID()]; !ok {
+			c.slots[cl.SiteID()] = len(c.slots)
+		}
+	}
+	c.pcache = make([]atomic.Pointer[coordCached], len(c.slots))
+	for i := range c.snaps {
+		c.snaps[i].entries = make(map[string]*mergedSnapshot, maxSnapshotsPerShard)
+	}
+	return c
 }
 
 // cachedEpoch returns the coordinator's stored epoch for a site, if any.
 func (c *Coordinator) cachedEpoch(siteID int) (uint64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.pcache[siteID]
+	slot, ok := c.slots[siteID]
 	if !ok {
+		return 0, false
+	}
+	e := c.pcache[slot].Load()
+	if e == nil {
 		return 0, false
 	}
 	return e.epoch, true
 }
 
-// dropSnapshots empties the merged-skeleton cache (data changed somewhere).
+// cachedCopy returns the coordinator's stored partial answer for a site.
+func (c *Coordinator) cachedCopy(siteID int) *coordCached {
+	slot, ok := c.slots[siteID]
+	if !ok {
+		return nil
+	}
+	return c.pcache[slot].Load()
+}
+
+// storeCopy publishes the coordinator's copy of a site's partial answer.
+func (c *Coordinator) storeCopy(siteID int, cc *coordCached) {
+	if slot, ok := c.slots[siteID]; ok {
+		c.pcache[slot].Store(cc)
+	}
+}
+
+// dropSnapshots empties the merged-skeleton cache entirely.
 func (c *Coordinator) dropSnapshots() {
-	c.snapMu.Lock()
-	clear(c.snaps)
-	c.snapMu.Unlock()
+	for i := range c.snaps {
+		sh := &c.snaps[i]
+		sh.mu.Lock()
+		clear(sh.entries)
+		sh.mu.Unlock()
+	}
+}
+
+// dropSnapshotsFor removes only the merged skeletons involving one of the
+// touched sites: an update moves those sites' epochs, so their old vectors
+// can never match again, while skeletons over untouched sites stay hot.
+func (c *Coordinator) dropSnapshotsFor(touched []int) {
+	if len(touched) == 0 {
+		return
+	}
+	dropped := 0
+	for i := range c.snaps {
+		sh := &c.snaps[i]
+		sh.mu.Lock()
+		for k, snap := range sh.entries {
+			if snapIncludes(snap.sites, touched) {
+				delete(sh.entries, k)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.fr.Record(flight.SnapDrop, int32(touched[0]), 0, int64(dropped), int64(len(touched)))
+	}
+}
+
+// snapIncludes reports whether any touched site contributed to a snapshot.
+func snapIncludes(sites, touched []int) bool {
+	for _, s := range sites {
+		for _, t := range touched {
+			if s == t {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Health snapshots the transport health of every site client. Clients that
@@ -313,7 +444,7 @@ func (c *Coordinator) siteCtx(ctx context.Context) (context.Context, context.Can
 // *DeadlineError or *CancelledError) cancels the evaluations still in
 // flight at the other sites and fails the query.
 func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metrics, error) {
-	ans, m, _, err := c.answer(ctx, q, false)
+	ans, m, _, err := c.answer(ctx, q, false, true)
 	return ans, m, err
 }
 
@@ -323,14 +454,16 @@ func (c *Coordinator) Answer(ctx context.Context, q control.Query) (bool, *Metri
 // returned trace is owned by the caller. It is non-nil even when the query
 // failed (the trace shows how far the query got).
 func (c *Coordinator) AnswerTraced(ctx context.Context, q control.Query) (bool, *Metrics, *obs.Trace, error) {
-	return c.answer(ctx, q, true)
+	return c.answer(ctx, q, true, true)
 }
 
 // answer wraps one query evaluation with the coordinator's observability:
 // a flight id (every query flies, traced or not), trace allocation (when
 // explicitly requested or needed by the slow-query log), top-level counters
-// and latency histograms, flight events, and slow-log capture.
-func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace bool) (bool, *Metrics, *obs.Trace, error) {
+// and latency histograms, flight events, and slow-log capture. withHealth
+// attaches a per-site transport-health snapshot to the metrics; batch
+// workers pass false and the batch snapshots health once at the end.
+func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace, withHealth bool) (bool, *Metrics, *obs.Trace, error) {
 	start := time.Now()
 	// The flight id correlates this query's events across coordinator and
 	// sites; when the query is traced the trace id doubles as the flight id,
@@ -344,7 +477,7 @@ func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace boo
 		tr.Start = start
 	}
 	c.fr.Record(flight.QueryStart, -1, fid, int64(q.S), int64(q.T))
-	ans, m, err := c.eval(ctx, q, start, fid, tr)
+	ans, m, err := c.eval(ctx, q, start, fid, tr, withHealth)
 	dur := time.Since(start)
 	c.met.queries.Inc()
 	c.met.querySeconds.Observe(dur.Seconds())
@@ -360,6 +493,8 @@ func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace boo
 	c.met.cacheMisses.Add(int64(m.SitesQueried - m.CacheHits))
 	c.met.coordCacheHits.Add(int64(m.CoordCacheHits))
 	c.met.snapshotHits.Add(int64(m.SnapshotHits))
+	c.met.snapshotBuilds.Add(int64(m.SnapshotBuilds))
+	c.met.mergedQueries.Add(int64(m.MergedQueries))
 	c.met.payloadBytes.Add(m.Bytes)
 	if tr == nil {
 		return ans, m, nil, err
@@ -386,9 +521,11 @@ func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace boo
 // flight events correlate with the coordinator's. When tr is non-nil it
 // accumulates spans for every step; site span buffers are released here
 // after stitching.
-func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Time, fid uint64, tr *obs.Trace) (bool, *Metrics, error) {
+func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Time, fid uint64, tr *obs.Trace, withHealth bool) (bool, *Metrics, error) {
 	m := &Metrics{DecidedBy: -1}
-	defer func() { m.Health = c.Health() }()
+	if withHealth {
+		defer func() { m.Health = c.Health() }()
+	}
 	if len(c.clients) == 0 {
 		return false, m, fmt.Errorf("dist: no sites")
 	}
@@ -456,6 +593,7 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 			cancelQuery()
 			c.log.Debug("site evaluation failed", "site", r.siteID, "err", r.err,
 				obs.TraceIDAttr(fid))
+			releasePartials(partials)
 			return false, m, fmt.Errorf("dist: site evaluation: %w", r.err)
 		}
 		m.SitesQueried++
@@ -491,10 +629,9 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 		}
 		if r.pa.NotModified {
 			// Serve from the coordinator's own copy.
-			c.mu.Lock()
-			cached := c.pcache[r.pa.SiteID]
-			c.mu.Unlock()
+			cached := c.cachedCopy(r.pa.SiteID)
 			if cached == nil {
+				releasePartials(partials)
 				return false, m, fmt.Errorf("dist: site %d replied not-modified without a coordinator copy", r.pa.SiteID)
 			}
 			m.CoordCacheHits++
@@ -508,17 +645,16 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 			continue
 		}
 		if r.pa.FromCache && r.pa.Reduced != nil {
-			c.mu.Lock()
-			c.pcache[r.pa.SiteID] = &coordCached{
+			c.storeCopy(r.pa.SiteID, &coordCached{
 				epoch:   r.pa.Epoch,
 				reduced: r.pa.Reduced,
 				stats:   r.pa.Stats,
-			}
-			c.mu.Unlock()
+			})
 		}
 		m.Stats.Add(r.pa.Stats)
 		if r.pa.Ans != control.Unknown {
 			if decided != control.Unknown && decided != r.pa.Ans {
+				releasePartials(partials)
 				return false, m, fmt.Errorf("dist: sites %d and %d decided the query inconsistently",
 					decidedBy, r.pa.SiteID)
 			}
@@ -531,13 +667,16 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 	c.met.phaseSites.Observe(time.Since(qstart).Seconds())
 	if decided != control.Unknown {
 		m.DecidedBy = decidedBy
+		releasePartials(partials)
 		return decided.Bool(), m, nil
 	}
 
 	// Assemble: MGraph := ∪ R_i, then reduce once more with X = {s, t}.
 	// Cached partials at an unchanged epoch vector are merged once into a
 	// reusable skeleton; the query merges only its live partials on top of
-	// a clone.
+	// a pooled copy of the skeleton. Live partials decode into pooled
+	// graphs and return to their pools once merged.
+	m.MergedQueries++
 	start := time.Now()
 	cached := make([]*PartialAnswer, 0, len(partials))
 	rest := make([]*PartialAnswer, 0, len(partials))
@@ -551,15 +690,27 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 			rest = append(rest, pa)
 		}
 	}
+	scratch, _ := c.mergeGraphs.Get().(*graph.Graph)
 	var mg *graph.Graph
 	if len(cached) >= 2 {
-		snap := c.snapshotFor(cached)
-		mg = snap.skeleton.Clone()
+		snap, hit := c.snapshotFor(cached, fid)
+		mg = snap.skeleton.CloneInto(scratch)
 		m.PartialNodes += snap.nodes
 		m.PartialEdges += snap.edges
-		m.SnapshotHits++
+		if hit {
+			m.SnapshotHits++
+			c.fr.Record(flight.SnapHit, -1, fid, int64(snap.nodes), int64(snap.edges))
+		} else {
+			m.SnapshotBuilds++
+		}
 	} else {
-		mg = graph.New(0)
+		if scratch == nil {
+			mg = graph.New(0)
+		} else {
+			scratch.Reset()
+			mg = scratch
+		}
+		c.fr.Record(flight.SnapMiss, -1, fid, int64(len(cached)), 0)
 		rest = append(cached, rest...)
 	}
 	for _, pa := range rest {
@@ -567,16 +718,27 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 		m.PartialEdges += pa.Reduced.NumEdges()
 		mg.Merge(pa.Reduced)
 	}
+	releasePartials(partials)
 	m.MGraphNodes = mg.NumNodes()
 	m.MGraphEdges = mg.NumEdges()
 	reduceStart := time.Now()
-	res, err := control.ParallelReduction(ctx, mg, q, graph.NewNodeSet(q.S, q.T), control.Options{
-		Workers:    c.opts.Workers,
+	x, _ := c.mergeSets.Get().(graph.NodeSet)
+	if x == nil {
+		x = graph.NewNodeSet()
+	} else {
+		clear(x)
+	}
+	x.Add(q.S)
+	x.Add(q.T)
+	res, err := control.ParallelReduction(ctx, mg, q, x, control.Options{
+		Workers:    c.reduceWorkers(),
 		Trust:      control.FullTrust,
 		FullRescan: c.opts.FullRescan,
 		Obs:        c.met.reduceObs,
 		Logger:     c.opts.Logger,
 	})
+	c.mergeSets.Put(x)
+	c.mergeGraphs.Put(mg)
 	m.CoordElapsed = time.Since(start)
 	c.fr.Record(flight.ReduceRound, -1, fid,
 		int64(res.Stats.Iterations), int64(res.Stats.Removed+res.Stats.Contracted))
@@ -600,9 +762,11 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 }
 
 // snapshotFor returns the merged skeleton for the given cached partials,
-// building and memoizing it keyed by their (site, epoch) vector. Concurrent
-// queries may race to build the same skeleton; the loser's work is dropped.
-func (c *Coordinator) snapshotFor(cached []*PartialAnswer) *mergedSnapshot {
+// building and memoizing it keyed by their (site, epoch) vector, and
+// reports whether the skeleton was already cached (a hit) or had to be
+// built. Concurrent queries may race to build the same skeleton; the first
+// published copy wins so later queries clone one shared skeleton.
+func (c *Coordinator) snapshotFor(cached []*PartialAnswer, fid uint64) (*mergedSnapshot, bool) {
 	sort.Slice(cached, func(i, j int) bool { return cached[i].SiteID < cached[j].SiteID })
 	key := make([]byte, 0, 16*len(cached))
 	for _, pa := range cached {
@@ -612,27 +776,61 @@ func (c *Coordinator) snapshotFor(cached []*PartialAnswer) *mergedSnapshot {
 		key = append(key, ';')
 	}
 	k := string(key)
-	c.snapMu.Lock()
-	snap := c.snaps[k]
-	c.snapMu.Unlock()
+	shard := snapShardOf(k)
+	sh := &c.snaps[shard]
+	c.lockShard(sh, shard, fid)
+	snap := sh.entries[k]
+	sh.mu.Unlock()
 	if snap != nil {
-		return snap
+		return snap, true
 	}
+	buildStart := time.Now()
 	sk := graph.New(0)
 	nodes, edges := 0, 0
-	for _, pa := range cached {
+	sites := make([]int, len(cached))
+	for i, pa := range cached {
+		sites[i] = pa.SiteID
 		nodes += pa.Reduced.NumNodes()
 		edges += pa.Reduced.NumEdges()
 		sk.Merge(pa.Reduced)
 	}
-	snap = &mergedSnapshot{skeleton: sk, nodes: nodes, edges: edges}
-	c.snapMu.Lock()
-	if len(c.snaps) >= maxSnapshots {
-		clear(c.snaps)
+	snap = &mergedSnapshot{skeleton: sk, nodes: nodes, edges: edges, sites: sites}
+	c.fr.Record(flight.SnapBuild, -1, fid, time.Since(buildStart).Nanoseconds(), int64(edges))
+	c.lockShard(sh, shard, fid)
+	if have := sh.entries[k]; have != nil {
+		// Another query built and published the same skeleton first; adopt
+		// it (this build still counts as one: the merge work happened).
+		sh.mu.Unlock()
+		return have, false
 	}
-	c.snaps[k] = snap
-	c.snapMu.Unlock()
-	return snap
+	if len(sh.entries) >= maxSnapshotsPerShard {
+		droppedN := len(sh.entries)
+		clear(sh.entries)
+		c.met.snapshotEvictions.Add(int64(droppedN))
+		c.fr.Record(flight.SnapEvict, -1, fid, int64(droppedN), int64(shard))
+	}
+	sh.entries[k] = snap
+	sh.mu.Unlock()
+	return snap, false
+}
+
+// releasePartials returns every pooled partial-answer graph in pas to its
+// pool; partials without a pool (cache-served ones) are untouched no-ops.
+func releasePartials(pas []*PartialAnswer) {
+	for _, pa := range pas {
+		pa.Release()
+	}
+}
+
+// reduceWorkers picks the coordinator-side reduction parallelism: when the
+// batch itself runs queries concurrently, each in-flight query reduces
+// single-threaded — the queries are the parallelism, and nested fan-out
+// only adds scheduling churn on the same cores.
+func (c *Coordinator) reduceWorkers() int {
+	if c.opts.Concurrency > 1 {
+		return 1
+	}
+	return c.opts.Workers
 }
 
 // AnswerBatch evaluates a batch of queries — the paper's production setting
@@ -656,13 +854,14 @@ func (c *Coordinator) AnswerBatch(ctx context.Context, qs []control.Query) ([]bo
 		c.met.batchInflight.Add(1)
 		defer c.met.batchInflight.Add(-1)
 		for i, q := range qs {
-			ans, m, err := c.Answer(ctx, q)
+			ans, m, _, err := c.answer(ctx, q, false, false)
 			if err != nil {
 				return nil, total, &QueryError{Index: i, Query: q, Err: err}
 			}
 			out[i] = ans
 			total.AddQuery(m)
 		}
+		total.Health = c.Health()
 		return out, total, nil
 	}
 
@@ -680,7 +879,7 @@ func (c *Coordinator) AnswerBatch(ctx context.Context, qs []control.Query) ([]bo
 					return
 				}
 				c.met.batchInflight.Add(1)
-				out[i], ms[i], errs[i] = c.Answer(ctx, qs[i])
+				out[i], ms[i], _, errs[i] = c.answer(ctx, qs[i], false, false)
 				c.met.batchInflight.Add(-1)
 			}
 		}()
@@ -696,5 +895,6 @@ func (c *Coordinator) AnswerBatch(ctx context.Context, qs []control.Query) ([]bo
 		}
 		total.AddQuery(ms[i])
 	}
+	total.Health = c.Health()
 	return out, total, nil
 }

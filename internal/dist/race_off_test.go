@@ -1,0 +1,8 @@
+//go:build !race
+
+package dist
+
+// raceEnabled reports whether the race detector is on. Alloc-count pins are
+// skipped under -race: the instrumented sync.Pool intentionally drops a
+// fraction of Puts, so steady-state pooling can't be asserted there.
+const raceEnabled = false

@@ -315,6 +315,9 @@ func (s *Server) serve(ctx context.Context, req *request) *response {
 			return errResponse(siteID, err)
 		}
 		resp, err := encodePartial(pa)
+		// The reduced graph is serialized (or unusable); either way its
+		// pooled scratch is free for the site's next evaluation.
+		pa.Release()
 		if err != nil {
 			return errResponse(siteID, err)
 		}

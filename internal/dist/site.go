@@ -15,6 +15,7 @@ import (
 	"log/slog"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccp/internal/control"
@@ -52,10 +53,35 @@ type PartialAnswer struct {
 	// this evaluation. The slice is pooled: whoever serializes or stitches
 	// it releases it with obs.PutSpans.
 	Spans []obs.Span
+
+	// pool, when non-nil, owns Reduced: the graph is pooled scratch, valid
+	// until Release. Cached partials (FromCache) are never pooled — their
+	// graph is shared site state.
+	pool *sync.Pool
+}
+
+// Release returns a pooled Reduced graph for reuse and clears the reference.
+// Callers that consumed the partial (merged it, encoded it) should release
+// it; forgetting to is safe — the graph is simply garbage collected. Release
+// on a nil, unpooled, or already-released answer is a no-op.
+func (pa *PartialAnswer) Release() {
+	if pa == nil || pa.pool == nil || pa.Reduced == nil {
+		return
+	}
+	pa.pool.Put(pa.Reduced)
+	pa.Reduced = nil
+	pa.pool = nil
 }
 
 // Site evaluates queries over one partition — the per-site half of
 // Algorithm 2. A Site is safe for concurrent use.
+//
+// Concurrency model: s.mu guards the mutable partition state (Local, the
+// boundary sets, the query-independent cache). The evaluation hot path never
+// reduces under s.mu — it works off an immutable epoch-versioned snapshot
+// (s.snap) that is rebuilt at most once per data epoch, so concurrent
+// evaluations share one read-only copy instead of serializing on a
+// per-query clone under the lock.
 type Site struct {
 	mu      sync.Mutex
 	part    *partition.Partition
@@ -63,19 +89,88 @@ type Site struct {
 
 	cache      *graph.Graph // query-independent reduction of the partition
 	cacheStats control.Stats
-	epoch      uint64 // bumped by Invalidate
 	cacheEpoch uint64 // epoch the cache was computed at
 
-	// reducers pools control.Reducer scratch state across this site's
-	// evaluations, keeping the steady-state per-query allocation near zero
-	// even when Evaluate runs concurrently.
-	reducers sync.Pool
+	// epoch versions the site's data; every applied update bumps it (under
+	// s.mu, but readable lock-free).
+	epoch atomic.Uint64
+
+	// snap is the current immutable evaluation snapshot; snapMu serializes
+	// rebuilds so an epoch bump triggers one clone, not one per waiter.
+	snap   atomic.Pointer[siteSnapshot]
+	snapMu sync.Mutex
+
+	// scratch pools per-evaluation graph copies; exclusions pools the
+	// per-query exclusion sets. Both reach zero steady-state allocations.
+	scratch    sync.Pool
+	exclusions sync.Pool
 
 	fullRescan bool
 
 	met siteMetrics
 	fr  *flight.Recorder
 	log *slog.Logger
+}
+
+// siteSnapshot is one immutable copy-on-write view of the partition: the
+// local graph plus the boundary sets, all taken atomically under s.mu at a
+// single epoch. Readers treat every field as read-only; an update replaces
+// the whole snapshot (on the next evaluation) rather than invalidating it in
+// place.
+type siteSnapshot struct {
+	epoch    uint64
+	local    *graph.Graph
+	boundary graph.NodeSet // InNodes ∪ Virtual at snapshot time
+	inNodes  graph.NodeSet // InNodes at snapshot time (T2 trust check)
+}
+
+// snapshot returns the current-epoch snapshot, building it if the data moved
+// since the last one. The double-checked build keeps the hot path at two
+// atomic loads.
+func (s *Site) snapshot() *siteSnapshot {
+	if sn := s.snap.Load(); sn != nil && sn.epoch == s.epoch.Load() {
+		return sn
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if sn := s.snap.Load(); sn != nil && sn.epoch == s.epoch.Load() {
+		return sn
+	}
+	s.mu.Lock()
+	sn := &siteSnapshot{
+		epoch:    s.epoch.Load(),
+		local:    s.part.Local.Clone(),
+		boundary: s.part.Boundary(),
+		inNodes:  graph.NewNodeSet(),
+	}
+	sn.inNodes.AddAll(s.part.InNodes)
+	s.mu.Unlock()
+	s.snap.Store(sn)
+	return sn
+}
+
+// takeExclusion builds the per-query exclusion set {s, t} ∪ boundary in a
+// pooled map.
+func (s *Site) takeExclusion(boundary graph.NodeSet, q control.Query) graph.NodeSet {
+	x, _ := s.exclusions.Get().(graph.NodeSet)
+	if x == nil {
+		x = graph.NewNodeSet()
+	} else {
+		clear(x)
+	}
+	x.AddAll(boundary)
+	x.Add(q.S)
+	x.Add(q.T)
+	return x
+}
+
+func (s *Site) putExclusion(x graph.NodeSet) { s.exclusions.Put(x) }
+
+// takeScratch borrows a pooled graph for a per-evaluation copy; may return
+// nil, which CloneInto treats as "allocate fresh".
+func (s *Site) takeScratch() *graph.Graph {
+	g, _ := s.scratch.Get().(*graph.Graph)
+	return g
 }
 
 // siteMetrics are the site's registered series — zero-valued (all nil) on
@@ -117,20 +212,19 @@ func NewSite(p *partition.Partition, workers int) *Site {
 // abl-frontier) for all subsequent evaluations of this site.
 func (s *Site) SetFullRescan(v bool) { s.fullRescan = v }
 
-// reduce runs a reduction with a site-pooled Reducer. A cancelled context
-// stops the reduction at the next round boundary; the Reducer is returned to
-// the pool either way (its next use resets all scratch state), so a cancelled
-// query never poisons the site for the queries after it.
+// reduce runs a reduction with a pooled Reducer (the shared control-layer
+// pool, so sites and the coordinator's batch workers draw from one scratch
+// surface). A cancelled context stops the reduction at the next round
+// boundary; the Reducer is returned to the pool either way (its next use
+// resets all scratch state), so a cancelled query never poisons the site for
+// the queries after it.
 func (s *Site) reduce(ctx context.Context, g *graph.Graph, q control.Query, x graph.NodeSet, opt control.Options) (control.Result, error) {
 	opt.FullRescan = s.fullRescan
 	opt.Obs = s.met.robs
 	opt.Logger = s.log
-	r, _ := s.reducers.Get().(*control.Reducer)
-	if r == nil {
-		r = control.NewReducer()
-	}
+	r := control.GetReducer()
 	res, err := r.Reduce(ctx, g, q, x, opt)
-	s.reducers.Put(r)
+	control.PutReducer(r)
 	return res, err
 }
 
@@ -144,11 +238,12 @@ func (s *Site) Members() int { return len(s.part.Members) }
 func (s *Site) HoldsMember(v graph.NodeID) bool { return s.part.Members.Has(v) }
 
 // Invalidate marks the site's data as changed, dropping the cached
-// query-independent reduction.
+// query-independent reduction. The evaluation snapshot is replaced lazily —
+// the next evaluation sees the epoch moved and rebuilds.
 func (s *Site) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.epoch++
+	s.epoch.Add(1)
 	s.cache = nil
 }
 
@@ -159,18 +254,21 @@ func (s *Site) Invalidate() {
 // untouched; the next Precompute starts over.
 func (s *Site) Precompute(ctx context.Context) (control.Stats, error) {
 	s.mu.Lock()
-	epoch := s.epoch
+	epoch := s.epoch.Load()
 	if s.cache != nil && s.cacheEpoch == epoch {
 		st := s.cacheStats
 		s.mu.Unlock()
 		return st, nil
 	}
-	g := s.part.Local.Clone()
-	boundary := s.part.Boundary()
 	s.mu.Unlock()
 
+	// Build from the epoch snapshot: the clone is private (the cache retains
+	// it, so it cannot come from the scratch pool) and the snapshot's
+	// boundary set is read-only to the reducer.
+	sn := s.snapshot()
+	g := sn.local.Clone()
 	res, err := s.reduce(ctx, g, control.Query{S: graph.None, T: graph.None},
-		boundary, control.Options{
+		sn.boundary, control.Options{
 			Workers:            s.workers,
 			DisableTermination: true, // there is no query yet
 		})
@@ -180,10 +278,10 @@ func (s *Site) Precompute(ctx context.Context) (control.Stats, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.epoch == epoch {
+	if s.epoch.Load() == sn.epoch {
 		s.cache = g
 		s.cacheStats = res.Stats
-		s.cacheEpoch = epoch
+		s.cacheEpoch = sn.epoch
 	}
 	return res.Stats, nil
 }
@@ -259,23 +357,22 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 		return pa, nil
 	}
 
-	// Live evaluation. The exclusion set is {s, t} ∪ V^in ∪ V^virt; the
-	// early-termination conditions are trusted only where local knowledge
-	// is complete (see control.TerminationTrust). The snapshot is taken
-	// under the lock so concurrent updates cannot tear it.
-	s.mu.Lock()
-	tIsInNode := s.part.InNodes.Has(q.T)
+	// Live evaluation, entirely off the immutable epoch snapshot: no lock is
+	// held while classifying, cloning or reducing, so concurrent evaluations
+	// never serialize on s.mu. The exclusion set is {s, t} ∪ V^in ∪ V^virt;
+	// the early-termination conditions are trusted only where local knowledge
+	// is complete (see control.TerminationTrust).
+	sn := s.snapshot()
 	trust := control.TerminationTrust{
 		T1: holdsS,
-		T2: holdsT && !tIsInNode,
+		T2: holdsT && !sn.inNodes.Has(q.T),
 	}
 	if !opts.ForcePartial {
 		// T1–T3 are O(1) on the cached aggregates and the reducer would
 		// check them before doing any work anyway; deciding here skips the
-		// partition clone entirely. Same trust, same answer, same (zero)
+		// partition copy entirely. Same trust, same answer, same (zero)
 		// stats as the reducer's round-0 exit.
-		if a := control.CheckTermination(s.part.Local, q, trust); a != control.Unknown {
-			s.mu.Unlock()
+		if a := control.CheckTermination(sn.local, q, trust); a != control.Unknown {
 			pa := &PartialAnswer{
 				SiteID:  s.part.ID,
 				Ans:     a,
@@ -285,11 +382,8 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 			return pa, nil
 		}
 	}
-	x := s.part.Boundary()
-	x.Add(q.S)
-	x.Add(q.T)
-	g := s.part.Local.Clone()
-	s.mu.Unlock()
+	x := s.takeExclusion(sn.boundary, q)
+	g := sn.local.CloneInto(s.takeScratch())
 	var spans []obs.Span
 	var reduceStart time.Time
 	if opts.TraceID != 0 {
@@ -308,7 +402,9 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 		copts.DisableTermination = true
 	}
 	res, err := s.reduce(ctx, g, q, x, copts)
+	s.putExclusion(x)
 	if err != nil {
+		s.scratch.Put(g)
 		obs.PutSpans(spans)
 		return nil, err
 	}
@@ -323,6 +419,9 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 	}
 	if pa.Ans == control.Unknown {
 		pa.Reduced = g
+		pa.pool = &s.scratch
+	} else {
+		s.scratch.Put(g)
 	}
 	if opts.TraceID != 0 {
 		pa.Spans = append(spans, obs.Span{

@@ -134,6 +134,116 @@ func TestConcurrentBatchMixedTransports(t *testing.T) {
 	}
 }
 
+// TestAnswerBatchConcurrentStress drives the sharded batch path hard: a
+// 4-site cluster answers merge-path batches (UseCache + ForcePartial) at
+// concurrency 8 with stake updates streamed in between rounds, and a final
+// round races updates against the batch itself. Every deterministic round
+// must agree with a serial coordinator over the same data and with the
+// centralized evaluation, and the aggregate metrics must conserve counts —
+// nothing lost to concurrent accumulation. Run under -race by check.sh.
+func TestAnswerBatchConcurrentStress(t *testing.T) {
+	eu := gen.EU(gen.EUConfig{Countries: 4, NodesPerCountry: 900, InterconnectRate: 0.01, Seed: 77})
+	g := eu.G
+	mirror := g.Clone()
+	conc := batchCluster(t, g, Options{UseCache: true, ForcePartial: true, Workers: 2, Concurrency: 8})
+	serial := batchCluster(t, g, Options{UseCache: true, ForcePartial: true, Workers: 1, Concurrency: 1})
+	qs := batchQueries(g, 40, 13)
+
+	// pickUpdate finds the next stake the ownership budget allows, starting
+	// the owned-company scan at a moving offset so rounds touch different
+	// sites.
+	next := graph.NodeID(g.Cap() / 3)
+	pickUpdate := func(owner graph.NodeID) StakeUpdate {
+		up := StakeUpdate{Owner: owner, Owned: next, Weight: 0.04}
+		for mirror.InSum(up.Owned) > 0.9 || mirror.HasEdge(up.Owner, up.Owned) || !mirror.Alive(up.Owned) || up.Owned == up.Owner {
+			up.Owned = (up.Owned + 1) % graph.NodeID(g.Cap())
+		}
+		next = (up.Owned + graph.NodeID(g.Cap()/5)) % graph.NodeID(g.Cap())
+		return up
+	}
+	applyEverywhere := func(up StakeUpdate) {
+		t.Helper()
+		if err := mirror.MergeEdge(up.Owner, up.Owned, up.Weight); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []*Coordinator{conc, serial} {
+			if err := c.ApplyUpdate(context.Background(), up); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			applyEverywhere(pickUpdate(graph.NodeID(round)))
+		}
+		gotC, mc, err := conc.AnswerBatch(context.Background(), qs)
+		if err != nil {
+			t.Fatalf("round %d concurrent: %v", round, err)
+		}
+		gotS, _, err := serial.AnswerBatch(context.Background(), qs)
+		if err != nil {
+			t.Fatalf("round %d serial: %v", round, err)
+		}
+		for i := range qs {
+			if gotC[i] != gotS[i] {
+				t.Fatalf("round %d query %d (%v): concurrent=%v serial=%v",
+					round, i, qs[i], gotC[i], gotS[i])
+			}
+			if cbe := control.CBE(mirror, qs[i]); gotC[i] != cbe {
+				t.Fatalf("round %d query %d (%v): batch=%v centralized=%v",
+					round, i, qs[i], gotC[i], cbe)
+			}
+		}
+		// Conservation: every query contacts every site, reaches the merge
+		// path (ForcePartial), and either hits a snapshot or builds one —
+		// counts lost to racing workers would break these identities.
+		if mc.SitesQueried != 4*len(qs) {
+			t.Fatalf("round %d: SitesQueried = %d, want %d", round, mc.SitesQueried, 4*len(qs))
+		}
+		if mc.MergedQueries != len(qs) {
+			t.Fatalf("round %d: MergedQueries = %d, want %d", round, mc.MergedQueries, len(qs))
+		}
+		if mc.SnapshotHits+mc.SnapshotBuilds != mc.MergedQueries {
+			t.Fatalf("round %d: hits(%d)+builds(%d) != merged(%d)",
+				round, mc.SnapshotHits, mc.SnapshotBuilds, mc.MergedQueries)
+		}
+		// After the warmup round the skeletons must actually be hit; an
+		// update invalidates only the touched sites' skeletons, so later
+		// rounds rebuild a few and hit the rest.
+		if round > 0 && mc.SnapshotHits == 0 {
+			t.Fatalf("round %d: no snapshot hits after warmup: %+v", round, mc)
+		}
+		if mc.SnapshotBuilds == 0 {
+			t.Fatalf("round %d: no snapshot builds recorded: %+v", round, mc)
+		}
+	}
+
+	// Final round: updates race the batch. Answers are allowed to move with
+	// the data; the run must stay error-free (the race detector watches the
+	// sharded caches, the pooled scratch, and snapshot invalidation).
+	ups := make([]StakeUpdate, 4)
+	for i := range ups {
+		ups[i] = pickUpdate(graph.NodeID(10 + i))
+	}
+	done := make(chan error, 1)
+	go func() {
+		for _, up := range ups {
+			if err := conc.ApplyUpdate(context.Background(), up); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if _, _, err := conc.AnswerBatch(context.Background(), qs); err != nil {
+		t.Fatalf("racing batch: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("racing update: %v", err)
+	}
+}
+
 // TestConcurrentQueriesAndUpdates hammers a cluster with parallel queries,
 // updates and precomputations. Run under -race it proves the site locking;
 // the final quiescent check proves no update was lost.

@@ -66,7 +66,7 @@ func (s *Site) ApplyEdgeUpdate(up StakeUpdate) (UpdateResult, error) {
 			s.part.CrossOut++
 		}
 	}
-	s.epoch++
+	s.epoch.Add(1)
 	s.cache = nil
 	s.fr.Record(flight.Update, int32(s.part.ID), 0, int64(up.Owner), int64(up.Owned))
 	return res, nil
@@ -91,7 +91,7 @@ func (s *Site) AdjustCrossIn(v graph.NodeID, delta int) bool {
 	default:
 		return false
 	}
-	s.epoch++
+	s.epoch.Add(1)
 	s.cache = nil
 	return true
 }
@@ -105,9 +105,11 @@ func (s *Site) AdjustCrossIn(v graph.NodeID, delta int) bool {
 // the in-node bookkeeping not yet adjusted — re-apply the update once the
 // sites are reachable again.
 func (c *Coordinator) ApplyUpdate(ctx context.Context, up StakeUpdate) error {
-	// Any applied update moves some site's epoch, so merged skeletons built
-	// over the old epoch vector can never match again; free them eagerly.
-	defer c.dropSnapshots()
+	// An applied update moves the epoch of exactly the sites it touched, so
+	// only merged skeletons involving those sites can never match again;
+	// skeletons over untouched sites stay hot for the next batch.
+	var touched []int
+	defer func() { c.dropSnapshotsFor(touched) }()
 	c.fr.Record(flight.Update, -1, 0, int64(up.Owner), int64(up.Owned))
 	var applied *UpdateResult
 	for _, cl := range c.clients {
@@ -124,6 +126,7 @@ func (c *Coordinator) ApplyUpdate(ctx context.Context, up StakeUpdate) error {
 				return fmt.Errorf("dist: update stored at two sites")
 			}
 			applied = &res
+			touched = append(touched, cl.SiteID())
 		}
 	}
 	if applied == nil {
@@ -144,6 +147,9 @@ func (c *Coordinator) ApplyUpdate(ctx context.Context, up StakeUpdate) error {
 			cancel()
 			if err != nil {
 				return err
+			}
+			if ok {
+				touched = append(touched, cl.SiteID())
 			}
 			acted = acted || ok
 		}

@@ -158,8 +158,12 @@ func encodePartial(pa *PartialAnswer) (*response, error) {
 	return resp, nil
 }
 
-// decodePartial converts a wire response back to a PartialAnswer.
-func decodePartial(resp *response) (*PartialAnswer, error) {
+// decodePartial converts a wire response back to a PartialAnswer. pool, when
+// non-nil, supplies the scratch graph that a live (non-cached) partial
+// decodes into — the copy-free arena path, returned for reuse by
+// PartialAnswer.Release. Cached partials always decode into a fresh graph,
+// because the coordinator retains them across queries.
+func decodePartial(resp *response, pool *sync.Pool) (*PartialAnswer, error) {
 	pa := &PartialAnswer{
 		SiteID:      resp.SiteID,
 		Ans:         control.Answer(resp.Ans),
@@ -171,11 +175,23 @@ func decodePartial(resp *response) (*PartialAnswer, error) {
 		Spans:       resp.Spans,
 	}
 	if len(resp.GraphBytes) > 0 {
-		g, err := graph.ReadBinary(bytes.NewReader(resp.GraphBytes))
-		if err != nil {
-			return nil, fmt.Errorf("dist: decoding reduced graph: %w", err)
+		if pool != nil && !resp.FromCache {
+			scratch, _ := pool.Get().(*graph.Graph)
+			// On a decode error the scratch graph's contents are unspecified;
+			// it is deliberately not re-pooled.
+			g, err := graph.DecodeBinaryInto(scratch, resp.GraphBytes)
+			if err != nil {
+				return nil, fmt.Errorf("dist: decoding reduced graph: %w", err)
+			}
+			pa.Reduced = g
+			pa.pool = pool
+		} else {
+			g, err := graph.DecodeBinary(resp.GraphBytes)
+			if err != nil {
+				return nil, fmt.Errorf("dist: decoding reduced graph: %w", err)
+			}
+			pa.Reduced = g
 		}
-		pa.Reduced = g
 	}
 	return pa, nil
 }

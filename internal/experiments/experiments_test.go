@@ -221,6 +221,15 @@ func TestThroughputSmoke(t *testing.T) {
 	if r.CacheHitRate <= 0 {
 		t.Fatalf("no cache hits in a pre-cached run: %+v", r)
 	}
+	// The workload is built from cross-border pairs precisely so queries
+	// reach the coordinator's merge path; after the warmup batch the merged
+	// snapshot must be hitting.
+	if r.MergedQueries == 0 {
+		t.Fatalf("no queries reached the merge path: %+v", r)
+	}
+	if r.SnapshotHitRate <= 0 {
+		t.Fatalf("warmup did not warm the snapshot cache: %+v", r)
+	}
 }
 
 func TestContrastSmoke(t *testing.T) {

@@ -58,6 +58,8 @@ type throughputFile struct {
 		Concurrency      int     `json:"concurrency"`
 		QueriesPerMinute float64 `json:"queries_per_minute"`
 		P95MS            float64 `json:"p95_ms"`
+		SnapshotHitRate  float64 `json:"snapshot_hit_rate"`
+		SpeedupVsSerial  float64 `json:"speedup_vs_serial"`
 	} `json:"rows"`
 }
 
@@ -92,7 +94,16 @@ func ExtractSeries(data []byte) ([]Series, error) {
 				Series{Name: fmt.Sprintf("throughput/qpm/c%d", r.Concurrency),
 					Value: r.QueriesPerMinute, HigherIsBetter: true, Gated: true},
 				Series{Name: fmt.Sprintf("throughput/p95_ms/c%d", r.Concurrency),
-					Value: r.P95MS})
+					Value: r.P95MS},
+				Series{Name: fmt.Sprintf("throughput/snapshot_hit/c%d", r.Concurrency),
+					Value: r.SnapshotHitRate, HigherIsBetter: true})
+			// Batch-scaling is what this PR buys: gate the concurrent rows'
+			// speedup over the in-file serial row, so a change that keeps
+			// absolute qpm but loses scaling still fails the gate.
+			if r.Concurrency > 1 && r.SpeedupVsSerial > 0 {
+				out = append(out, Series{Name: fmt.Sprintf("throughput/speedup/c%d", r.Concurrency),
+					Value: r.SpeedupVsSerial, HigherIsBetter: true, Gated: true})
+			}
 		}
 	case probe["benchmarks"] != nil:
 		var doc reductionFile

@@ -13,8 +13,8 @@ import (
 const throughputFixture = `{
   "benchmark": "ccpbench throughput",
   "rows": [
-    {"concurrency": 1, "queries_per_minute": 1000, "p95_ms": 10},
-    {"concurrency": 4, "queries_per_minute": 3000, "p95_ms": 25}
+    {"concurrency": 1, "queries_per_minute": 1000, "p95_ms": 10, "snapshot_hit_rate": 0.9},
+    {"concurrency": 4, "queries_per_minute": 3000, "p95_ms": 25, "snapshot_hit_rate": 0.9, "speedup_vs_serial": 3.0}
   ]
 }`
 
@@ -34,6 +34,17 @@ func TestExtractSeriesThroughput(t *testing.T) {
 	p95, ok := byName["throughput/p95_ms/c1"]
 	if !ok || p95.Value != 10 || p95.Gated || p95.HigherIsBetter {
 		t.Fatalf("p95_ms/c1 = %+v, want ungated lower-is-better 10", p95)
+	}
+	spd, ok := byName["throughput/speedup/c4"]
+	if !ok || spd.Value != 3.0 || !spd.HigherIsBetter || !spd.Gated {
+		t.Fatalf("speedup/c4 = %+v, want gated higher-is-better 3.0", spd)
+	}
+	if _, ok := byName["throughput/speedup/c1"]; ok {
+		t.Fatal("serial row must not emit a speedup series (it is the baseline)")
+	}
+	hit, ok := byName["throughput/snapshot_hit/c4"]
+	if !ok || hit.Value != 0.9 || hit.Gated || !hit.HigherIsBetter {
+		t.Fatalf("snapshot_hit/c4 = %+v, want ungated higher-is-better 0.9", hit)
 	}
 }
 

@@ -491,6 +491,90 @@ func cloneMap(m map[NodeID]float64) map[NodeID]float64 {
 	return maps.Clone(m)
 }
 
+// CloneInto deep-copies g into dst, reusing dst's backing slices and
+// per-node edge maps instead of allocating fresh ones. It returns the graph
+// actually written: dst, or a fresh Clone when dst is nil or g itself. A
+// pooled destination reaches steady state after one round trip — every map
+// table it needs already exists — so repeated clones of same-shaped graphs
+// stop allocating entirely.
+func (g *Graph) CloneInto(dst *Graph) *Graph {
+	if dst == nil || dst == g {
+		return g.Clone()
+	}
+	dst.sizeTo(len(g.alive))
+	copy(dst.alive, g.alive)
+	copy(dst.inSum, g.inSum)
+	copy(dst.inBig, g.inBig)
+	copy(dst.bigIn, g.bigIn)
+	copy(dst.outBig, g.outBig)
+	dst.nAlive = g.nAlive
+	dst.nEdges = g.nEdges
+	for i := range g.out {
+		dst.out[i] = copyMapInto(dst.out[i], g.out[i])
+		dst.in[i] = copyMapInto(dst.in[i], g.in[i])
+	}
+	return dst
+}
+
+// copyMapInto makes dst hold exactly src's entries, reusing dst's table when
+// one exists. An empty source clears dst but keeps its table, so a reused
+// graph's maps survive round trips through sparser clones.
+func copyMapInto(dst, src map[NodeID]float64) map[NodeID]float64 {
+	if len(src) == 0 {
+		clear(dst)
+		return dst
+	}
+	if dst == nil {
+		return maps.Clone(src)
+	}
+	clear(dst)
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Reset empties the graph — every node dead, no edges, aggregates zeroed —
+// while keeping its id-space length and the allocated per-node edge maps, so
+// a pooled scratch graph can be rebuilt without allocating.
+func (g *Graph) Reset() {
+	for i := range g.alive {
+		clear(g.out[i])
+		clear(g.in[i])
+	}
+	clear(g.alive)
+	clear(g.inSum)
+	clear(g.inBig)
+	clear(g.outBig)
+	for i := range g.bigIn {
+		g.bigIn[i] = None
+	}
+	g.nAlive, g.nEdges = 0, 0
+}
+
+// sizeTo resizes the parallel per-node slices to n entries, reusing backing
+// arrays (and any edge maps they still hold) when capacity allows. Entries
+// revealed by regrowth carry stale values; every caller overwrites the full
+// index range afterwards (CloneInto by copying, DecodeBinaryInto via Reset).
+func (g *Graph) sizeTo(n int) {
+	g.out = resize(g.out, n)
+	g.in = resize(g.in, n)
+	g.alive = resize(g.alive, n)
+	g.inSum = resize(g.inSum, n)
+	g.inBig = resize(g.inBig, n)
+	g.bigIn = resize(g.bigIn, n)
+	g.outBig = resize(g.outBig, n)
+}
+
+func resize[E any](s []E, n int) []E {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]E, n)
+	copy(ns, s)
+	return ns
+}
+
 // CheckOwnership verifies the ownership-graph invariant: for every node the
 // incoming labels sum to at most 1 (within rounding slack). It returns the
 // first violating node, or None. The sum is recomputed from the adjacency

@@ -166,6 +166,87 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
+// DecodeBinary parses a CCPG1 payload held wholly in memory, as produced by
+// WriteBinary. It is the allocation-lean path for wire decoding: the payload
+// is indexed directly, with no reader or buffered copies.
+func DecodeBinary(data []byte) (*Graph, error) {
+	return DecodeBinaryInto(nil, data)
+}
+
+// DecodeBinaryInto parses a CCPG1 payload into dst, reusing dst's slices and
+// edge maps; a nil dst allocates a fresh graph. Like ReadBinary it ignores
+// trailing bytes. On error the destination's contents are unspecified and it
+// must not be returned to a pool. A pooled dst cycling through same-shaped
+// payloads decodes without allocating.
+func DecodeBinaryInto(dst *Graph, data []byte) (*Graph, error) {
+	if len(data) < len(binaryMagic) || string(data[:len(binaryMagic)]) != binaryMagic {
+		return nil, errors.New("graph: bad magic, not a CCPG1 payload")
+	}
+	off := len(binaryMagic)
+	u32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		x := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return x, nil
+	}
+	capacity, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	nAlive, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nAlive > capacity {
+		return nil, fmt.Errorf("graph: live count %d exceeds capacity %d", nAlive, capacity)
+	}
+	g := dst
+	if g == nil {
+		g = newShell(int(capacity))
+	} else {
+		g.sizeTo(int(capacity))
+		g.Reset()
+	}
+	for i := uint32(0); i < nAlive; i++ {
+		id, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if id >= capacity {
+			return nil, fmt.Errorf("graph: node id %d out of range", id)
+		}
+		if !g.alive[id] {
+			g.alive[id] = true
+			g.nAlive++
+		}
+	}
+	nEdges, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nEdges; i++ {
+		from, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		to, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if off+8 > len(data) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		w := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		if err := g.AddEdge(NodeID(from), NodeID(to), w); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
 // WriteCSV writes the graph as "from,to,weight" lines. Node ids of isolated
 // live nodes are written as "from,," lines so that the graph round-trips.
 func (g *Graph) WriteCSV(w io.Writer) error {

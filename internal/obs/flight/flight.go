@@ -56,6 +56,24 @@ const (
 	// SlowQuery marks a trace promoted into the slow-query log; A1 is the
 	// traced latency in nanoseconds.
 	SlowQuery
+	// SnapHit marks a merged-skeleton snapshot served from the coordinator's
+	// snapshot cache; A1/A2 carry the skeleton's node and edge counts.
+	SnapHit
+	// SnapMiss marks a merge that found no reusable snapshot; A1 is the
+	// number of cache-served partials the wanted key covered.
+	SnapMiss
+	// SnapBuild marks a merged skeleton being built and cached; A1 is the
+	// build duration in nanoseconds, A2 the skeleton's edge count.
+	SnapBuild
+	// SnapEvict marks a snapshot-cache shard clearing at capacity; A1 is the
+	// number of entries dropped, A2 the shard index.
+	SnapEvict
+	// SnapDrop marks snapshots invalidated by an update; A1 is the number of
+	// entries dropped, Site the updated site whose epoch moved.
+	SnapDrop
+	// ShardWait marks a coordinator cache shard found locked on first try —
+	// contention the sharding was meant to avoid; A1 is the shard index.
+	ShardWait
 	numTypes
 )
 
@@ -70,6 +88,12 @@ var typeNames = [numTypes]string{
 	ReduceRound: "reduce.round",
 	Update:      "update",
 	SlowQuery:   "slow.query",
+	SnapHit:     "snap.hit",
+	SnapMiss:    "snap.miss",
+	SnapBuild:   "snap.build",
+	SnapEvict:   "snap.evict",
+	SnapDrop:    "snap.drop",
+	ShardWait:   "shard.wait",
 }
 
 // String names the event type ("query.start", "circuit", ...).
@@ -163,6 +187,18 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("owner=%d owned=%d", e.A1, e.A2)
 	case SlowQuery:
 		return fmt.Sprintf("dur=%v", time.Duration(e.A1))
+	case SnapHit:
+		return fmt.Sprintf("nodes=%d edges=%d", e.A1, e.A2)
+	case SnapMiss:
+		return fmt.Sprintf("cached=%d", e.A1)
+	case SnapBuild:
+		return fmt.Sprintf("dur=%v edges=%d", time.Duration(e.A1), e.A2)
+	case SnapEvict:
+		return fmt.Sprintf("dropped=%d shard=%d", e.A1, e.A2)
+	case SnapDrop:
+		return fmt.Sprintf("dropped=%d", e.A1)
+	case ShardWait:
+		return fmt.Sprintf("shard=%d", e.A1)
 	default:
 		return fmt.Sprintf("a1=%d a2=%d", e.A1, e.A2)
 	}

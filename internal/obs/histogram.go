@@ -132,28 +132,8 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error)
 	if o.Bounds == nil && o.Count == 0 {
 		return s, nil
 	}
-	if len(s.Bounds) != len(o.Bounds) {
-		return HistogramSnapshot{}, &BucketMismatchError{
-			Reason: "bound count",
-			A:      fmt.Sprintf("%d bounds", len(s.Bounds)),
-			B:      fmt.Sprintf("%d bounds", len(o.Bounds)),
-		}
-	}
-	for i := range s.Bounds {
-		if s.Bounds[i] != o.Bounds[i] {
-			return HistogramSnapshot{}, &BucketMismatchError{
-				Reason: "bound value",
-				A:      fmt.Sprintf("bounds[%d]=%v", i, s.Bounds[i]),
-				B:      fmt.Sprintf("bounds[%d]=%v", i, o.Bounds[i]),
-			}
-		}
-	}
-	if len(s.Counts) != len(o.Counts) {
-		return HistogramSnapshot{}, &BucketMismatchError{
-			Reason: "count length",
-			A:      fmt.Sprintf("%d counts", len(s.Counts)),
-			B:      fmt.Sprintf("%d counts", len(o.Counts)),
-		}
+	if err := layoutMismatch(s, o); err != nil {
+		return HistogramSnapshot{}, err
 	}
 	m := HistogramSnapshot{
 		Bounds: s.Bounds,
@@ -165,6 +145,66 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error)
 		m.Counts[i] = s.Counts[i] + o.Counts[i]
 	}
 	return m, nil
+}
+
+// layoutMismatch checks that two snapshots share one bucket layout.
+func layoutMismatch(s, o HistogramSnapshot) error {
+	if len(s.Bounds) != len(o.Bounds) {
+		return &BucketMismatchError{
+			Reason: "bound count",
+			A:      fmt.Sprintf("%d bounds", len(s.Bounds)),
+			B:      fmt.Sprintf("%d bounds", len(o.Bounds)),
+		}
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return &BucketMismatchError{
+				Reason: "bound value",
+				A:      fmt.Sprintf("bounds[%d]=%v", i, s.Bounds[i]),
+				B:      fmt.Sprintf("bounds[%d]=%v", i, o.Bounds[i]),
+			}
+		}
+	}
+	if len(s.Counts) != len(o.Counts) {
+		return &BucketMismatchError{
+			Reason: "count length",
+			A:      fmt.Sprintf("%d counts", len(s.Counts)),
+			B:      fmt.Sprintf("%d counts", len(o.Counts)),
+		}
+	}
+	return nil
+}
+
+// Sub returns the observations in s that are not in prev — the delta
+// between two snapshots of one cumulative histogram, from which per-window
+// quantiles can be derived (a sweep row's latency excluding its warmup).
+// prev must be an earlier snapshot of the same histogram; mismatched bucket
+// layouts return a *BucketMismatchError, and counts that appear to have run
+// backwards (never the case for snapshots taken in order) clamp to zero. A
+// zero prev subtracts as the identity.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) (HistogramSnapshot, error) {
+	if prev.Bounds == nil && prev.Count == 0 {
+		return s, nil
+	}
+	if err := layoutMismatch(s, prev); err != nil {
+		return HistogramSnapshot{}, err
+	}
+	d := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	if s.Count > prev.Count {
+		d.Count = s.Count - prev.Count
+	}
+	for i := range s.Counts {
+		if s.Counts[i] > prev.Counts[i] {
+			d.Counts[i] = s.Counts[i] - prev.Counts[i]
+		}
+	}
+	return d, nil
 }
 
 // Quantile estimates the q-quantile by linear interpolation inside the

@@ -13,6 +13,12 @@
 # its merge-base, run the baseline sweep on the base commit and export
 # BENCH_GATE_BASELINE to point at its output.
 #
+# The sweep rows carry speedup_vs_serial for the concurrent levels, and the
+# comparison gates those series too — so losing batch scaling (while keeping
+# absolute throughput) fails the gate just like a throughput drop. The
+# current sweep also records mutex/block contention profiles so a scaling
+# regression comes with the evidence of where the time went.
+#
 # Tunables (env):
 #   BENCH_GATE_SCALE        graph scale factor          (default 0.25)
 #   BENCH_GATE_CONCURRENCY  sweep max concurrency       (default 4)
@@ -21,6 +27,7 @@
 #   BENCH_GATE_THRESHOLD    noise floor, fraction       (default 0.25)
 #   BENCH_GATE_BASELINE     pre-built baseline file     (default: run a sweep)
 #   BENCH_GATE_HISTORY      history file to append to   (default BENCH_history.jsonl)
+#   BENCH_GATE_PROFILE_DIR  contention profile output   (default bench-profiles)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +38,7 @@ seed=${BENCH_GATE_SEED:-11}
 repeats=${BENCH_GATE_REPEATS:-2}
 threshold=${BENCH_GATE_THRESHOLD:-0.25}
 history=${BENCH_GATE_HISTORY:-BENCH_history.jsonl}
+profiledir=${BENCH_GATE_PROFILE_DIR:-bench-profiles}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT INT TERM
@@ -47,9 +55,30 @@ if [ -z "$baseline" ]; then
         -concurrency "$conc" -throughput-out "$baseline" throughput
 fi
 
-echo "== current sweep =="
+echo "== current sweep (with contention profiles -> $profiledir) =="
+mkdir -p "$profiledir"
 "$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
-    -concurrency "$conc" -throughput-out "$workdir/current.json" throughput
+    -concurrency "$conc" -throughput-out "$workdir/current.json" \
+    -mutexprofile "$profiledir/mutex.pprof" -blockprofile "$profiledir/block.pprof" \
+    throughput
+for p in mutex block; do
+    [ -s "$profiledir/$p.pprof" ] \
+        || { echo "bench_gate: $p profile missing or empty" >&2; exit 1; }
+done
+
+echo "== workload sanity: every row must exercise the merge path =="
+# The sweep's queries are built to reach the coordinator's merge path and,
+# after warmup, to hit the merged-graph snapshot cache. A row reporting a
+# zero snapshot hit rate means the workload regressed into site-only
+# evaluation and the sweep no longer measures coordination at all.
+for bad in '"merged_queries": 0,' '"snapshot_hit_rate": 0,'; do
+    if grep -q "$bad" "$workdir/current.json"; then
+        echo "bench_gate: sweep row has $bad — merge path not exercised:" >&2
+        cat "$workdir/current.json" >&2
+        exit 1
+    fi
+done
+echo "  all rows merged queries and hit the snapshot cache"
 
 echo "== gate: current vs baseline (threshold $threshold) =="
 "$bench" -compare "$baseline" -compare-with "$workdir/current.json" \
