@@ -153,6 +153,19 @@ func ControlsDeclarative(g *Graph, s, t NodeID) (bool, error) {
 	return datalog.Controls(g, s, t)
 }
 
+// DatalogSolver answers control queries through the planned Datalog engine:
+// the ownership facts are loaded once, each query is evaluated
+// goal-directedly (magic-sets rewriting seeds only the subgraph relevant to
+// the queried source), and compiled plans are cached across queries. Use it
+// instead of ControlsDeclarative when issuing many queries over one graph.
+// Queries are safe to issue concurrently.
+type DatalogSolver = datalog.CCPSolver
+
+// NewDatalogSolver builds a goal-directed Datalog solver over g.
+func NewDatalogSolver(g *Graph) (*DatalogSolver, error) {
+	return datalog.NewCCPSolver(g)
+}
+
 // ControlsByPathEnumeration answers q_c(s, t) the way navigational graph
 // query languages must: by enumerating simple paths (exponential!) and
 // post-processing them. maxDepth bounds the path length (0 = unbounded).

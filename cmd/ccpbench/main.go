@@ -7,7 +7,9 @@
 //	         [-full-rescan] <experiment>...
 //
 // Experiments: fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h nettraffic
-// riad serial ablations fig9a fig9b throughput contrast updates, or "all".
+// riad serial ablations fig9a fig9b throughput contrast updates datalog, or
+// "all". The datalog experiment writes its three-engine comparison to
+// BENCH_datalog.json (see -datalog-out).
 //
 // With -concurrency n > 1, the throughput experiment sweeps batch
 // concurrency 1, 2, 4, ... up to n and writes the qps rows to
@@ -39,6 +41,8 @@ func main() {
 		"file the throughput concurrency sweep writes its qps rows to")
 	throughputBaseline := flag.Float64("throughput-baseline", 0,
 		"pre-change serial q/min to record alongside the sweep (0 omits it)")
+	datalogOut := flag.String("datalog-out", "BENCH_datalog.json",
+		"file the datalog experiment writes its engine comparison to (empty = don't write)")
 	fullRescan := flag.Bool("full-rescan", false,
 		"use the full-rescan reduction engine instead of the frontier engine (ablation abl-frontier)")
 	compare := flag.String("compare", "",
@@ -90,6 +94,8 @@ func main() {
 		var err error
 		if name == "throughput" && cfg.Concurrency > 1 {
 			err = runThroughputSweep(cfg, *throughputOut, *throughputBaseline)
+		} else if name == "datalog" {
+			err = runDatalogBench(cfg, *datalogOut)
 		} else {
 			err = run(name, cfg)
 		}
@@ -171,6 +177,15 @@ func runGate(cfg experiments.Config, baselinePath, currentPath string, threshold
 	fmt.Printf("== regression gate — %s vs %s ==\n", baselinePath, currentPath)
 	for _, d := range deltas {
 		fmt.Printf("  %s\n", d)
+	}
+	// Absolute sanity on top of the relative gate: the planner exists to
+	// beat semi-naive re-evaluation, so a current speedup below 1x is a
+	// regression even if the baseline had already sunk that low.
+	for _, s := range current {
+		if s.Name == "datalog/speedup_planned_vs_seminaive" && s.Value < 1 {
+			fmt.Printf("  ✗ sanity: planned datalog slower than semi-naive (%.2fx)\n", s.Value)
+			regressed = true
+		}
 	}
 	if historyPath != "" {
 		entry := experiments.HistoryEntry{
@@ -285,6 +300,70 @@ func runThroughputSweep(cfg experiments.Config, outPath string, baselineQPM floa
 	return nil
 }
 
+// datalogDoc is the BENCH_datalog.json payload: the three-engine timing
+// comparison plus the goal-directedness measurement.
+type datalogDoc struct {
+	Benchmark string                   `json:"benchmark"`
+	Scale     float64                  `json:"scale"`
+	Seed      int64                    `json:"seed"`
+	Meta      experiments.BenchMeta    `json:"meta"`
+	Engines   []experiments.DatalogRow `json:"engines"`
+	// Speedup is the headline ratio the regression gate tracks: semi-naive
+	// ns/query over planned ns/query on the same query batch.
+	Speedup float64     `json:"speedup_planned_vs_seminaive"`
+	Goal    datalogGoal `json:"goal"`
+}
+
+// datalogGoal records how much of the global fixpoint a single
+// goal-directed control(s,t) query actually derives.
+type datalogGoal struct {
+	GlobalTuples int     `json:"global_tuples"`
+	GoalTuples   int     `json:"goal_tuples"`
+	Fraction     float64 `json:"fraction"`
+}
+
+// runDatalogBench runs the Datalog ablation, prints the rows, and (unless
+// outPath is empty) writes the BENCH_datalog.json record the gate compares.
+func runDatalogBench(cfg experiments.Config, outPath string) error {
+	res, err := experiments.Datalog(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Datalog — planned goal-directed vs semi-naive vs CBE ==\n")
+	for _, r := range res.Rows {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Printf("  speedup planned vs semi-naive: %.1fx\n", res.SpeedupPlannedVsSemiNaive)
+	fmt.Printf("  goal-directed derivation: %d of %d fixpoint tuples (%.2f%%)\n",
+		res.GoalTuples, res.GlobalTuples, 100*res.GoalFraction)
+	if outPath == "" {
+		fmt.Println()
+		return nil
+	}
+	doc := datalogDoc{
+		Benchmark: "ccpbench datalog",
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+		Meta:      experiments.CollectMeta(cfg.Seed, cfg.Scale),
+		Engines:   res.Rows,
+		Speedup:   res.SpeedupPlannedVsSemiNaive,
+		Goal: datalogGoal{
+			GlobalTuples: res.GlobalTuples,
+			GoalTuples:   res.GoalTuples,
+			Fraction:     res.GoalFraction,
+		},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n\n", outPath)
+	return nil
+}
+
 // sweepLevels lists the measured concurrency levels: 1, 2, 4, ... and max
 // itself.
 func sweepLevels(max int) []int {
@@ -302,6 +381,7 @@ func names() []string {
 	return []string{
 		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
 		"nettraffic", "riad", "serial", "ablations", "fig9a", "fig9b", "throughput", "contrast", "updates",
+		"datalog",
 	}
 }
 
@@ -418,6 +498,11 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Printf("== Throughput — pre-cached cluster, production configuration ==\n  %s\n\n", r)
+	case "datalog":
+		// main dispatches "datalog" to runDatalogBench so the -datalog-out
+		// file gets written; this print-only path keeps run() total over
+		// names() for direct callers.
+		return runDatalogBench(cfg, "")
 	default:
 		return fmt.Errorf("unknown experiment (want one of %v)", names())
 	}

@@ -5,7 +5,7 @@
 //
 //	ccpctl gen    -type scalefree|italian|eu|riad|random -nodes n [-degree d] [-rate r] [-countries k] [-seed n] -out file
 //	ccpctl stats  -in file
-//	ccpctl query  -in file -s id -t id [-solver cbe|reduce|datalog|pathenum]
+//	ccpctl query  -in file -s id -t id [-solver cbe|reduce|datalog|datalog-planned|pathenum]
 //	ccpctl owned  -in file -s id [-list]
 //
 // Graph files use the compact CCPG1 binary format with a .ccpg extension, or
@@ -80,12 +80,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ccpctl gen     -type scalefree|italian|eu|riad|random -nodes n [-degree d] [-rate r] [-countries k] [-seed n] -out file
   ccpctl stats   -in file
-  ccpctl query   -in file -s id -t id [-solver cbe|reduce|datalog|pathenum]
+  ccpctl query   -in file -s id -t id [-solver cbe|reduce|datalog|datalog-planned|pathenum] [-explain]
   ccpctl owned   -in file -s id [-list]
   ccpctl explain -in file -s id -t id
   ccpctl split   -in file -parts k -outprefix p       (writes p0.ccpp, p1.ccpp, ...)
   ccpctl groups  -in file [-top n]                    (control groups by ultimate controller)
-  ccpctl datalog -in file -s id [-t id] [-program f]  (evaluate the logic program)
+  ccpctl datalog -in file -s id [-t id] [-program f] [-explain]
+                                                      (evaluate the logic program)
   ccpctl flight  [-ops host:port,...] [-in dump.json,...] [-trace hex]
                                                       (merged cross-process flight timeline)
   ccpctl top     -ops host:port[,...] [-interval d] [-n count]
@@ -197,9 +198,10 @@ func cmdQuery(args []string) error {
 	in := fs.String("in", "", "graph file")
 	s := fs.Int("s", -1, "source company")
 	t := fs.Int("t", -1, "target company")
-	solver := fs.String("solver", "cbe", "cbe|reduce|datalog|pathenum|dist")
+	solver := fs.String("solver", "cbe", "cbe|reduce|datalog|datalog-planned|pathenum|dist")
 	parts := fs.Int("parts", 2, "partitions for -solver dist (in-process sites)")
 	verbose := fs.Bool("verbose", false, "print the stitched query trace (-solver dist only)")
+	explain := fs.Bool("explain", false, "print the evaluation plan and per-rule counts (datalog solvers only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,6 +210,9 @@ func cmdQuery(args []string) error {
 	}
 	if *verbose && *solver != "dist" {
 		return fmt.Errorf("query: -verbose requires -solver dist")
+	}
+	if *explain && *solver != "datalog" && *solver != "datalog-planned" {
+		return fmt.Errorf("query: -explain requires -solver datalog or datalog-planned")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -218,6 +223,7 @@ func cmdQuery(args []string) error {
 	}
 	start := time.Now()
 	var ans bool
+	var plan *datalog.Explain
 	switch *solver {
 	case "cbe":
 		ans = ccp.Controls(g, ccp.NodeID(*s), ccp.NodeID(*t))
@@ -228,7 +234,22 @@ func cmdQuery(args []string) error {
 		}
 		ans = res.Controls
 	case "datalog":
-		ans, err = ccp.ControlsDeclarative(g, ccp.NodeID(*s), ccp.NodeID(*t))
+		if *explain {
+			// The planned evaluator computes the same global fixpoint and
+			// reports what it did; the plain path has nothing to explain.
+			ans, plan, err = queryDatalogGlobal(g, ccp.NodeID(*s), ccp.NodeID(*t))
+		} else {
+			ans, err = ccp.ControlsDeclarative(g, ccp.NodeID(*s), ccp.NodeID(*t))
+		}
+		if err != nil {
+			return err
+		}
+	case "datalog-planned":
+		solver, serr := ccp.NewDatalogSolver(g)
+		if serr != nil {
+			return serr
+		}
+		ans, plan, err = solver.ControlsExplain(ccp.NodeID(*s), ccp.NodeID(*t))
 		if err != nil {
 			return err
 		}
@@ -242,7 +263,27 @@ func cmdQuery(args []string) error {
 		return fmt.Errorf("query: unknown solver %q", *solver)
 	}
 	fmt.Printf("q_c(%d,%d) = %v  [%s, %v]\n", *s, *t, ans, *solver, time.Since(start))
+	if *explain && plan != nil {
+		fmt.Print(plan.String())
+	}
 	return nil
+}
+
+// queryDatalogGlobal answers via the control program's global fixpoint on
+// the planned evaluator, returning its explain record.
+func queryDatalogGlobal(g *ccp.Graph, s, t ccp.NodeID) (bool, *datalog.Explain, error) {
+	if s == t {
+		return true, &datalog.Explain{Goal: "control(s,s)? (reflexive)"}, nil
+	}
+	e, err := datalog.ControlProgram(g, s)
+	if err != nil {
+		return false, nil, err
+	}
+	_, plan, err := e.RunPlanned()
+	if err != nil {
+		return false, nil, err
+	}
+	return e.Has("control", int64(s), int64(t)), plan, nil
 }
 
 // queryDist answers one query over an in-process cluster of k contiguous
@@ -381,6 +422,7 @@ func cmdDatalog(args []string) error {
 	s := fs.Int("s", -1, "source company (seeds source/1)")
 	t := fs.Int("t", -1, "optional target; omit to print the controlled count")
 	program := fs.String("program", "", "program file (default: the company control program)")
+	explain := fs.Bool("explain", false, "evaluate through the planner and print the plan and per-rule counts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -418,15 +460,27 @@ func cmdDatalog(args []string) error {
 		return err
 	}
 	start := time.Now()
-	iters := e.Run()
+	var iters int
+	var plan *datalog.Explain
+	if *explain {
+		iters, plan, err = e.RunPlanned()
+		if err != nil {
+			return err
+		}
+	} else {
+		iters = e.Run()
+	}
 	elapsed := time.Since(start)
 	if *t >= 0 {
 		fmt.Printf("control(%d,%d) = %v  [%d iterations, %v]\n",
 			*s, *t, e.Has("control", int64(*s), int64(*t)), iters, elapsed)
-		return nil
+	} else {
+		fmt.Printf("control(%d, _) has %d tuples  [%d iterations, %v]\n",
+			*s, e.Count("control"), iters, elapsed)
 	}
-	fmt.Printf("control(%d, _) has %d tuples  [%d iterations, %v]\n",
-		*s, e.Count("control"), iters, elapsed)
+	if plan != nil {
+		fmt.Print(plan.String())
+	}
 	return nil
 }
 

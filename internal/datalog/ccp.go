@@ -82,3 +82,94 @@ func ControlledSet(g *graph.Graph, s graph.NodeID) (graph.NodeSet, error) {
 	}
 	return set, nil
 }
+
+// CCPSolver answers control queries goal-directedly over one loaded graph.
+// Unlike Controls, which rebuilds an engine and runs the global fixpoint per
+// call, the solver loads the ownership facts once — with source(v) for every
+// alive node, so any company can be a query source — and answers each query
+// through the planned engine: the magic-sets rewrite seeds only the
+// subgraph reachable from the queried source, and the compiled plan is
+// cached across queries. Queries are safe to issue from multiple goroutines.
+type CCPSolver struct {
+	e *Engine
+}
+
+// NewCCPSolver builds a solver over g.
+func NewCCPSolver(g *graph.Graph) (*CCPSolver, error) {
+	e := NewEngine()
+	if err := e.Relation("own", 2, true); err != nil {
+		return nil, err
+	}
+	if err := e.Relation("source", 1, false); err != nil {
+		return nil, err
+	}
+	if err := e.Relation("control", 2, false); err != nil {
+		return nil, err
+	}
+	var addErr error
+	g.EachNode(func(v graph.NodeID) {
+		if err := e.AddFact("source", 0, Value(v)); err != nil && addErr == nil {
+			addErr = err
+		}
+		g.EachOut(v, func(u graph.NodeID, w float64) {
+			if err := e.AddFact("own", w, Value(v), Value(u)); err != nil && addErr == nil {
+				addErr = err
+			}
+		})
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	if err := e.AddRule(Rule{
+		Head: Atom{Pred: "control", Terms: []Term{V("x"), V("x")}},
+		Body: []Atom{{Pred: "source", Terms: []Term{V("x")}}},
+	}); err != nil {
+		return nil, err
+	}
+	if err := e.AddRule(Rule{
+		Head: Atom{Pred: "control", Terms: []Term{V("x"), V("z")}},
+		Body: []Atom{
+			{Pred: "control", Terms: []Term{V("x"), V("y")}},
+			{Pred: "own", Terms: []Term{V("y"), V("z")}, WeightVar: "w"},
+		},
+		Agg: &MSum{WeightVar: "w", ContribVar: "y", Threshold: graph.ControlThreshold + graph.ControlEps},
+	}); err != nil {
+		return nil, err
+	}
+	return &CCPSolver{e: e}, nil
+}
+
+// Engine exposes the underlying engine (for explain output and tests).
+func (cs *CCPSolver) Engine() *Engine { return cs.e }
+
+// Controls answers q_c(s, t) goal-directedly.
+func (cs *CCPSolver) Controls(s, t graph.NodeID) (bool, error) {
+	ok, _, err := cs.ControlsExplain(s, t)
+	return ok, err
+}
+
+// ControlsExplain answers q_c(s, t) and returns the evaluation report.
+func (cs *CCPSolver) ControlsExplain(s, t graph.NodeID) (bool, *Explain, error) {
+	if s == t {
+		return true, &Explain{Goal: goalText("control", []Term{C(Value(s)), C(Value(t))}), Adornment: "bb"}, nil
+	}
+	res, err := cs.e.Query("control", C(Value(s)), C(Value(t)))
+	if err != nil {
+		return false, nil, err
+	}
+	return res.Derived, res.Explain, nil
+}
+
+// ControlledSet computes Control(s, ·) goal-directedly: the magic seed
+// restricts the fixpoint to tuples with source s.
+func (cs *CCPSolver) ControlledSet(s graph.NodeID) (graph.NodeSet, error) {
+	res, err := cs.e.Query("control", C(Value(s)), V("z"))
+	if err != nil {
+		return nil, err
+	}
+	set := graph.NewNodeSet()
+	for _, tup := range res.Tuples {
+		set.Add(graph.NodeID(tup[1]))
+	}
+	return set, nil
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Value is a constant of the Herbrand universe (company ids, etc.).
@@ -58,6 +59,12 @@ type Rule struct {
 	Head Atom
 	Body []Atom
 	Agg  *MSum
+
+	// insertWeight, when non-empty, names a body weight variable whose value
+	// is stored as the derived head tuple's weight. It is set only on the
+	// synthetic base-copy rules of the magic transform (see magic.go), which
+	// must preserve the weights of facts asserted into IDB relations.
+	insertWeight string
 }
 
 // relation stores the tuples of one predicate.
@@ -66,9 +73,11 @@ type relation struct {
 	arity    int
 	weighted bool
 
-	tuples map[string]float64 // encoded tuple -> weight (0 when unweighted)
-	list   [][]Value          // insertion order, for scans and deltas
-	// index[pos][value] lists tuple indices with that value at pos.
+	tuples  map[string]int // encoded tuple -> index into list/weights
+	list    [][]Value      // insertion order, for scans and deltas
+	weights []float64      // weight per tuple (0 when unweighted)
+	// index[pos][value] lists tuple indices with that value at pos, in
+	// ascending order (tuples are only ever appended).
 	index []map[Value][]int
 }
 
@@ -77,13 +86,24 @@ func newRelation(name string, arity int, weighted bool) *relation {
 		name:     name,
 		arity:    arity,
 		weighted: weighted,
-		tuples:   make(map[string]float64),
+		tuples:   make(map[string]int),
 		index:    make([]map[Value][]int, arity),
 	}
 	for i := range r.index {
 		r.index[i] = make(map[Value][]int)
 	}
 	return r
+}
+
+// reset empties the relation in place, keeping the allocated maps and slices
+// so a pooled evaluation can reuse them without churn.
+func (r *relation) reset() {
+	clear(r.tuples)
+	r.list = r.list[:0]
+	r.weights = r.weights[:0]
+	for i := range r.index {
+		clear(r.index[i])
+	}
 }
 
 func encode(t []Value) string {
@@ -100,11 +120,12 @@ func (r *relation) insert(t []Value, w float64) bool {
 	if _, ok := r.tuples[k]; ok {
 		return false
 	}
-	r.tuples[k] = w
 	idx := len(r.list)
+	r.tuples[k] = idx
 	own := make([]Value, len(t))
 	copy(own, t)
 	r.list = append(r.list, own)
+	r.weights = append(r.weights, w)
 	for pos, v := range own {
 		r.index[pos][v] = append(r.index[pos][v], idx)
 	}
@@ -122,14 +143,32 @@ type Engine struct {
 	rules []Rule
 
 	// aggregate state, per rule index: group key -> accumulated sum,
-	// and group|contrib key -> seen.
+	// and group|contrib key -> seen. The maps are pooled across Run calls on
+	// a reused engine: Run clears them instead of reallocating.
 	aggSum  []map[string]float64
 	aggSeen []map[string]bool
+
+	// version counts schema changes (relations, rules); compiled plans are
+	// keyed by it, so a schema change invalidates the plan cache.
+	version int
+	// planMu guards planCache. Compiled plans themselves are safe for
+	// concurrent evaluation (see eval.go): Query may be called from multiple
+	// goroutines as long as no AddFact/AddRule/Run runs concurrently.
+	planMu    sync.Mutex
+	planCache map[string]*planProgram
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
 	return &Engine{rels: make(map[string]*relation)}
+}
+
+// schemaChanged bumps the plan-cache version; stale plans are dropped.
+func (e *Engine) schemaChanged() {
+	e.planMu.Lock()
+	e.version++
+	e.planCache = nil
+	e.planMu.Unlock()
 }
 
 // Relation declares a predicate with the given arity. Weighted relations
@@ -142,6 +181,7 @@ func (e *Engine) Relation(name string, arity int, weighted bool) error {
 		return fmt.Errorf("datalog: relation %s must have positive arity", name)
 	}
 	e.rels[name] = newRelation(name, arity, weighted)
+	e.schemaChanged()
 	return nil
 }
 
@@ -164,6 +204,7 @@ func (e *Engine) AddRule(rule Rule) error {
 		return err
 	}
 	e.rules = append(e.rules, rule)
+	e.schemaChanged()
 	return nil
 }
 
@@ -263,11 +304,21 @@ type binding struct {
 // Run evaluates all rules to fixpoint with semi-naive iteration and returns
 // the number of iterations performed.
 func (e *Engine) Run() int {
-	e.aggSum = make([]map[string]float64, len(e.rules))
-	e.aggSeen = make([]map[string]bool, len(e.rules))
+	// The per-rule aggregate maps are reused across runs: clearing keeps the
+	// allocated buckets, so repeated evaluations on one engine (the
+	// plan-cache hit path) do not rebuild aggregate state from scratch.
+	if len(e.aggSum) != len(e.rules) {
+		e.aggSum = make([]map[string]float64, len(e.rules))
+		e.aggSeen = make([]map[string]bool, len(e.rules))
+	}
 	for i := range e.rules {
-		e.aggSum[i] = make(map[string]float64)
-		e.aggSeen[i] = make(map[string]bool)
+		if e.aggSum[i] == nil {
+			e.aggSum[i] = make(map[string]float64)
+			e.aggSeen[i] = make(map[string]bool)
+		} else {
+			clear(e.aggSum[i])
+			clear(e.aggSeen[i])
+		}
 	}
 	// delta[pred] holds the tuple indices that are new since the previous
 	// iteration. Initially everything is new.
@@ -330,11 +381,20 @@ func (e *Engine) join(ri int, rule Rule, deltaPos, atomIdx int, b binding, dr [2
 		lo, hi = dr[0], dr[1]
 	}
 	// Prefer an index lookup on the first position bound by the current
-	// bindings or a constant.
-	candidates := e.candidates(rel, atom, b, lo, hi)
-	for _, ti := range candidates {
-		tuple := rel.list[ti]
-		nb, ok := match(atom, tuple, rel, b)
+	// bindings or a constant; otherwise scan the range directly instead of
+	// materializing a candidate slice.
+	if idxs, ok := e.candidates(rel, atom, b, lo, hi); ok {
+		for _, ti := range idxs {
+			nb, ok := match(atom, rel.list[ti], rel.weights[ti], b)
+			if !ok {
+				continue
+			}
+			e.join(ri, rule, deltaPos, atomIdx+1, nb, dr)
+		}
+		return
+	}
+	for ti := lo; ti < hi; ti++ {
+		nb, ok := match(atom, rel.list[ti], rel.weights[ti], b)
 		if !ok {
 			continue
 		}
@@ -343,8 +403,12 @@ func (e *Engine) join(ri int, rule Rule, deltaPos, atomIdx int, b binding, dr [2
 }
 
 // candidates returns tuple indices of rel within [lo, hi) worth matching
-// against atom under bindings b, using a positional index when possible.
-func (e *Engine) candidates(rel *relation, atom Atom, b binding, lo, hi int) []int {
+// against atom under bindings b, using a positional index when possible. The
+// returned slice aliases the index postings — postings are appended in
+// ascending tuple order, so the [lo, hi) restriction is a binary-searched
+// subslice, never a filtered copy. ok is false when no position is bound and
+// the caller should scan the range itself.
+func (e *Engine) candidates(rel *relation, atom Atom, b binding, lo, hi int) ([]int, bool) {
 	for pos, t := range atom.Terms {
 		var v Value
 		var bound bool
@@ -356,29 +420,29 @@ func (e *Engine) candidates(rel *relation, atom Atom, b binding, lo, hi int) []i
 		if !bound {
 			continue
 		}
-		idxs := rel.index[pos][v]
-		if lo == 0 && hi == len(rel.list) {
-			return idxs
-		}
-		out := idxs[:0:0]
-		for _, i := range idxs {
-			if i >= lo && i < hi {
-				out = append(out, i)
-			}
-		}
-		return out
+		return clipRange(rel.index[pos][v], lo, hi), true
 	}
-	// Full scan of the range.
-	out := make([]int, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, i)
+	return nil, false
+}
+
+// clipRange restricts an ascending postings slice to tuple indices in
+// [lo, hi) by binary search, returning a subslice of the original.
+func clipRange(idxs []int, lo, hi int) []int {
+	if len(idxs) == 0 {
+		return idxs
 	}
-	return out
+	if lo <= idxs[0] && idxs[len(idxs)-1] < hi {
+		return idxs
+	}
+	from := sort.SearchInts(idxs, lo)
+	to := sort.SearchInts(idxs, hi)
+	return idxs[from:to]
 }
 
 // match unifies atom against tuple, extending b; it returns the extended
-// binding and whether unification succeeded. b is not mutated.
-func match(atom Atom, tuple []Value, rel *relation, b binding) (binding, bool) {
+// binding and whether unification succeeded. b is not mutated. w is the
+// tuple's weight, bound when the atom names a weight variable.
+func match(atom Atom, tuple []Value, w float64, b binding) (binding, bool) {
 	nb := binding{
 		vars:    make(map[string]Value, len(b.vars)+len(tuple)),
 		weights: b.weights,
@@ -402,7 +466,6 @@ func match(atom Atom, tuple []Value, rel *relation, b binding) (binding, bool) {
 		nb.vars[t.Var] = tuple[i]
 	}
 	if atom.WeightVar != "" {
-		w := rel.tuples[encode(tuple)]
 		nw := make(map[string]float64, len(b.weights)+1)
 		for k, v := range b.weights {
 			nw[k] = v

@@ -1,0 +1,186 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccp/internal/control"
+	"ccp/internal/graph"
+)
+
+// dyadicGraph generates a random ownership graph whose weights are multiples
+// of 1/64. Dyadic weights sum exactly in float64, so msum results are
+// independent of accumulation order and sums landing exactly on the 0.5
+// threshold are hit deliberately, not by luck — the strict > comparison must
+// keep them below control.
+func dyadicGraph(rng *rand.Rand) *graph.Graph {
+	n := 3 + rng.Intn(14)
+	g := graph.New(n)
+	m := rng.Intn(3 * n)
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		// Bias toward halves and quarters so exact-threshold sums (e.g.
+		// 16/64 + 16/64 = 0.5) occur often.
+		var w float64
+		switch rng.Intn(3) {
+		case 0:
+			w = float64(16*(1+rng.Intn(4))) / 64 // 0.25, 0.5, 0.75, 1.0
+		case 1:
+			w = float64(8*(1+rng.Intn(8))) / 64
+		default:
+			w = float64(1+rng.Intn(64)) / 64
+		}
+		// AddEdge rejects parallel edges and overweight labels; skipping is
+		// fine, the generator only needs variety.
+		_ = g.AddEdge(u, v, w)
+	}
+	return g
+}
+
+// TestDifferential500Seeds cross-checks three implementations of q_c(s,t)
+// over 500 random graphs: the CBE algorithm, the semi-naive Datalog
+// reference, and the planned goal-directed engine. Any divergence is a
+// correctness bug in one of them.
+func TestDifferential500Seeds(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := dyadicGraph(rng)
+		n := g.Cap()
+		solver, err := NewCCPSolver(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for q := 0; q < 3; q++ {
+			s := graph.NodeID(rng.Intn(n))
+			tgt := graph.NodeID(rng.Intn(n))
+			cbe := control.CBE(g, control.Query{S: s, T: tgt})
+			semi, err := Controls(g, s, tgt)
+			if err != nil {
+				t.Fatalf("seed %d: semi-naive: %v", seed, err)
+			}
+			planned, err := solver.Controls(s, tgt)
+			if err != nil {
+				t.Fatalf("seed %d: planned: %v", seed, err)
+			}
+			if semi != cbe || planned != cbe {
+				t.Fatalf("seed %d: control(%d,%d): cbe=%v semi-naive=%v planned=%v",
+					seed, s, tgt, cbe, semi, planned)
+			}
+		}
+	}
+}
+
+// TestExactThresholdBoundary pins the strict-inequality semantics at the
+// 0.5 boundary with exact dyadic sums: 32/64 must not confer control,
+// 33/64 must.
+func TestExactThresholdBoundary(t *testing.T) {
+	// Node 0 owns 1 and 2 outright; 1 and 2 each own 16/64 of 3 (sum 0.5,
+	// no control) and 1 and 2 each own 16/64 of 4 plus 0 owns 1/64 of 4
+	// directly (sum 33/64, control).
+	g := graph.New(5)
+	mustEdge := func(u, v graph.NodeID, w float64) {
+		t.Helper()
+		if err := g.AddEdge(u, v, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge(0, 1, 1.0)
+	mustEdge(0, 2, 1.0)
+	mustEdge(1, 3, 16.0/64)
+	mustEdge(2, 3, 16.0/64)
+	mustEdge(1, 4, 16.0/64)
+	mustEdge(2, 4, 16.0/64)
+	mustEdge(0, 4, 1.0/64)
+
+	solver, err := NewCCPSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		tgt  graph.NodeID
+		want bool
+	}{{3, false}, {4, true}} {
+		cbe := control.CBE(g, control.Query{S: 0, T: tc.tgt})
+		semi, err := Controls(g, 0, tc.tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := solver.Controls(0, tc.tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cbe != tc.want || semi != tc.want || planned != tc.want {
+			t.Fatalf("control(0,%d): cbe=%v semi-naive=%v planned=%v, want %v",
+				tc.tgt, cbe, semi, planned, tc.want)
+		}
+	}
+}
+
+// TestSelfControl pins the reflexive case across all three implementations.
+func TestSelfControl(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	solver, err := NewCCPSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := graph.NodeID(0); s < 3; s++ {
+		cbe := control.CBE(g, control.Query{S: s, T: s})
+		semi, err := Controls(g, s, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := solver.Controls(s, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cbe || !semi || !planned {
+			t.Fatalf("control(%d,%d): cbe=%v semi-naive=%v planned=%v, want all true", s, s, cbe, semi, planned)
+		}
+	}
+}
+
+// TestGoalDirectedDerivesFewerTuples asserts over random graphs that a
+// single-pair query derives no more tuples than the all-sources global
+// fixpoint, and strictly fewer on graphs with more than one component of
+// control — the point of the magic-sets restriction.
+func TestGoalDirectedDerivesFewerTuples(t *testing.T) {
+	strict := 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		g := dyadicGraph(rng)
+		n := g.Cap()
+		global, err := NewCCPSolver(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		global.Engine().Run()
+		globalTuples := global.Engine().Count("control")
+
+		solver, err := NewCCPSolver(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := graph.NodeID(rng.Intn(n))
+		tgt := graph.NodeID((int(s) + 1 + rng.Intn(n-1)) % n)
+		_, x, err := solver.ControlsExplain(s, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Derived > globalTuples {
+			t.Fatalf("seed %d: goal-directed derived %d > global %d", seed, x.Derived, globalTuples)
+		}
+		if x.Derived < globalTuples {
+			strict++
+		}
+	}
+	if strict == 0 {
+		t.Fatal("goal-directed evaluation never derived strictly fewer tuples than the global fixpoint")
+	}
+}

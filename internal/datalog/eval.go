@@ -1,0 +1,479 @@
+// eval.go — the streaming semi-naive evaluator for compiled plans. Joins
+// compose as nested iterations over index postings clipped to the delta
+// window by binary search; no per-round candidate slices are materialized,
+// and bindings live in flat slot buffers reused across the whole run.
+//
+// Evaluation state (planEval) is pooled per program: a plan-cache hit plus a
+// pool hit makes a repeated query allocation-light — private relations,
+// aggregate maps, and slot buffers are all cleared in place, not rebuilt.
+package datalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// planEval is the mutable state of one evaluation of a planProgram.
+type planEval struct {
+	prog   *planProgram
+	rels   []*relation // parallel to prog.rels; private ones owned here
+	delta  [][2]int
+	before []int
+
+	slots   []Value
+	wslots  []float64
+	headBuf []Value
+
+	aggSum  []map[string]float64
+	aggSeen []map[string]bool
+
+	ruleMatches []int // complete body bindings per rule
+	ruleDerived []int // new tuples asserted per rule
+
+	goal       []Value // fully-bound goal tuple for early stop, or nil
+	stopped    bool
+	derived    int
+	iterations int
+}
+
+func newPlanEval(p *planProgram) *planEval {
+	ev := &planEval{prog: p}
+	ev.rels = make([]*relation, len(p.rels))
+	for i, pr := range p.rels {
+		if pr.base != nil {
+			ev.rels[i] = pr.base
+		} else {
+			ev.rels[i] = newRelation(pr.name, pr.arity, pr.weighted)
+		}
+	}
+	ev.delta = make([][2]int, len(p.rels))
+	ev.before = make([]int, len(p.rels))
+	ev.slots = make([]Value, p.maxSlots)
+	ev.wslots = make([]float64, p.maxWeights)
+	ev.headBuf = make([]Value, p.maxHead)
+	ev.aggSum = make([]map[string]float64, len(p.rules))
+	ev.aggSeen = make([]map[string]bool, len(p.rules))
+	for i := range p.rules {
+		ev.aggSum[i] = make(map[string]float64)
+		ev.aggSeen[i] = make(map[string]bool)
+	}
+	ev.ruleMatches = make([]int, len(p.rules))
+	ev.ruleDerived = make([]int, len(p.rules))
+	return ev
+}
+
+// reset clears evaluation state in place. Base relations belong to the
+// engine and are left alone; private (adorned/magic) relations, aggregate
+// maps, and counters are emptied for reuse.
+func (ev *planEval) reset() {
+	for i, pr := range ev.prog.rels {
+		if pr.base == nil {
+			ev.rels[i].reset()
+		}
+	}
+	for i := range ev.aggSum {
+		clear(ev.aggSum[i])
+		clear(ev.aggSeen[i])
+	}
+	for i := range ev.ruleMatches {
+		ev.ruleMatches[i] = 0
+		ev.ruleDerived[i] = 0
+	}
+	ev.goal = nil
+	ev.stopped = false
+	ev.derived = 0
+	ev.iterations = 0
+}
+
+// take returns a pooled evaluator for the program, or a fresh one.
+func (p *planProgram) take() *planEval {
+	p.mu.Lock()
+	if n := len(p.pool); n > 0 {
+		ev := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		p.mu.Unlock()
+		return ev
+	}
+	p.mu.Unlock()
+	return newPlanEval(p)
+}
+
+// put resets the evaluator and returns it to the pool (bounded, so a burst
+// of concurrent queries does not pin memory forever).
+func (p *planProgram) put(ev *planEval) {
+	ev.reset()
+	p.mu.Lock()
+	if len(p.pool) < planPoolCap {
+		p.pool = append(p.pool, ev)
+	}
+	p.mu.Unlock()
+}
+
+// run evaluates the program to fixpoint (or to the early-stop goal) and
+// returns the number of semi-naive rounds.
+func (ev *planEval) run() int {
+	for _, s := range ev.prog.seeds {
+		ev.rels[s.relID].insert(s.tuple, 0)
+	}
+	for i, r := range ev.rels {
+		ev.delta[i] = [2]int{0, len(r.list)}
+	}
+	for {
+		ev.iterations++
+		for i, r := range ev.rels {
+			ev.before[i] = len(r.list)
+		}
+		for ri, rp := range ev.prog.rules {
+			ev.evalRule(ri, rp)
+			if ev.stopped {
+				return ev.iterations
+			}
+		}
+		changed := false
+		for i, r := range ev.rels {
+			ev.delta[i] = [2]int{ev.before[i], len(r.list)}
+			if len(r.list) > ev.before[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			return ev.iterations
+		}
+	}
+}
+
+// evalRule runs every delta configuration of one rule: orders[d] leads with
+// body atom d restricted to its delta window.
+func (ev *planEval) evalRule(ri int, rp *rulePlan) {
+	for _, order := range rp.orders {
+		dr := ev.delta[order[0].relID]
+		if dr[0] == dr[1] {
+			continue
+		}
+		ev.step(ri, rp, order, 0, dr)
+		if ev.stopped {
+			return
+		}
+	}
+}
+
+// step extends the current slot bindings over order[i]; i==0 is the delta
+// atom, restricted to [dr[0], dr[1]).
+func (ev *planEval) step(ri int, rp *rulePlan, order []atomStep, i int, dr [2]int) {
+	if i == len(order) {
+		ev.fire(ri, rp)
+		return
+	}
+	st := &order[i]
+	rel := ev.rels[st.relID]
+	lo, hi := 0, len(rel.list)
+	if i == 0 {
+		lo, hi = dr[0], dr[1]
+	}
+	if st.indexPos >= 0 {
+		op := &st.ops[st.indexPos]
+		v := op.val
+		if op.kind == opCheck {
+			v = ev.slots[op.slot]
+		}
+		for _, ti := range clipRange(rel.index[st.indexPos][v], lo, hi) {
+			ev.tryTuple(ri, rp, order, i, ti, dr)
+			if ev.stopped {
+				return
+			}
+		}
+		return
+	}
+	for ti := lo; ti < hi; ti++ {
+		ev.tryTuple(ri, rp, order, i, ti, dr)
+		if ev.stopped {
+			return
+		}
+	}
+}
+
+// tryTuple matches one tuple against order[i]'s ops, binding slots on first
+// occurrences. Stale slot values from backtracking are harmless: a slot is
+// only ever read (opCheck, head, agg) at points that come strictly after its
+// opBind in the same order, so every read sees the current iteration's value.
+func (ev *planEval) tryTuple(ri int, rp *rulePlan, order []atomStep, i, ti int, dr [2]int) {
+	st := &order[i]
+	rel := ev.rels[st.relID]
+	tuple := rel.list[ti]
+	for pos := range st.ops {
+		op := &st.ops[pos]
+		switch op.kind {
+		case opConst:
+			if tuple[pos] != op.val {
+				return
+			}
+		case opCheck:
+			if tuple[pos] != ev.slots[op.slot] {
+				return
+			}
+		default: // opBind
+			ev.slots[op.slot] = tuple[pos]
+		}
+	}
+	if st.weightSlot >= 0 {
+		ev.wslots[st.weightSlot] = rel.weights[ti]
+	}
+	ev.step(ri, rp, order, i+1, dr)
+}
+
+// fire processes one complete body binding: plain rules assert the head,
+// msum rules accumulate per-group state and assert on threshold crossing.
+func (ev *planEval) fire(ri int, rp *rulePlan) {
+	ev.ruleMatches[ri]++
+	head := ev.headBuf[:len(rp.headOps)]
+	for i := range rp.headOps {
+		op := &rp.headOps[i]
+		if op.kind == opConst {
+			head[i] = op.val
+		} else {
+			head[i] = ev.slots[op.slot]
+		}
+	}
+	rel := ev.rels[rp.headRelID]
+	if rp.agg == nil {
+		var w float64
+		if rp.insertWeightSlot >= 0 {
+			w = ev.wslots[rp.insertWeightSlot]
+		}
+		if rel.insert(head, w) {
+			ev.noteDerived(ri, rp, head)
+		}
+		return
+	}
+	group := encode(head)
+	key := group + "\x00" + encodeOne(ev.slots[rp.agg.contribSlot])
+	if ev.aggSeen[ri][key] {
+		return // msum counts each contributor once
+	}
+	ev.aggSeen[ri][key] = true
+	ev.aggSum[ri][group] += ev.wslots[rp.agg.weightSlot]
+	if ev.aggSum[ri][group] > rp.agg.threshold {
+		if rel.insert(head, 0) {
+			ev.noteDerived(ri, rp, head)
+		}
+	}
+}
+
+func (ev *planEval) noteDerived(ri int, rp *rulePlan, head []Value) {
+	ev.ruleDerived[ri]++
+	ev.derived++
+	if rp.headRelID == ev.prog.goalRelID && ev.goal != nil && valuesEqual(head, ev.goal) {
+		ev.stopped = true
+	}
+}
+
+func encodeOne(v Value) string {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return string(buf[:])
+}
+
+func valuesEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// planFor returns the cached plan under key, building and caching it on a
+// miss. The boolean reports a cache hit. Builds run under the lock: plans
+// compile in microseconds and concurrent queries for the same adornment
+// should share one program (and its evaluator pool).
+func (e *Engine) planFor(key string, build func(p *planner) error) (*planProgram, bool, error) {
+	full := fmt.Sprintf("%s|v%d", key, e.version)
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if e.planCache == nil {
+		e.planCache = make(map[string]*planProgram)
+	}
+	if prog, ok := e.planCache[full]; ok {
+		return prog, true, nil
+	}
+	p := newPlanner(e)
+	if err := build(p); err != nil {
+		return nil, false, err
+	}
+	prog := p.finish()
+	prog.key = full
+	e.planCache[full] = prog
+	return prog, false, nil
+}
+
+// RunPlanned evaluates all rules to fixpoint like Run, but through the
+// compiled plan: slot bindings, static index selection, and streaming delta
+// joins. It returns the number of rounds and the evaluation explain record.
+func (e *Engine) RunPlanned() (int, *Explain, error) {
+	prog, hit, err := e.planFor("run", func(p *planner) error {
+		for _, r := range e.rules {
+			if err := p.compileRule(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	ev := prog.take()
+	iters := ev.run()
+	x := buildExplain(prog, ev, hit)
+	x.Goal = "fixpoint"
+	prog.put(ev)
+	return iters, x, nil
+}
+
+// QueryResult is the answer to a goal-directed query.
+type QueryResult struct {
+	// Derived reports whether any tuple matches the goal.
+	Derived bool
+	// Tuples are the matching goal tuples, sorted (deterministic).
+	Tuples [][]Value
+	// Explain describes the plan that ran and its per-rule counters.
+	Explain *Explain
+}
+
+// Query answers pred(args...) goal-directedly. Constant arguments become the
+// adornment's bound positions; the magic-sets transform restricts the
+// fixpoint to tuples relevant to those constants, so a single-pair query
+// touches only the reachable part of the data instead of running the global
+// fixpoint. Plans are cached per (program version, predicate, adornment):
+// repeated queries with different constants share one compiled plan and its
+// evaluator pool.
+//
+// Query never mutates engine relations; it is safe to call from multiple
+// goroutines as long as no AddFact/AddRule/Relation/Run runs concurrently.
+func (e *Engine) Query(pred string, args ...Term) (QueryResult, error) {
+	rel, ok := e.rels[pred]
+	if !ok {
+		return QueryResult{}, fmt.Errorf("datalog: unknown relation %s", pred)
+	}
+	if len(args) != rel.arity {
+		return QueryResult{}, fmt.Errorf("datalog: %s has arity %d, got %d terms", pred, rel.arity, len(args))
+	}
+	adorn := adornmentOf(args)
+	goal := goalText(pred, args)
+	if !e.isIDB(pred) {
+		// EDB fast path: no rule derives pred, answer straight from storage.
+		res := QueryResult{Tuples: collectMatching(rel, args)}
+		res.Derived = len(res.Tuples) > 0
+		res.Explain = &Explain{Goal: goal, Adornment: adorn}
+		return res, nil
+	}
+	prog, hit, err := e.planFor("q|"+pred+"|"+adorn, func(p *planner) error {
+		return magicTransform(e, p, pred, adorn)
+	})
+	if err != nil {
+		return QueryResult{}, err
+	}
+	ev := prog.take()
+	if prog.seedRelID >= 0 {
+		seed := make([]Value, 0, len(args))
+		for _, a := range args {
+			if a.Var == "" {
+				seed = append(seed, a.Const)
+			}
+		}
+		ev.rels[prog.seedRelID].insert(seed, 0)
+	}
+	fullyBound := !strings.Contains(adorn, "f")
+	if fullyBound {
+		g := make([]Value, len(args))
+		for i, a := range args {
+			g[i] = a.Const
+		}
+		ev.goal = g
+	}
+	ev.run()
+	res := QueryResult{}
+	goalRel := ev.rels[prog.goalRelID]
+	if fullyBound {
+		res.Derived = ev.stopped || goalRel.has(ev.goal)
+		if res.Derived {
+			g := make([]Value, len(args))
+			copy(g, ev.goal)
+			res.Tuples = [][]Value{g}
+		}
+	} else {
+		res.Tuples = collectMatching(goalRel, args)
+		res.Derived = len(res.Tuples) > 0
+	}
+	res.Explain = buildExplain(prog, ev, hit)
+	res.Explain.Goal = goal
+	prog.put(ev)
+	return res, nil
+}
+
+// isIDB reports whether any rule derives pred.
+func (e *Engine) isIDB(pred string) bool {
+	for _, r := range e.rules {
+		if r.Head.Pred == pred {
+			return true
+		}
+	}
+	return false
+}
+
+// adornmentOf maps constant arguments to 'b' and variables to 'f'.
+func adornmentOf(args []Term) string {
+	b := make([]byte, len(args))
+	for i, a := range args {
+		if a.Var == "" {
+			b[i] = 'b'
+		} else {
+			b[i] = 'f'
+		}
+	}
+	return string(b)
+}
+
+// collectMatching copies rel's tuples consistent with the goal terms:
+// constants must match, repeated variables must agree. Results are sorted.
+func collectMatching(rel *relation, args []Term) [][]Value {
+	var out [][]Value
+	for _, t := range rel.list {
+		if !goalMatches(t, args) {
+			continue
+		}
+		c := make([]Value, len(t))
+		copy(c, t)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func goalMatches(tuple []Value, args []Term) bool {
+	for i, a := range args {
+		if a.Var == "" {
+			if tuple[i] != a.Const {
+				return false
+			}
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if args[j].Var == a.Var && tuple[j] != tuple[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ccp/internal/control"
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+	"ccp/internal/partition"
+)
+
+// datalogCluster builds an in-process coordinator whose sites all run the
+// goal-directed Datalog evaluator.
+func datalogCluster(t testing.TB, g *graph.Graph, k int, opts Options) *Coordinator {
+	t.Helper()
+	pi, err := partition.ByHash(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]SiteClient, k)
+	for i, p := range pi.Parts {
+		site := NewSite(p, 2)
+		site.SetDatalogEvaluator(true)
+		clients[i] = &LocalClient{Site: site}
+	}
+	return NewCoordinator(clients, opts)
+}
+
+// TestSiteDatalogDecidesLocally pins the decided-True path: when the source
+// site's own partition derives control(s,t), the site answers without
+// shipping a reduced partial.
+func TestSiteDatalogDecidesLocally(t *testing.T) {
+	// A single partition holds everything, so the local derivation always
+	// sees the full graph.
+	g := graph.New(4)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi, err := partition.ByHash(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := NewSite(pi.Parts[0], 2)
+	site.SetDatalogEvaluator(true)
+	pa, err := site.Evaluate(context.Background(), control.Query{S: 0, T: 3}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Ans != control.True {
+		t.Fatalf("datalog site answered %v, want decided True", pa.Ans)
+	}
+	if pa.Reduced != nil {
+		t.Fatal("decided answer still shipped a reduced partial")
+	}
+
+	// A negative local derivation must fall back to the partial path, not
+	// decide False: control(3,0) does not hold but the site only knows its
+	// own partition.
+	pa, err = site.Evaluate(context.Background(), control.Query{S: 3, T: 0}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Ans == control.True {
+		t.Fatal("negative derivation decided True")
+	}
+
+	// ForcePartial must bypass the datalog decision entirely.
+	pa, err = site.Evaluate(context.Background(), control.Query{S: 0, T: 3}, EvalOptions{ForcePartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Ans != control.Unknown || pa.Reduced == nil {
+		t.Fatalf("ForcePartial with datalog: ans=%v reduced=%v", pa.Ans, pa.Reduced != nil)
+	}
+}
+
+// TestDatalogSitesMatchCentralized cross-checks full cluster answers with
+// datalog-evaluator sites against CBE on the whole graph, over random
+// graphs and partitionings.
+func TestDatalogSitesMatchCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(40)
+		g := gen.Random(n, rng.Intn(4*n), rng.Int63())
+		k := 1 + rng.Intn(3)
+		coord := datalogCluster(t, g, k, Options{Workers: 2})
+		for i := 0; i < 6; i++ {
+			q := control.Query{
+				S: graph.NodeID(rng.Intn(n)),
+				T: graph.NodeID(rng.Intn(n)),
+			}
+			want := control.CBE(g, q)
+			got, _, err := coord.Answer(context.Background(), q)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, q, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d %v: datalog-sites=%v centralized=%v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+// TestDatalogSolverInvalidatedOnUpdate pins that the per-epoch solver is
+// rebuilt after the partition changes.
+func TestDatalogSolverInvalidatedOnUpdate(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := partition.ByHash(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := NewSite(pi.Parts[0], 2)
+	site.SetDatalogEvaluator(true)
+	q := control.Query{S: 0, T: 2}
+	pa, err := site.Evaluate(context.Background(), q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Ans == control.True {
+		t.Fatal("control(0,2) decided True before the edge exists")
+	}
+	// Grow the partition: 1 -> 2 closes the control chain.
+	if err := pi.Parts[0].Local.AddEdge(1, 2, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	site.Invalidate()
+	pa, err = site.Evaluate(context.Background(), q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Ans != control.True {
+		t.Fatalf("after update: ans=%v, want decided True from rebuilt solver", pa.Ans)
+	}
+}

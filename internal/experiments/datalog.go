@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccp/internal/control"
+	"ccp/internal/datalog"
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+)
+
+// DatalogRow is one engine's timing in the Datalog ablation: the same batch
+// of control queries answered by the semi-naive declarative engine (facts
+// reloaded and the fixpoint rerun per query), the planned goal-directed
+// engine (facts loaded once, cached plans, magic-sets seeding), and the
+// specialized CBE reduction as the floor.
+type DatalogRow struct {
+	Engine     string  `json:"engine"`
+	Queries    int     `json:"queries"`
+	NsPerQuery float64 `json:"ns_per_query"`
+}
+
+func (r DatalogRow) String() string {
+	return fmt.Sprintf("%-18s queries=%-3d %10.1fµs/query", r.Engine, r.Queries, r.NsPerQuery/1e3)
+}
+
+// DatalogResult is the Datalog ablation: per-engine timings plus the two
+// headline ratios — how much the planner buys over semi-naive re-evaluation,
+// and what fraction of the global fixpoint a goal-directed query derives.
+type DatalogResult struct {
+	Rows []DatalogRow
+	// SpeedupPlannedVsSemiNaive is semi-naive ns/query over planned
+	// ns/query on the same query batch.
+	SpeedupPlannedVsSemiNaive float64
+	// GlobalTuples counts the tuples the full (every-source) fixpoint
+	// derives; GoalTuples counts what one goal-directed control(s,t) query
+	// derives instead; GoalFraction is their ratio.
+	GlobalTuples int
+	GoalTuples   int
+	GoalFraction float64
+}
+
+// Datalog measures the planned, goal-directed Datalog evaluator against the
+// semi-naive engine and the specialized CBE reduction on one scale-free
+// graph, cross-checking that all three agree on every answer.
+func Datalog(cfg Config) (DatalogResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := gen.ScaleFree(gen.ScaleFreeConfig{Nodes: cfg.scaled(1200), Seed: cfg.Seed})
+
+	queries := make([]control.Query, 0, 12)
+	seen := map[[2]graph.NodeID]bool{}
+	// Prefer distinct pairs, but accept repeats after enough attempts: on a
+	// tiny graph pickQuery may have only a handful of viable endpoints.
+	for attempt := 0; len(queries) < 12; attempt++ {
+		q := pickQuery(g, rng)
+		if seen[[2]graph.NodeID{q.S, q.T}] && attempt < 200 {
+			continue
+		}
+		seen[[2]graph.NodeID{q.S, q.T}] = true
+		queries = append(queries, q)
+	}
+
+	solver, err := datalog.NewCCPSolver(g)
+	if err != nil {
+		return DatalogResult{}, err
+	}
+	// Cross-check every answer across the three engines before timing
+	// anything: a fast wrong engine is not an ablation. This pass also
+	// warms the solver's plan cache, so the timed planned loop measures
+	// the steady state (the cache-hit path a query server lives on).
+	for _, q := range queries {
+		want := control.CBE(g, q)
+		sn, err := datalog.Controls(g, q.S, q.T)
+		if err != nil {
+			return DatalogResult{}, err
+		}
+		pl, err := solver.Controls(q.S, q.T)
+		if err != nil {
+			return DatalogResult{}, err
+		}
+		if sn != want || pl != want {
+			return DatalogResult{}, fmt.Errorf("engines disagree on control(%d,%d): cbe=%v semi-naive=%v planned=%v",
+				q.S, q.T, want, sn, pl)
+		}
+	}
+
+	res := DatalogResult{}
+	nq := len(queries)
+	perQuery := func(engine string, fn func(q control.Query)) DatalogRow {
+		elapsed := timeIt(cfg.Repeats, func() {
+			for _, q := range queries {
+				fn(q)
+			}
+		})
+		return DatalogRow{Engine: engine, Queries: nq,
+			NsPerQuery: float64(elapsed.Nanoseconds()) / float64(nq)}
+	}
+	semiNaive := perQuery("semi-naive", func(q control.Query) {
+		datalog.Controls(g, q.S, q.T)
+	})
+	planned := perQuery("planned", func(q control.Query) {
+		solver.Controls(q.S, q.T)
+	})
+	cbe := perQuery("cbe", func(q control.Query) {
+		control.CBE(g, q)
+	})
+	res.Rows = []DatalogRow{semiNaive, planned, cbe}
+	if planned.NsPerQuery > 0 {
+		res.SpeedupPlannedVsSemiNaive = semiNaive.NsPerQuery / planned.NsPerQuery
+	}
+
+	// Goal-directedness: compare the tuples one control(s,t)? query derives
+	// against the global fixpoint (every node a source) on a fresh engine.
+	fresh, err := datalog.NewCCPSolver(g)
+	if err != nil {
+		return DatalogResult{}, err
+	}
+	_, gx, err := fresh.Engine().RunPlanned()
+	if err != nil {
+		return DatalogResult{}, err
+	}
+	res.GlobalTuples = gx.Derived
+	q := queries[0]
+	_, ex, err := solver.ControlsExplain(q.S, q.T)
+	if err != nil {
+		return DatalogResult{}, err
+	}
+	res.GoalTuples = ex.Derived
+	if res.GlobalTuples > 0 {
+		res.GoalFraction = float64(res.GoalTuples) / float64(res.GlobalTuples)
+	}
+	return res, nil
+}

@@ -168,8 +168,29 @@ func TestAblationsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 7 {
+	if len(rows) != 9 {
 		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestDatalogSmoke(t *testing.T) {
+	res, err := Datalog(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r.NsPerQuery <= 0 || r.Queries != 12 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+	if res.SpeedupPlannedVsSemiNaive <= 0 {
+		t.Fatalf("speedup = %v", res.SpeedupPlannedVsSemiNaive)
+	}
+	if res.GlobalTuples <= 0 || res.GoalTuples <= 0 || res.GoalTuples > res.GlobalTuples {
+		t.Fatalf("goal measurement: %d of %d", res.GoalTuples, res.GlobalTuples)
 	}
 }
 

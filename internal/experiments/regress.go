@@ -73,10 +73,25 @@ type reductionFile struct {
 	} `json:"benchmarks"`
 }
 
+// datalogFile mirrors the BENCH_datalog.json shape ccpbench writes
+// (cmd/ccpbench datalogDoc); only the fields the gate reads.
+type datalogFile struct {
+	Engines []struct {
+		Engine     string  `json:"engine"`
+		NsPerQuery float64 `json:"ns_per_query"`
+	} `json:"engines"`
+	Speedup float64 `json:"speedup_planned_vs_seminaive"`
+	Goal    struct {
+		Fraction float64 `json:"fraction"`
+	} `json:"goal"`
+}
+
 // ExtractSeries pulls the comparable series out of a bench JSON document,
 // auto-detecting its shape: a BENCH_throughput.json concurrency sweep
-// (queries-per-minute gated, p95 informational) or a BENCH_reduction.json
-// record (after-state ns/op, gated, lower is better).
+// (queries-per-minute gated, p95 informational), a BENCH_reduction.json
+// record (after-state ns/op, gated, lower is better), or a
+// BENCH_datalog.json engine comparison (planned-vs-semi-naive speedup and
+// goal fraction gated, per-engine ns/query informational).
 func ExtractSeries(data []byte) ([]Series, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -116,8 +131,30 @@ func ExtractSeries(data []byte) ([]Series, error) {
 					Value: b.After.NsOp, Gated: true})
 			}
 		}
+	case probe["engines"] != nil:
+		var doc datalogFile
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("experiments: parsing datalog file: %w", err)
+		}
+		for _, e := range doc.Engines {
+			// Absolute per-engine times are machine-dependent; the in-file
+			// ratios below are what the gate holds steady.
+			out = append(out, Series{Name: "datalog/ns_per_query/" + e.Engine,
+				Value: e.NsPerQuery})
+		}
+		if doc.Speedup > 0 {
+			out = append(out, Series{Name: "datalog/speedup_planned_vs_seminaive",
+				Value: doc.Speedup, HigherIsBetter: true, Gated: true})
+		}
+		if doc.Goal.Fraction > 0 {
+			// Lower is better: a goal-directed query should touch a small
+			// slice of the global fixpoint. A rising fraction means the
+			// magic-sets seeding stopped restricting the evaluation.
+			out = append(out, Series{Name: "datalog/goal_fraction",
+				Value: doc.Goal.Fraction, Gated: true})
+		}
 	default:
-		return nil, fmt.Errorf("experiments: unrecognized bench file shape (want a \"rows\" or \"benchmarks\" document)")
+		return nil, fmt.Errorf("experiments: unrecognized bench file shape (want a \"rows\", \"benchmarks\" or \"engines\" document)")
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("experiments: bench file holds no comparable series")

@@ -76,6 +76,42 @@ func TestExtractSeriesRejectsUnknownShape(t *testing.T) {
 	}
 }
 
+func TestExtractSeriesDatalog(t *testing.T) {
+	doc := `{
+	  "benchmark": "ccpbench datalog",
+	  "engines": [
+	    {"engine": "semi-naive", "queries": 12, "ns_per_query": 500000},
+	    {"engine": "planned", "queries": 12, "ns_per_query": 50000},
+	    {"engine": "cbe", "queries": 12, "ns_per_query": 2000}
+	  ],
+	  "speedup_planned_vs_seminaive": 10.0,
+	  "goal": {"global_tuples": 4000, "goal_tuples": 80, "fraction": 0.02}
+	}`
+	series, err := ExtractSeries([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	spd, ok := byName["datalog/speedup_planned_vs_seminaive"]
+	if !ok || spd.Value != 10.0 || !spd.HigherIsBetter || !spd.Gated {
+		t.Fatalf("speedup = %+v, want gated higher-is-better 10.0", spd)
+	}
+	frac, ok := byName["datalog/goal_fraction"]
+	if !ok || frac.Value != 0.02 || frac.HigherIsBetter || !frac.Gated {
+		t.Fatalf("goal_fraction = %+v, want gated lower-is-better 0.02", frac)
+	}
+	ns, ok := byName["datalog/ns_per_query/planned"]
+	if !ok || ns.Value != 50000 || ns.Gated {
+		t.Fatalf("ns_per_query/planned = %+v, want ungated 50000", ns)
+	}
+	if len(byName) != 5 {
+		t.Fatalf("got %d series %v, want 5", len(byName), byName)
+	}
+}
+
 func TestCompareGatesOnlyGatedSeries(t *testing.T) {
 	baseline := []Series{
 		{Name: "qpm", Value: 1000, HigherIsBetter: true, Gated: true},
@@ -178,7 +214,7 @@ func TestAppendHistory(t *testing.T) {
 // files: if their shape drifts, the gate silently gating nothing would be
 // worse than a failing test.
 func TestRepoBenchFilesExtract(t *testing.T) {
-	for _, name := range []string{"BENCH_throughput.json", "BENCH_reduction.json"} {
+	for _, name := range []string{"BENCH_throughput.json", "BENCH_reduction.json", "BENCH_datalog.json"} {
 		data, err := os.ReadFile(filepath.Join("..", "..", name))
 		if err != nil {
 			t.Skipf("%s not present: %v", name, err)

@@ -19,15 +19,21 @@
 # current sweep also records mutex/block contention profiles so a scaling
 # regression comes with the evidence of where the time went.
 #
+# The datalog planner gets the same treatment: the datalog experiment runs
+# twice (baseline, current), the planned-vs-semi-naive speedup and the
+# goal-directed fraction are gated, the BenchmarkDatalog* microbenchmarks
+# are smoke-run, and the comparison lands in the same history file.
+#
 # Tunables (env):
-#   BENCH_GATE_SCALE        graph scale factor          (default 0.25)
-#   BENCH_GATE_CONCURRENCY  sweep max concurrency       (default 4)
-#   BENCH_GATE_SEED         graph seed                  (default 11)
-#   BENCH_GATE_REPEATS      runs averaged per point     (default 2)
-#   BENCH_GATE_THRESHOLD    noise floor, fraction       (default 0.25)
-#   BENCH_GATE_BASELINE     pre-built baseline file     (default: run a sweep)
-#   BENCH_GATE_HISTORY      history file to append to   (default BENCH_history.jsonl)
-#   BENCH_GATE_PROFILE_DIR  contention profile output   (default bench-profiles)
+#   BENCH_GATE_SCALE            graph scale factor          (default 0.25)
+#   BENCH_GATE_CONCURRENCY      sweep max concurrency       (default 4)
+#   BENCH_GATE_SEED             graph seed                  (default 11)
+#   BENCH_GATE_REPEATS          runs averaged per point     (default 2)
+#   BENCH_GATE_THRESHOLD        noise floor, fraction       (default 0.25)
+#   BENCH_GATE_BASELINE         pre-built baseline file     (default: run a sweep)
+#   BENCH_GATE_DATALOG_BASELINE pre-built datalog baseline  (default: run the experiment)
+#   BENCH_GATE_HISTORY          history file to append to   (default BENCH_history.jsonl)
+#   BENCH_GATE_PROFILE_DIR      contention profile output   (default bench-profiles)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -80,8 +86,33 @@ for bad in '"merged_queries": 0,' '"snapshot_hit_rate": 0,'; do
 done
 echo "  all rows merged queries and hit the snapshot cache"
 
+echo "== datalog: baseline and current runs =="
+dlbaseline=${BENCH_GATE_DATALOG_BASELINE:-}
+if [ -z "$dlbaseline" ]; then
+    dlbaseline="$workdir/datalog-baseline.json"
+    "$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+        -datalog-out "$dlbaseline" datalog
+fi
+"$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+    -datalog-out "$workdir/datalog-current.json" datalog
+
+echo "== datalog sanity: the planner must beat semi-naive re-evaluation =="
+# The speedup is also gated relatively below; this is the absolute floor —
+# a planner slower than the engine it plans for is broken at any baseline.
+grep -q '"speedup_planned_vs_seminaive"' "$workdir/datalog-current.json" \
+    || { echo "bench_gate: datalog file records no speedup" >&2; exit 1; }
+awk -F'[:,]' '/"speedup_planned_vs_seminaive"/ {
+    if ($2 + 0 < 2) { printf "bench_gate: planned speedup %.2fx below the 2x floor\n", $2; exit 1 }
+    printf "  planned datalog is %.1fx semi-naive\n", $2
+}' "$workdir/datalog-current.json"
+
+echo "== datalog microbenchmarks (smoke) =="
+go test -run '^$' -bench '^BenchmarkDatalog' -benchtime 1x ./internal/datalog
+
 echo "== gate: current vs baseline (threshold $threshold) =="
 "$bench" -compare "$baseline" -compare-with "$workdir/current.json" \
+    -gate-threshold "$threshold" -history "$history"
+"$bench" -compare "$dlbaseline" -compare-with "$workdir/datalog-current.json" \
     -gate-threshold "$threshold" -history "$history"
 
 echo "== gate self-test: an injected 2x slowdown must fail =="

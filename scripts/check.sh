@@ -33,6 +33,7 @@ go test -race -shuffle=on -timeout 10m \
     ./internal/control/... \
     ./internal/graph/... \
     ./internal/par/... \
+    ./internal/datalog/... \
     ./internal/dist/... \
     ./internal/obs/... \
     ./internal/obs/flight/...
