@@ -7,9 +7,11 @@
 //	         [-full-rescan] <experiment>...
 //
 // Experiments: fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h nettraffic
-// riad serial ablations fig9a fig9b throughput contrast updates datalog, or
-// "all". The datalog experiment writes its three-engine comparison to
-// BENCH_datalog.json (see -datalog-out).
+// riad serial ablations fig9a fig9b throughput contrast updates datalog
+// store, or "all". The datalog experiment writes its three-engine
+// comparison to BENCH_datalog.json (see -datalog-out); the store experiment
+// writes its WAL/recovery/snapshot measurements to BENCH_store.json (see
+// -store-out).
 //
 // With -concurrency n > 1, the throughput experiment sweeps batch
 // concurrency 1, 2, 4, ... up to n and writes the qps rows to
@@ -43,6 +45,8 @@ func main() {
 		"pre-change serial q/min to record alongside the sweep (0 omits it)")
 	datalogOut := flag.String("datalog-out", "BENCH_datalog.json",
 		"file the datalog experiment writes its engine comparison to (empty = don't write)")
+	storeOut := flag.String("store-out", "BENCH_store.json",
+		"file the store experiment writes its WAL/recovery/snapshot measurements to (empty = don't write)")
 	fullRescan := flag.Bool("full-rescan", false,
 		"use the full-rescan reduction engine instead of the frontier engine (ablation abl-frontier)")
 	compare := flag.String("compare", "",
@@ -96,6 +100,8 @@ func main() {
 			err = runThroughputSweep(cfg, *throughputOut, *throughputBaseline)
 		} else if name == "datalog" {
 			err = runDatalogBench(cfg, *datalogOut)
+		} else if name == "store" {
+			err = runStoreBench(cfg, *storeOut)
 		} else {
 			err = run(name, cfg)
 		}
@@ -364,6 +370,60 @@ func runDatalogBench(cfg experiments.Config, outPath string) error {
 	return nil
 }
 
+// storeDoc is the BENCH_store.json shape: the durable-store measurements
+// under a top-level "wal" key the regression gate auto-detects.
+type storeDoc struct {
+	Benchmark string                         `json:"benchmark"`
+	Scale     float64                        `json:"scale"`
+	Seed      int64                          `json:"seed"`
+	Meta      experiments.BenchMeta          `json:"meta"`
+	WAL       any                            `json:"wal"`
+	Recovery  []experiments.StoreRecoveryRow `json:"recovery"`
+	Snapshot  any                            `json:"snapshot"`
+}
+
+// runStoreBench runs the durable-store experiment, prints the rows, and
+// (unless outPath is empty) writes the BENCH_store.json record the gate
+// compares.
+func runStoreBench(cfg experiments.Config, outPath string) error {
+	res, err := experiments.StoreBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Durable store — WAL, recovery, MVCC snapshots ==\n")
+	fmt.Printf("  wal append (nosync):      %10.0f records/s\n", res.WAL.AppendsPerSecNoSync)
+	fmt.Printf("  wal append (fsync):       %10.0f records/s (%.1f appends/fsync)\n",
+		res.WAL.AppendsPerSecSync, res.WAL.GroupCommitBatch)
+	for _, r := range res.Recovery {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Printf("  mixed queries (memory):   %10.1f q/s\n", res.Snapshot.MemoryQPS)
+	fmt.Printf("  mixed queries (durable):  %10.1f q/s (%.2fx of memory)\n",
+		res.Snapshot.DurableQPS, res.Snapshot.Ratio)
+	if outPath == "" {
+		fmt.Println()
+		return nil
+	}
+	doc := storeDoc{
+		Benchmark: "ccpbench store",
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+		Meta:      experiments.CollectMeta(cfg.Seed, cfg.Scale),
+		WAL:       res.WAL,
+		Recovery:  res.Recovery,
+		Snapshot:  res.Snapshot,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n\n", outPath)
+	return nil
+}
+
 // sweepLevels lists the measured concurrency levels: 1, 2, 4, ... and max
 // itself.
 func sweepLevels(max int) []int {
@@ -381,7 +441,7 @@ func names() []string {
 	return []string{
 		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
 		"nettraffic", "riad", "serial", "ablations", "fig9a", "fig9b", "throughput", "contrast", "updates",
-		"datalog",
+		"datalog", "store",
 	}
 }
 
@@ -503,6 +563,10 @@ func run(name string, cfg experiments.Config) error {
 		// file gets written; this print-only path keeps run() total over
 		// names() for direct callers.
 		return runDatalogBench(cfg, "")
+	case "store":
+		// Same arrangement as datalog: main routes "store" through
+		// runStoreBench with -store-out; this path just prints.
+		return runStoreBench(cfg, "")
 	default:
 		return fmt.Errorf("unknown experiment (want one of %v)", names())
 	}

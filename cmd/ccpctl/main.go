@@ -66,6 +66,8 @@ func main() {
 		err = cmdFlight(args[1:])
 	case "top":
 		err = cmdTop(args[1:])
+	case "store":
+		err = cmdStore(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -91,6 +93,8 @@ func usage() {
                                                       (merged cross-process flight timeline)
   ccpctl top     -ops host:port[,...] [-interval d] [-n count]
                                                       (refresh-loop cluster health view)
+  ccpctl store   -ops host:port[,...] [-json]         (durable-store state per site: epoch,
+                                                      durable/checkpoint seq, WAL backlog)
 global flags (before the subcommand): -log-level debug|info|warn|error, -log-format text|json`)
 }
 

@@ -7,12 +7,16 @@
 //
 // Usage:
 //
-//	ccpd -partition p2.ccpp -listen :7002 [-workers n]
+//	ccpd -partition p2.ccpp -listen :7002 [-workers n] [-data-dir dir]
 //	ccpd -graph g.ccpg -parts 4 -site 2 -listen :7002 [-workers n]
 //
 // The first form loads a partition file written by `ccpctl split` — each
 // authority holds only its own data, the paper's deployment model. The
 // second loads the full graph and slices it, convenient for demos.
+//
+// With -data-dir the site is durable: updates are write-ahead logged and
+// checkpointed there, and a restart recovers the exact pre-kill graph and
+// epoch instead of reloading the provisioning files.
 package main
 
 import (
@@ -42,6 +46,8 @@ func main() {
 	site := flag.Int("site", -1, "this site's partition index (with -graph)")
 	listen := flag.String("listen", ":7001", "listen address")
 	workers := flag.Int("workers", 0, "reduction parallelism (0 = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "", "durable store directory (WAL + checkpoints); updates survive restarts (empty = in-memory only)")
+	noSync := flag.Bool("store-no-sync", false, "with -data-dir: skip fsync on commit (faster, loses the last updates on power failure)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/flight, /debug/pprof (empty = disabled)")
 	lf := cli.RegisterLogFlags(flag.CommandLine)
@@ -52,59 +58,82 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var p *ccp.Partition
-	switch {
-	case *partPath != "":
-		f, err := os.Open(*partPath)
-		if err != nil {
-			fatalf("%v", err)
+	// seed loads the partition from the flags. With -data-dir it only runs
+	// when the store directory holds no checkpoint — after the first clean
+	// checkpoint a restart recovers without touching the provisioning files.
+	seed := func() (*ccp.Partition, error) {
+		switch {
+		case *partPath != "":
+			f, err := os.Open(*partPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			p, err := ccp.ReadPartition(f)
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", *partPath, err)
+			}
+			return p, nil
+		case *graphPath != "" && *parts > 0 && *site >= 0 && *site < *parts:
+			f, err := os.Open(*graphPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			var g *ccp.Graph
+			if strings.HasSuffix(*graphPath, ".ccpg") {
+				g, err = ccp.ReadBinaryGraph(f)
+			} else {
+				g, err = ccp.ReadCSVGraph(f)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", *graphPath, err)
+			}
+			pi, err := ccp.PartitionContiguous(g, *parts)
+			if err != nil {
+				return nil, err
+			}
+			return pi.Parts[*site], nil
+		default:
+			flag.Usage()
+			os.Exit(2)
+			panic("unreachable")
 		}
-		p, err = ccp.ReadPartition(f)
-		f.Close()
-		if err != nil {
-			fatalf("loading %s: %v", *partPath, err)
-		}
-	case *graphPath != "" && *parts > 0 && *site >= 0 && *site < *parts:
-		f, err := os.Open(*graphPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		var g *ccp.Graph
-		if strings.HasSuffix(*graphPath, ".ccpg") {
-			g, err = ccp.ReadBinaryGraph(f)
-		} else {
-			g, err = ccp.ReadCSVGraph(f)
-		}
-		f.Close()
-		if err != nil {
-			fatalf("loading %s: %v", *graphPath, err)
-		}
-		pi, err := ccp.PartitionContiguous(g, *parts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		p = pi.Parts[*site]
-	default:
-		flag.Usage()
-		os.Exit(2)
 	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatalf("cannot bind %s: %v", *listen, err)
 	}
-	logger.Info("site serving", "site", p.ID, "addr", l.Addr().String(),
-		"members", len(p.Members), "boundary", len(p.Boundary()), "edges", p.Local.NumEdges())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := ccp.NewSiteServer(p, *workers)
+	var srv *ccp.SiteServer
+	if *dataDir != "" {
+		srv, err = ccp.NewDurableSiteServer(*dataDir, seed, *workers,
+			ccp.StoreOptions{NoSync: *noSync, Logger: logger})
+		if err != nil {
+			fatalf("opening store %s: %v", *dataDir, err)
+		}
+		st, _ := srv.StoreStats()
+		logger.Info("site serving (durable)", "site", srv.SiteID(), "addr", l.Addr().String(),
+			"data_dir", *dataDir, "durable_seq", st.DurableSeq,
+			"checkpoint_seq", st.CheckpointSeq, "replayed", st.RecoveredRecords)
+	} else {
+		p, err := seed()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		srv = ccp.NewSiteServer(p, *workers)
+		logger.Info("site serving", "site", p.ID, "addr", l.Addr().String(),
+			"members", len(p.Members), "boundary", len(p.Boundary()), "edges", p.Local.NumEdges())
+	}
 	srv.SetLogger(logger)
 
 	// The observer (and with it the flight recorder) is always on; the ops
 	// HTTP surface is opt-in.
-	observer := ccp.NewObserver(ccp.ObserverConfig{Process: fmt.Sprintf("site-%d", p.ID)})
+	observer := ccp.NewObserver(ccp.ObserverConfig{Process: fmt.Sprintf("site-%d", srv.SiteID())})
 	srv.Observe(observer)
 	defer cli.DumpFlightOnQuit(observer)()
 
@@ -133,6 +162,14 @@ func main() {
 		}
 		cancel()
 		<-serveErr
+		// Close the store only after the drain: a final checkpoint covers
+		// every update the drained requests committed, so the next start
+		// replays nothing.
+		if cerr := srv.CloseStore(); cerr != nil {
+			logger.Error("store close failed", "err", cerr)
+		} else if ss, ok := srv.StoreStats(); ok {
+			logger.Info("store closed", "durable_seq", ss.DurableSeq, "checkpoint_seq", ss.CheckpointSeq)
+		}
 		st := srv.Stats()
 		if err != nil {
 			logger.Error("drain budget exceeded, forced close", "drain", *drain,

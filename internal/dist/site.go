@@ -12,6 +12,7 @@ package dist
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"strconv"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"ccp/internal/obs"
 	"ccp/internal/obs/flight"
 	"ccp/internal/partition"
+	"ccp/internal/store"
 )
 
 // PartialAnswer is a site's reply to a posted query: either a decided global
@@ -98,8 +100,17 @@ type Site struct {
 
 	// snap is the current immutable evaluation snapshot; snapMu serializes
 	// rebuilds so an epoch bump triggers one clone, not one per waiter.
+	// pins counts in-flight evaluations holding a snapshot: copy-on-write
+	// keeps a pinned snapshot valid for as long as the query needs it, no
+	// matter how many updates land meanwhile.
 	snap   atomic.Pointer[siteSnapshot]
 	snapMu sync.Mutex
+	pins   atomic.Int64
+
+	// store, when non-nil, is the durable WAL + checkpoint backing: every
+	// effective update is logged before it is acknowledged, and the epoch
+	// is the WAL sequence number — a version that survives restarts.
+	store *store.Store
 
 	// scratch pools per-evaluation graph copies; exclusions pools the
 	// per-query exclusion sets. Both reach zero steady-state allocations.
@@ -146,9 +157,13 @@ func (s *Site) snapshot() *siteSnapshot {
 		return sn
 	}
 	s.mu.Lock()
+	// Copy-on-write: the clone shares every adjacency map with the live
+	// graph until one side mutates a node, so taking a snapshot costs
+	// O(nodes) bookkeeping, not an O(nodes+edges) deep copy — updates no
+	// longer throw away in-flight readers' work, they just diverge.
 	sn := &siteSnapshot{
 		epoch:    s.epoch.Load(),
-		local:    s.part.Local.Clone(),
+		local:    s.part.Local.SnapshotClone(),
 		boundary: s.part.Boundary(),
 		inNodes:  graph.NewNodeSet(),
 	}
@@ -156,6 +171,14 @@ func (s *Site) snapshot() *siteSnapshot {
 	s.mu.Unlock()
 	s.snap.Store(sn)
 	return sn
+}
+
+// pin accounts an evaluation holding sn; the returned func releases the
+// pin. Purely observational — COW keeps the snapshot consistent with or
+// without it — but the gauge makes snapshot lifetimes visible.
+func (s *Site) pin() func() {
+	s.pins.Add(1)
+	return func() { s.pins.Add(-1) }
 }
 
 // takeExclusion builds the per-query exclusion set {s, t} ∪ boundary in a
@@ -205,7 +228,16 @@ func (s *Site) Observe(o *obs.Observer) {
 	s.met.cacheMisses = reg.Counter("ccp_site_cache_misses_total",
 		"Evaluations answered by a live reduction or local decision.", l)
 	s.met.robs = obs.NewReducerObs(reg, "site-"+id)
+	reg.GaugeFunc("ccp_site_snapshot_pins",
+		"Evaluations currently holding the site's epoch snapshot.",
+		func() float64 { return float64(s.pins.Load()) }, l)
+	reg.GaugeFunc("ccp_site_epoch",
+		"The site's data epoch (the durable WAL sequence number when a store is attached).",
+		func() float64 { return float64(s.epoch.Load()) }, l)
 	s.fr = o.Flight()
+	if s.store != nil {
+		s.store.Observe(o, s.part.ID)
+	}
 }
 
 // SetLogger routes the site's structured diagnostics (and the reducer's
@@ -216,6 +248,106 @@ func (s *Site) SetLogger(l *slog.Logger) { s.log = obs.LoggerOr(l) }
 func NewSite(p *partition.Partition, workers int) *Site {
 	return &Site{part: p, workers: workers, cacheEpoch: ^uint64(0), log: obs.Discard()}
 }
+
+// OpenDurableSite builds a site backed by the durable store in dir:
+// recovery loads the newest valid checkpoint and replays the WAL tail
+// through the normal mutation path, then the site starts logging every
+// effective update and checkpointing in the background. On a fresh (or
+// empty) directory the partition comes from seed — typically the
+// partition file the deployment was provisioned with.
+//
+// After recovery the site's epoch is the durable WAL sequence number it had
+// before the restart, so coordinator caches versioned by epoch vectors
+// revalidate with NotModified instead of refetching whole partitions.
+func OpenDurableSite(dir string, seed func() (*partition.Partition, error), workers int, opts store.Options) (*Site, error) {
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	p, ckptSeq := st.Base()
+	if p == nil {
+		if p, err = seed(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	s := NewSite(p, workers)
+	s.store = st
+	// The epoch is the sequence number of the last record that changed
+	// observable state — exactly what the live site would have had.
+	// Reference-count-only records (and an image that includes them) may
+	// push it past the pre-crash value; that only costs one spurious cache
+	// refetch, it can never alias two different states to one number.
+	epoch := ckptSeq
+	if err := st.Replay(func(rec store.Record) error {
+		changed, err := s.applyRecord(rec)
+		if err != nil {
+			return err
+		}
+		if changed {
+			epoch = rec.Seq
+		}
+		return nil
+	}); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("dist: site %d replaying wal: %w", p.ID, err)
+	}
+	s.epoch.Store(epoch)
+	st.Start(func() (uint64, *partition.Partition) {
+		// The image must cover every record applied so far — including
+		// count-only ticks past the epoch — or replay would double-apply
+		// them; appends happen under s.mu, so AppendedSeq is exact here.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.store.AppendedSeq(), s.part.Snapshot()
+	})
+	return s, nil
+}
+
+// applyRecord replays one WAL record through the same partition mutations
+// the live update path uses, reporting whether observable state changed.
+// Called during recovery, before the site serves.
+func (s *Site) applyRecord(rec store.Record) (bool, error) {
+	switch rec.Kind {
+	case store.KindStake:
+		res, err := s.part.ApplyStake(graph.NodeID(rec.Owner), graph.NodeID(rec.Owned), rec.Weight, rec.Remove)
+		if err != nil {
+			return false, err
+		}
+		return res.Changed, nil
+	case store.KindCrossIn:
+		_, changed := s.part.AdjustCrossIn(graph.NodeID(rec.Owned), int(rec.Delta))
+		return changed, nil
+	case store.KindMark:
+		return true, nil
+	}
+	return false, fmt.Errorf("dist: unknown wal record kind %d", rec.Kind)
+}
+
+// CloseStore checkpoints and closes the site's durable store — a clean
+// shutdown, after which the next boot replays nothing. It is idempotent
+// and a no-op for a site without a store. Callers drain queries first;
+// updates arriving after the close fail rather than silently losing
+// durability.
+func (s *Site) CloseStore() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
+
+// StoreStats returns the durable store's counters; ok is false for a site
+// without a store.
+func (s *Site) StoreStats() (store.Stats, bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
+}
+
+// Epoch returns the site's current data version (the durable WAL sequence
+// number when a store is attached).
+func (s *Site) Epoch() uint64 { return s.epoch.Load() }
 
 // SetFullRescan selects the full-rescan reduction engine (ablation
 // abl-frontier) for all subsequent evaluations of this site.
@@ -276,12 +408,22 @@ func (s *Site) HoldsMember(v graph.NodeID) bool { return s.part.Members.Has(v) }
 
 // Invalidate marks the site's data as changed, dropping the cached
 // query-independent reduction. The evaluation snapshot is replaced lazily —
-// the next evaluation sees the epoch moved and rebuilds.
+// the next evaluation sees the epoch moved and rebuilds. With a store
+// attached the bump burns a real WAL sequence number (a mark record):
+// epochs must stay unique per observable state across restarts, and a
+// counter bump that is not in the log would be forgotten by recovery.
 func (s *Site) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.epoch.Add(1)
 	s.cache = nil
+	if s.store != nil {
+		if seq, err := s.store.Mark(); err == nil {
+			s.epoch.Store(seq)
+			return
+		}
+		s.log.Warn("invalidation mark not durable", "site", s.part.ID)
+	}
+	s.epoch.Add(1)
 }
 
 // Precompute builds (or refreshes) the query-independent reduction: the
@@ -400,6 +542,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 	// the early-termination conditions are trusted only where local knowledge
 	// is complete (see control.TerminationTrust).
 	sn := s.snapshot()
+	defer s.pin()()
 	trust := control.TerminationTrust{
 		T1: holdsS,
 		T2: holdsT && !sn.inNodes.Has(q.T),

@@ -6,6 +6,7 @@ import (
 
 	"ccp/internal/graph"
 	"ccp/internal/obs/flight"
+	"ccp/internal/store"
 )
 
 // StakeUpdate is one change to the distributed shareholding data: owner
@@ -27,83 +28,109 @@ type UpdateResult struct {
 	// Cross reports that the stake crosses partitions, so the owned
 	// company's home site must adjust its in-node bookkeeping.
 	Cross bool
+	// Changed reports that the site's observable data actually moved. A
+	// stored update can still be a no-op — divesting a stake that does not
+	// exist, or re-merging a stake to its current label — and then the
+	// site's epoch, caches and snapshots all stay put.
+	Changed bool
+	// Seq is the durable WAL sequence number the update committed at, zero
+	// on a site without a store or when nothing changed. When set it equals
+	// the site's new epoch, so a coordinator can version its caches with
+	// numbers that survive site restarts.
+	Seq uint64
+}
+
+// commit makes one effective, already-applied update durable and advances
+// the epoch. With a store attached the new epoch is the record's WAL
+// sequence number — the same number recovery will reproduce — and the call
+// returns after the record is on stable storage (group commit). Without a
+// store the epoch is a plain counter. Caller holds s.mu.
+func (s *Site) commit(rec store.Record) (uint64, error) {
+	s.cache = nil
+	if s.store == nil {
+		return s.epoch.Add(1), nil
+	}
+	seq, err := s.store.Append(rec)
+	if err != nil {
+		// The in-memory state already moved, so readers still need a fresh
+		// epoch; fall back to the counter and surface the durability loss.
+		return s.epoch.Add(1), fmt.Errorf("dist: site %d wal append: %w", s.part.ID, err)
+	}
+	s.epoch.Store(seq)
+	return seq, nil
 }
 
 // ApplyEdgeUpdate applies the edge half of an update. Only the owner's home
-// site does anything; every other site returns a zero UpdateResult.
+// site does anything; every other site returns a zero UpdateResult. The
+// mutation itself is partition.ApplyStake — the same path WAL replay takes,
+// so a recovered site reproduces exactly the state this call built.
 func (s *Site) ApplyEdgeUpdate(up StakeUpdate) (UpdateResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var res UpdateResult
-	if !s.part.Members.Has(up.Owner) {
+	sr, err := s.part.ApplyStake(up.Owner, up.Owned, up.Weight, up.Remove)
+	if err != nil {
+		return UpdateResult{}, fmt.Errorf("dist: site %d: %w", s.part.ID, err)
+	}
+	res := UpdateResult{
+		Stored:      sr.Stored,
+		EdgeCreated: sr.EdgeCreated,
+		EdgeRemoved: sr.EdgeRemoved,
+		Cross:       sr.Cross,
+		Changed:     sr.Changed,
+	}
+	if !sr.Stored || !sr.Changed {
 		return res, nil
 	}
-	res.Cross = !s.part.Members.Has(up.Owned)
-	if up.Remove {
-		if !s.part.Local.RemoveEdge(up.Owner, up.Owned) {
-			return res, nil // nothing to divest
-		}
-		res.Stored = true
-		res.EdgeRemoved = true
-		if res.Cross {
-			s.part.CrossOut--
-		}
-	} else {
-		existed := s.part.Local.HasEdge(up.Owner, up.Owned)
-		if res.Cross {
-			// The owned company lives elsewhere; ensure its virtual stub.
-			s.part.Local.Revive(up.Owned)
-			s.part.Virtual.Add(up.Owned)
-		} else if !s.part.Local.Alive(up.Owned) {
-			return res, fmt.Errorf("dist: site %d: owned company %d unknown", s.part.ID, up.Owned)
-		}
-		if err := s.part.Local.MergeEdge(up.Owner, up.Owned, up.Weight); err != nil {
-			return res, fmt.Errorf("dist: site %d applying stake: %w", s.part.ID, err)
-		}
-		res.Stored = true
-		res.EdgeCreated = !existed
-		if res.Cross && !existed {
-			s.part.CrossOut++
-		}
+	seq, err := s.commit(store.Record{
+		Kind:   store.KindStake,
+		Owner:  int32(up.Owner),
+		Owned:  int32(up.Owned),
+		Weight: up.Weight,
+		Remove: up.Remove,
+	})
+	if err != nil {
+		return res, err
 	}
-	s.epoch.Add(1)
-	s.cache = nil
+	res.Seq = seq
 	s.fr.Record(flight.Update, int32(s.part.ID), 0, int64(up.Owner), int64(up.Owned))
 	return res, nil
 }
 
 // AdjustCrossIn records delta new (+1) or removed (-1) foreign cross edges
 // into company v. Only v's home site does anything; it reports whether it
-// acted.
+// acted. A reference-count tick that does not move the in-node set is still
+// made durable — recovery needs the count — but does not touch the epoch,
+// snapshots or caches: the observable data did not change.
 func (s *Site) AdjustCrossIn(v graph.NodeID, delta int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.part.Members.Has(v) {
+	acted, changed := s.part.AdjustCrossIn(v, delta)
+	if !acted {
 		return false
 	}
-	switch {
-	case delta > 0:
-		s.part.AddCrossIn(v)
-	case delta < 0:
-		if !s.part.DropCrossIn(v) {
-			return false
+	rec := store.Record{Kind: store.KindCrossIn, Owned: int32(v), Delta: int32(delta)}
+	if changed {
+		if _, err := s.commit(rec); err != nil {
+			s.log.Warn("cross-in update not durable", "site", s.part.ID, "err", err)
 		}
-	default:
-		return false
+	} else if s.store != nil {
+		if _, err := s.store.Append(rec); err != nil {
+			s.log.Warn("cross-in update not durable", "site", s.part.ID, "err", err)
+		}
 	}
-	s.epoch.Add(1)
-	s.cache = nil
 	return true
 }
 
 // ApplyUpdate routes one stake update through the cluster: every site is
 // offered the edge half (exactly the owner's site applies it), and if a
 // cross-partition edge appeared or disappeared, the owned company's site
-// adjusts its in-node bookkeeping. Affected sites drop their cached partial
-// answers. ctx bounds the whole routing; per-site calls additionally honor
-// Options.SiteTimeout. A failure mid-route can leave the edge applied but
-// the in-node bookkeeping not yet adjusted — re-apply the update once the
-// sites are reachable again.
+// adjusts its in-node bookkeeping. Sites whose data actually changed drop
+// their cached partial answers; a no-op update (re-merging an identical
+// stake, divesting nothing) invalidates nothing anywhere. ctx bounds the
+// whole routing; per-site calls additionally honor Options.SiteTimeout. A
+// failure mid-route can leave the edge applied but the in-node bookkeeping
+// not yet adjusted — re-apply the update once the sites are reachable
+// again.
 func (c *Coordinator) ApplyUpdate(ctx context.Context, up StakeUpdate) error {
 	// An applied update moves the epoch of exactly the sites it touched, so
 	// only merged skeletons involving those sites can never match again;
@@ -126,7 +153,9 @@ func (c *Coordinator) ApplyUpdate(ctx context.Context, up StakeUpdate) error {
 				return fmt.Errorf("dist: update stored at two sites")
 			}
 			applied = &res
-			touched = append(touched, cl.SiteID())
+			if res.Changed {
+				touched = append(touched, cl.SiteID())
+			}
 		}
 	}
 	if applied == nil {

@@ -278,6 +278,30 @@ func TestUpdateLatencySmoke(t *testing.T) {
 	}
 }
 
+func TestStoreBenchSmoke(t *testing.T) {
+	res, err := StoreBench(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WAL.AppendsPerSecNoSync <= 0 || res.WAL.AppendsPerSecSync <= 0 {
+		t.Fatalf("wal rates = %+v", res.WAL)
+	}
+	if res.WAL.GroupCommitBatch < 1 {
+		t.Fatalf("group commit batched %.2f appends/fsync, want >= 1", res.WAL.GroupCommitBatch)
+	}
+	if len(res.Recovery) != 3 {
+		t.Fatalf("recovery rows = %+v", res.Recovery)
+	}
+	for _, r := range res.Recovery {
+		if r.Tail <= 0 || r.Millis <= 0 || r.RecordsPerSec <= 0 {
+			t.Fatalf("bad recovery row: %+v", r)
+		}
+	}
+	if res.Snapshot.MemoryQPS <= 0 || res.Snapshot.DurableQPS <= 0 || res.Snapshot.Ratio <= 0 {
+		t.Fatalf("snapshot measurement = %+v", res.Snapshot)
+	}
+}
+
 func TestRowStringers(t *testing.T) {
 	rows := []fmt.Stringer{
 		DistPoint{X: 4000, SiteTime: time.Millisecond, CoordTime: time.Millisecond, Total: 2 * time.Millisecond, Bytes: 100},

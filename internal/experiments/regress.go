@@ -86,12 +86,34 @@ type datalogFile struct {
 	} `json:"goal"`
 }
 
+// storeFile mirrors the BENCH_store.json shape ccpbench writes
+// (cmd/ccpbench storeDoc); only the fields the gate reads.
+type storeFile struct {
+	WAL struct {
+		AppendsPerSecNoSync float64 `json:"appends_per_sec_nosync"`
+		AppendsPerSecSync   float64 `json:"appends_per_sec_sync"`
+		GroupCommitBatch    float64 `json:"group_commit_batch"`
+	} `json:"wal"`
+	Recovery []struct {
+		Tail          int     `json:"tail"`
+		Millis        float64 `json:"ms"`
+		RecordsPerSec float64 `json:"records_per_sec"`
+	} `json:"recovery"`
+	Snapshot struct {
+		Ratio float64 `json:"durable_over_memory"`
+	} `json:"snapshot"`
+}
+
 // ExtractSeries pulls the comparable series out of a bench JSON document,
 // auto-detecting its shape: a BENCH_throughput.json concurrency sweep
 // (queries-per-minute gated, p95 informational), a BENCH_reduction.json
-// record (after-state ns/op, gated, lower is better), or a
+// record (after-state ns/op, gated, lower is better), a
 // BENCH_datalog.json engine comparison (planned-vs-semi-naive speedup and
-// goal fraction gated, per-engine ns/query informational).
+// goal fraction gated, per-engine ns/query informational), or a
+// BENCH_store.json durable-store record (buffered WAL append throughput,
+// replay throughput at the longest tail, and the durable-vs-memory query
+// ratio gated; fsync-bound series informational — they track the device,
+// not the code).
 func ExtractSeries(data []byte) ([]Series, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -153,8 +175,40 @@ func ExtractSeries(data []byte) ([]Series, error) {
 			out = append(out, Series{Name: "datalog/goal_fraction",
 				Value: doc.Goal.Fraction, Gated: true})
 		}
+	case probe["wal"] != nil:
+		var doc storeFile
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("experiments: parsing store file: %w", err)
+		}
+		if doc.WAL.AppendsPerSecNoSync > 0 {
+			out = append(out, Series{Name: "store/wal_appends_per_sec",
+				Value: doc.WAL.AppendsPerSecNoSync, HigherIsBetter: true, Gated: true})
+		}
+		if doc.WAL.AppendsPerSecSync > 0 {
+			// fsync throughput tracks the device; context only.
+			out = append(out, Series{Name: "store/wal_appends_per_sec_sync",
+				Value: doc.WAL.AppendsPerSecSync, HigherIsBetter: true})
+		}
+		if doc.WAL.GroupCommitBatch > 0 {
+			out = append(out, Series{Name: "store/group_commit_batch",
+				Value: doc.WAL.GroupCommitBatch, HigherIsBetter: true})
+		}
+		for i, r := range doc.Recovery {
+			// Gate replay throughput only at the longest tail, where the
+			// measurement is long enough to be stable; the short tails are
+			// reported for the shape of the curve.
+			gated := i == len(doc.Recovery)-1
+			out = append(out, Series{Name: fmt.Sprintf("store/recovery_per_sec/t%d", r.Tail),
+				Value: r.RecordsPerSec, HigherIsBetter: true, Gated: gated})
+		}
+		if doc.Snapshot.Ratio > 0 {
+			// The whole durability+MVCC tax on the read path; ~1.0 when
+			// snapshots stay copy-on-write and commits stay off reads.
+			out = append(out, Series{Name: "store/durable_over_memory_qps",
+				Value: doc.Snapshot.Ratio, HigherIsBetter: true, Gated: true})
+		}
 	default:
-		return nil, fmt.Errorf("experiments: unrecognized bench file shape (want a \"rows\", \"benchmarks\" or \"engines\" document)")
+		return nil, fmt.Errorf("experiments: unrecognized bench file shape (want a \"rows\", \"benchmarks\", \"engines\" or \"wal\" document)")
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("experiments: bench file holds no comparable series")

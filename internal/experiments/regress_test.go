@@ -112,6 +112,46 @@ func TestExtractSeriesDatalog(t *testing.T) {
 	}
 }
 
+func TestExtractSeriesStore(t *testing.T) {
+	doc := `{
+	  "benchmark": "ccpbench store",
+	  "wal": {"appends_per_sec_nosync": 3000000, "appends_per_sec_sync": 9000, "group_commit_batch": 2.5},
+	  "recovery": [
+	    {"tail": 2000, "ms": 2.0, "records_per_sec": 1000000},
+	    {"tail": 50000, "ms": 40.0, "records_per_sec": 1250000}
+	  ],
+	  "snapshot": {"memory_qps": 1000, "durable_qps": 950, "durable_over_memory": 0.95}
+	}`
+	series, err := ExtractSeries([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	app, ok := byName["store/wal_appends_per_sec"]
+	if !ok || app.Value != 3000000 || !app.HigherIsBetter || !app.Gated {
+		t.Fatalf("wal_appends_per_sec = %+v, want gated higher-is-better 3000000", app)
+	}
+	sync, ok := byName["store/wal_appends_per_sec_sync"]
+	if !ok || sync.Gated {
+		t.Fatalf("wal_appends_per_sec_sync = %+v, want ungated (device-bound)", sync)
+	}
+	short, ok := byName["store/recovery_per_sec/t2000"]
+	if !ok || short.Gated {
+		t.Fatalf("recovery/t2000 = %+v, want ungated (too short to be stable)", short)
+	}
+	long, ok := byName["store/recovery_per_sec/t50000"]
+	if !ok || long.Value != 1250000 || !long.HigherIsBetter || !long.Gated {
+		t.Fatalf("recovery/t50000 = %+v, want gated higher-is-better 1250000", long)
+	}
+	ratio, ok := byName["store/durable_over_memory_qps"]
+	if !ok || ratio.Value != 0.95 || !ratio.HigherIsBetter || !ratio.Gated {
+		t.Fatalf("durable_over_memory_qps = %+v, want gated higher-is-better 0.95", ratio)
+	}
+}
+
 func TestCompareGatesOnlyGatedSeries(t *testing.T) {
 	baseline := []Series{
 		{Name: "qpm", Value: 1000, HigherIsBetter: true, Gated: true},
@@ -214,7 +254,7 @@ func TestAppendHistory(t *testing.T) {
 // files: if their shape drifts, the gate silently gating nothing would be
 // worse than a failing test.
 func TestRepoBenchFilesExtract(t *testing.T) {
-	for _, name := range []string{"BENCH_throughput.json", "BENCH_reduction.json", "BENCH_datalog.json"} {
+	for _, name := range []string{"BENCH_throughput.json", "BENCH_reduction.json", "BENCH_datalog.json", "BENCH_store.json"} {
 		data, err := os.ReadFile(filepath.Join("..", "..", name))
 		if err != nil {
 			t.Skipf("%s not present: %v", name, err)

@@ -65,6 +65,13 @@ type Graph struct {
 	inBig  []int32   // #incoming labels exceeding the control threshold
 	bigIn  []NodeID  // a predecessor with a controlling stake (None if inBig == 0)
 	outBig []int32   // #outgoing labels exceeding the control threshold
+
+	// Copy-on-write bookkeeping (see SnapshotClone). tags == nil means the
+	// graph has never snapshotted and owns every map outright; otherwise
+	// tags[v] == tag marks v's adjacency maps as exclusively owned, anything
+	// else as possibly shared with a snapshot sibling.
+	tags []uint64
+	tag  uint64
 }
 
 // New returns a graph with n live nodes (ids 0..n-1) and no edges.
@@ -171,6 +178,9 @@ func (g *Graph) AddNode() NodeID {
 	g.inBig = append(g.inBig, 0)
 	g.bigIn = append(g.bigIn, None)
 	g.outBig = append(g.outBig, 0)
+	if g.tags != nil {
+		g.tags = append(g.tags, g.tag) // a brand-new node's maps are unshared
+	}
 	g.nAlive++
 	return id
 }
@@ -196,6 +206,9 @@ func (g *Graph) Revive(v NodeID) {
 		g.inBig = append(g.inBig, 0)
 		g.bigIn = append(g.bigIn, None)
 		g.outBig = append(g.outBig, 0)
+		if g.tags != nil {
+			g.tags = append(g.tags, g.tag)
+		}
 	}
 	if !g.alive[v] {
 		g.alive[v] = true
@@ -229,6 +242,8 @@ func (g *Graph) MergeEdge(u, v NodeID, w float64) error {
 		if nw > 1 {
 			nw = 1
 		}
+		g.own(u)
+		g.own(v)
 		g.out[u][v] = nw
 		g.in[v][u] = nw
 		g.accountOut(u, old, nw)
@@ -253,6 +268,8 @@ func (g *Graph) checkEndpoints(u, v NodeID, w float64) error {
 }
 
 func (g *Graph) setEdge(u, v NodeID, w float64) {
+	g.own(u)
+	g.own(v)
 	if g.out[u] == nil {
 		g.out[u] = make(map[NodeID]float64)
 	}
@@ -291,6 +308,8 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	if !ok {
 		return false
 	}
+	g.own(u)
+	g.own(v)
 	delete(g.out[u], v)
 	delete(g.in[v], u)
 	g.accountOut(u, w, 0)
@@ -305,12 +324,15 @@ func (g *Graph) RemoveNode(v NodeID) bool {
 	if !g.Alive(v) {
 		return false
 	}
+	g.own(v)
 	for u, w := range g.in[v] {
+		g.own(u)
 		delete(g.out[u], v)
 		g.accountOut(u, w, 0)
 		g.nEdges--
 	}
 	for u, w := range g.out[v] {
+		g.own(u)
 		delete(g.in[u], v)
 		g.accountIn(v, u, w, 0)
 		g.nEdges--
@@ -501,6 +523,7 @@ func (g *Graph) CloneInto(dst *Graph) *Graph {
 	if dst == nil || dst == g {
 		return g.Clone()
 	}
+	dst.detach() // a recycled snapshot participant must not clear shared maps
 	dst.sizeTo(len(g.alive))
 	copy(dst.alive, g.alive)
 	copy(dst.inSum, g.inSum)
@@ -538,6 +561,7 @@ func copyMapInto(dst, src map[NodeID]float64) map[NodeID]float64 {
 // while keeping its id-space length and the allocated per-node edge maps, so
 // a pooled scratch graph can be rebuilt without allocating.
 func (g *Graph) Reset() {
+	g.detach() // shared maps are dropped, not cleared in place
 	for i := range g.alive {
 		clear(g.out[i])
 		clear(g.in[i])
@@ -564,6 +588,9 @@ func (g *Graph) sizeTo(n int) {
 	g.inBig = resize(g.inBig, n)
 	g.bigIn = resize(g.bigIn, n)
 	g.outBig = resize(g.outBig, n)
+	if g.tags != nil {
+		g.tags = resize(g.tags, n)
+	}
 }
 
 func resize[E any](s []E, n int) []E {

@@ -74,26 +74,39 @@ const (
 	// ShardWait marks a coordinator cache shard found locked on first try —
 	// contention the sharding was meant to avoid; A1 is the shard index.
 	ShardWait
+	// WALAppend is one record appended to a site's durable WAL; A1 is the
+	// record's sequence number, A2 the framed record bytes.
+	WALAppend
+	// CkptBuild is one durable-store checkpoint written; A1 is the build
+	// duration in nanoseconds, A2 the checkpoint file bytes.
+	CkptBuild
+	// RecoverReplay marks a site store recovering on boot; A1 is the number
+	// of WAL records replayed past the checkpoint, A2 the replay duration in
+	// nanoseconds.
+	RecoverReplay
 	numTypes
 )
 
 var typeNames = [numTypes]string{
-	QueryStart:  "query.start",
-	QueryEnd:    "query.end",
-	SiteRPC:     "site.rpc",
-	SiteEval:    "site.eval",
-	Retry:       "retry",
-	Redial:      "redial",
-	Circuit:     "circuit",
-	ReduceRound: "reduce.round",
-	Update:      "update",
-	SlowQuery:   "slow.query",
-	SnapHit:     "snap.hit",
-	SnapMiss:    "snap.miss",
-	SnapBuild:   "snap.build",
-	SnapEvict:   "snap.evict",
-	SnapDrop:    "snap.drop",
-	ShardWait:   "shard.wait",
+	QueryStart:    "query.start",
+	QueryEnd:      "query.end",
+	SiteRPC:       "site.rpc",
+	SiteEval:      "site.eval",
+	Retry:         "retry",
+	Redial:        "redial",
+	Circuit:       "circuit",
+	ReduceRound:   "reduce.round",
+	Update:        "update",
+	SlowQuery:     "slow.query",
+	SnapHit:       "snap.hit",
+	SnapMiss:      "snap.miss",
+	SnapBuild:     "snap.build",
+	SnapEvict:     "snap.evict",
+	SnapDrop:      "snap.drop",
+	ShardWait:     "shard.wait",
+	WALAppend:     "wal.append",
+	CkptBuild:     "ckpt.build",
+	RecoverReplay: "recover.replay",
 }
 
 // String names the event type ("query.start", "circuit", ...).
@@ -199,6 +212,12 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("dropped=%d", e.A1)
 	case ShardWait:
 		return fmt.Sprintf("shard=%d", e.A1)
+	case WALAppend:
+		return fmt.Sprintf("seq=%d bytes=%d", e.A1, e.A2)
+	case CkptBuild:
+		return fmt.Sprintf("dur=%v bytes=%d", time.Duration(e.A1), e.A2)
+	case RecoverReplay:
+		return fmt.Sprintf("replayed=%d dur=%v", e.A1, time.Duration(e.A2))
 	default:
 		return fmt.Sprintf("a1=%d a2=%d", e.A1, e.A2)
 	}

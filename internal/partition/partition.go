@@ -7,6 +7,7 @@ package partition
 
 import (
 	"fmt"
+	"maps"
 
 	"ccp/internal/graph"
 )
@@ -60,6 +61,112 @@ func (p *Partition) DropCrossIn(v graph.NodeID) bool {
 		p.CrossIn[v] = c - 1
 	}
 	return true
+}
+
+// StakeResult reports what ApplyStake did to the partition.
+type StakeResult struct {
+	// Stored is true iff this partition holds the owner — the update's home.
+	Stored bool
+	// EdgeCreated / EdgeRemoved report whether the physical edge appeared or
+	// disappeared (a merge into an existing stake creates nothing).
+	EdgeCreated, EdgeRemoved bool
+	// Cross reports that the stake crosses partitions.
+	Cross bool
+	// Changed reports that some observable state actually moved. A stored
+	// update can be a no-op — divesting nothing, or a merge whose clamped or
+	// rounded label equals the old one — and then nothing downstream (epoch,
+	// snapshots, caches, WAL) needs to move either.
+	Changed bool
+}
+
+// ApplyStake applies one stake update: owner takes (remove=false) the
+// fraction w of owned, merging with any existing stake, or divests the stake
+// entirely (remove=true). Only the partition holding the owner does
+// anything; every other partition returns a zero StakeResult.
+//
+// This is the single mutation path shared by live site updates and durable
+// WAL replay, so a replayed record reproduces exactly the state the live
+// update produced.
+func (p *Partition) ApplyStake(owner, owned graph.NodeID, w float64, remove bool) (StakeResult, error) {
+	var res StakeResult
+	if !p.Members.Has(owner) {
+		return res, nil
+	}
+	res.Cross = !p.Members.Has(owned)
+	if remove {
+		if !p.Local.RemoveEdge(owner, owned) {
+			return res, nil // nothing to divest
+		}
+		res.Stored, res.EdgeRemoved, res.Changed = true, true, true
+		if res.Cross {
+			p.CrossOut--
+		}
+		return res, nil
+	}
+	old, existed := p.Local.Label(owner, owned)
+	if res.Cross {
+		// The owned company lives elsewhere; ensure its virtual stub.
+		p.Local.Revive(owned)
+		p.Virtual.Add(owned)
+	} else if !p.Local.Alive(owned) {
+		return res, fmt.Errorf("partition %d: owned company %d unknown", p.ID, owned)
+	}
+	if err := p.Local.MergeEdge(owner, owned, w); err != nil {
+		return res, fmt.Errorf("partition %d applying stake: %w", p.ID, err)
+	}
+	res.Stored = true
+	res.EdgeCreated = !existed
+	nw, _ := p.Local.Label(owner, owned)
+	res.Changed = !existed || nw != old
+	if res.Cross && !existed {
+		p.CrossOut++
+	}
+	return res, nil
+}
+
+// AdjustCrossIn folds delta new (+1) or removed (-1) foreign cross edges
+// into v's in-node bookkeeping, if v is a member. acted reports whether the
+// adjustment applied; changed reports whether the in-node *set* moved —
+// only membership changes affect snapshots and caches, a pure reference
+// count tick does not.
+func (p *Partition) AdjustCrossIn(v graph.NodeID, delta int) (acted, changed bool) {
+	if !p.Members.Has(v) {
+		return false, false
+	}
+	switch {
+	case delta > 0:
+		changed = !p.InNodes.Has(v)
+		p.AddCrossIn(v)
+		return true, changed
+	case delta < 0:
+		if !p.DropCrossIn(v) {
+			return false, false
+		}
+		return true, !p.InNodes.Has(v)
+	default:
+		return false, false
+	}
+}
+
+// Snapshot returns a consistent image of the partition that stays valid
+// while the live partition keeps mutating: the graph is a copy-on-write
+// snapshot (O(nodes) to take, see graph.SnapshotClone), the sets and
+// counters are copied outright. Checkpoint builds serialize the image off
+// the update path.
+func (p *Partition) Snapshot() *Partition {
+	c := &Partition{
+		ID:       p.ID,
+		Local:    p.Local.SnapshotClone(),
+		Members:  graph.NewNodeSet(),
+		Virtual:  graph.NewNodeSet(),
+		InNodes:  graph.NewNodeSet(),
+		CrossIn:  maps.Clone(p.CrossIn),
+		CrossOut: p.CrossOut,
+	}
+	c.Members.AddAll(p.Members)
+	c.Virtual.AddAll(p.Virtual)
+	c.InNodes.AddAll(p.InNodes)
+	return c
 }
 
 // Boundary returns V_i^in ∪ V_i^virt — the nodes a partial evaluation must

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ccp/internal/partition"
+)
+
+// Checkpoint files are named ckpt-<seq>.ckpt (<seq> zero-padded hex) and
+// written atomically: serialize to ckpt-<seq>.tmp, fsync, rename, fsync the
+// directory. A crash mid-checkpoint leaves at worst a stale .tmp (deleted on
+// the next open) — never a half-visible checkpoint.
+//
+// Format: magic, the covered sequence number, the CCPP1 partition payload,
+// and a trailing CRC32 over everything after the magic. The CRC makes a
+// truncated or bit-rotted checkpoint detectably invalid, so recovery falls
+// back to the previous one plus a longer WAL tail.
+const (
+	ckptMagic  = "CCPC1\n"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+	ckptTmp    = ".tmp"
+)
+
+func ckptPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", ckptPrefix, seq, ckptSuffix))
+}
+
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// writeCheckpoint durably writes the partition image p, covering every
+// record up to and including seq. It returns the file's size.
+func writeCheckpoint(dir string, seq uint64, p *partition.Partition) (int64, error) {
+	var body bytes.Buffer
+	var seqb [8]byte
+	binary.LittleEndian.PutUint64(seqb[:], seq)
+	body.Write(seqb[:])
+	if err := p.WriteBinary(&body); err != nil {
+		return 0, fmt.Errorf("store: serializing checkpoint: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(body.Bytes())
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc)
+
+	tmp := ckptPath(dir, seq) + ckptTmp
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	_, err = f.WriteString(ckptMagic)
+	if err == nil {
+		_, err = f.Write(body.Bytes())
+	}
+	if err == nil {
+		_, err = f.Write(crcb[:])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, ckptPath(dir, seq)); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return int64(len(ckptMagic) + body.Len() + 4), nil
+}
+
+// loadCheckpoint reads and validates one checkpoint file, returning the
+// covered sequence number and the partition image.
+func loadCheckpoint(path string) (uint64, *partition.Partition, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(data) < len(ckptMagic)+12 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return 0, nil, 0, fmt.Errorf("store: %s: not a checkpoint", path)
+	}
+	body := data[len(ckptMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, 0, fmt.Errorf("store: %s: checksum mismatch", path)
+	}
+	seq := binary.LittleEndian.Uint64(body[:8])
+	p, err := partition.ReadPartition(bytes.NewReader(body[8:]))
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return seq, p, int64(len(data)), nil
+}
+
+// ckptFile is one checkpoint found on disk.
+type ckptFile struct {
+	seq  uint64
+	path string
+}
+
+// listCheckpoints returns the on-disk checkpoints, newest first, and deletes
+// stale .tmp leftovers of interrupted checkpoint builds.
+func listCheckpoints(dir string) ([]ckptFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ckptFile
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ckptTmp) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseCkptName(name); ok {
+			out = append(out, ckptFile{seq: seq, path: filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out, nil
+}

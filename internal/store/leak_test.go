@@ -1,0 +1,159 @@
+package store
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ccp/internal/partition"
+)
+
+// countFDs returns the number of open file descriptors, or -1 when the
+// platform does not expose /proc/self/fd.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	entries, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(entries)
+}
+
+// settle retries pred until it holds or the deadline passes.
+func settle(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%s did not settle\n%s", what, buf[:n])
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseDuringBackgroundCheckpoint hammers open → append burst →
+// immediate Close while the background checkpoint loop is firing as fast as
+// it can, and asserts no goroutine and no file descriptor survives.
+func TestCloseDuringBackgroundCheckpoint(t *testing.T) {
+	oldPoll := bgPoll
+	bgPoll = time.Millisecond
+	defer func() { bgPoll = oldPoll }()
+
+	baseG := runtime.NumGoroutine()
+	baseFD := countFDs(t)
+
+	for round := 0; round < 8; round++ {
+		dir := t.TempDir()
+		live, rng := testPartition(t, int64(round))
+		var mu sync.Mutex
+
+		s, err := Open(dir, Options{NoSync: true, CheckpointEvery: time.Millisecond})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		var lastSeq uint64
+		s.Start(func() (uint64, *partition.Partition) {
+			mu.Lock()
+			defer mu.Unlock()
+			return lastSeq, live.Snapshot()
+		})
+
+		// Keep appending while checkpoints race, then Close mid-flight.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 500; i++ {
+				rec := randomRecord(rng)
+				mu.Lock()
+				applyRecord(t, live, rec)
+				seq, err := s.Append(rec)
+				if err != nil {
+					mu.Unlock()
+					return // ErrClosed once Close wins the race; expected
+				}
+				lastSeq = seq
+				mu.Unlock()
+			}
+		}()
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		<-done
+		if err := s.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+
+		// The directory must reopen cleanly no matter where Close cut in.
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen after racy close: %v", err)
+		}
+		base, _ := s2.Base()
+		if base == nil {
+			base, _ = testPartition(t, int64(round))
+		}
+		if err := s2.Replay(func(rec Record) error {
+			applyRecord(t, base, rec)
+			return nil
+		}); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatalf("Close reopened store: %v", err)
+		}
+	}
+
+	settle(t, "goroutines", func() bool { return runtime.NumGoroutine() <= baseG })
+	if baseFD >= 0 {
+		settle(t, "file descriptors", func() bool { return countFDs(t) <= baseFD })
+	}
+}
+
+// TestCheckpointRacesClose calls Checkpoint explicitly from one goroutine
+// while Close runs from another; both must return without deadlock or
+// double-free, and the store must stay reopenable.
+func TestCheckpointRacesClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		dir := t.TempDir()
+		live, rng := testPartition(t, int64(round))
+		var mu sync.Mutex
+		s, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		var lastSeq uint64
+		s.Start(func() (uint64, *partition.Partition) {
+			mu.Lock()
+			defer mu.Unlock()
+			return lastSeq, live.Snapshot()
+		})
+		for i := 0; i < 50; i++ {
+			rec := randomRecord(rng)
+			mu.Lock()
+			applyRecord(t, live, rec)
+			if seq, err := s.Append(rec); err == nil {
+				lastSeq = seq
+			}
+			mu.Unlock()
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); s.Checkpoint() }()
+		go func() { defer wg.Done(); s.Close() }()
+		wg.Wait()
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if err := s2.Replay(func(Record) error { return nil }); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		s2.Close()
+	}
+}

@@ -1,0 +1,405 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// errShortFrame marks a frame cut off by the end of the file — the torn
+	// tail of a crash mid-append. Recovery truncates it.
+	errShortFrame = errors.New("store: truncated record")
+	// errBadFrame marks a complete but invalid frame (CRC or structure).
+	errBadFrame = errors.New("store: corrupt record")
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("store: closed")
+)
+
+// WAL segment files are named wal-<first>.log where <first> is the first
+// sequence number the segment holds, in zero-padded hex so lexical order is
+// sequence order. Segments are contiguous: segment i holds sequence numbers
+// [first_i, first_{i+1}), the last one [first_n, nextSeq).
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+type segment struct {
+	first uint64 // first sequence number stored in the segment
+	path  string
+	size  int64
+}
+
+func segPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix))
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	first, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return first, true
+}
+
+// wal is the append-only log: one active segment receiving appends, zero or
+// more sealed segments awaiting checkpoint coverage.
+//
+// Group commit: appends serialize on mu (buffered write, sequence
+// assignment) and then, when fsync is on, rendezvous on syncMu — the first
+// appender through flushes and fsyncs everything written so far, and every
+// appender that piled up behind it finds its sequence already durable and
+// returns without its own fsync. One disk sync absorbs a whole burst.
+type wal struct {
+	dir   string
+	fsync bool
+
+	mu      sync.Mutex // guards writer state and the segment lists
+	f       *os.File
+	bw      *bufio.Writer
+	active  segment
+	sealed  []segment // ascending by first
+	nextSeq uint64
+	scratch []byte
+	werr    error // sticky write error: the log is poisoned, refuse appends
+
+	syncMu   sync.Mutex
+	appended atomic.Uint64 // last assigned sequence number
+	synced   atomic.Uint64 // last sequence number known durable
+
+	appends atomic.Uint64 // lifetime records appended
+	fsyncs  atomic.Uint64 // lifetime fsync calls
+	bytes   atomic.Int64  // bytes across all live segments
+}
+
+// scanResult is what scanning one segment found.
+type scanResult struct {
+	records int
+	lastSeq uint64
+	goodLen int64 // bytes of valid records; anything past it is torn
+	torn    bool
+}
+
+// scanSegment validates seg's frames, checking the CRCs and that sequence
+// numbers are contiguous from seg.first. A torn or corrupt tail ends the
+// scan; scanSegment reports where the valid prefix ends and never fails on
+// it — recovery decides whether to truncate or reject.
+func scanSegment(seg segment, fn func(Record) error) (scanResult, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	res := scanResult{lastSeq: seg.first - 1}
+	off := 0
+	for off < len(data) {
+		rec, n, err := decodeFrame(data[off:])
+		if err != nil {
+			res.torn = true
+			break
+		}
+		if rec.Seq != res.lastSeq+1 {
+			// A sequence jump inside a segment means the tail belongs to an
+			// older, partially overwritten life of the file. Treat as torn.
+			res.torn = true
+			break
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return res, err
+			}
+		}
+		res.records++
+		res.lastSeq = rec.Seq
+		off += n
+		res.goodLen = int64(off)
+	}
+	return res, nil
+}
+
+// openWAL opens (creating if necessary) the log in dir for appending.
+// baseSeq is the newest checkpoint's sequence number: with no segments on
+// disk the log starts at baseSeq+1. The final segment's torn tail, if any,
+// is truncated; a torn or discontiguous non-final segment is unrecoverable
+// corruption and fails the open.
+func openWAL(dir string, baseSeq uint64, fsync bool) (*wal, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if first, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segment{first: first, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	w := &wal{dir: dir, fsync: fsync}
+	next := uint64(0) // expected first of the next segment; 0 = any
+	for i, seg := range segs {
+		if next != 0 && seg.first != next {
+			return nil, fmt.Errorf("store: wal gap: segment %s does not continue at %d", seg.path, next)
+		}
+		res, err := scanSegment(seg, nil)
+		if err != nil {
+			return nil, err
+		}
+		last := i == len(segs)-1
+		if res.torn && !last {
+			return nil, fmt.Errorf("store: wal segment %s corrupt before the final segment", seg.path)
+		}
+		if res.torn {
+			if err := os.Truncate(seg.path, res.goodLen); err != nil {
+				return nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
+			}
+		}
+		seg.size = res.goodLen
+		segs[i] = seg
+		next = res.lastSeq + 1
+		w.bytes.Add(seg.size)
+	}
+
+	switch {
+	case len(segs) == 0:
+		w.nextSeq = baseSeq + 1
+		if err := w.openActive(segment{first: w.nextSeq, path: segPath(dir, w.nextSeq)}, 0); err != nil {
+			return nil, err
+		}
+	default:
+		w.nextSeq = next
+		act := segs[len(segs)-1]
+		w.sealed = segs[:len(segs)-1]
+		if err := w.openActive(act, act.size); err != nil {
+			return nil, err
+		}
+	}
+	w.appended.Store(w.nextSeq - 1)
+	w.synced.Store(w.nextSeq - 1)
+	return w, nil
+}
+
+// openActive opens seg for appending at offset size and makes it the active
+// segment. Caller holds mu (or is the constructor).
+func (w *wal) openActive(seg segment, size int64) error {
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	if w.bw == nil {
+		w.bw = bufio.NewWriterSize(f, 1<<16)
+	} else {
+		w.bw.Reset(f)
+	}
+	seg.size = size
+	w.active = seg
+	return syncDir(w.dir)
+}
+
+// append writes rec, assigns its sequence number, and — when fsync is on —
+// returns only after the record is durable (riding a group commit when
+// other appenders are in flight).
+func (w *wal) append(rec Record) (uint64, error) {
+	w.mu.Lock()
+	if w.werr != nil {
+		err := w.werr
+		w.mu.Unlock()
+		return 0, err
+	}
+	seq := w.nextSeq
+	w.scratch = appendFrame(w.scratch[:0], seq, rec)
+	n := len(w.scratch)
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		w.werr = err
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.nextSeq++
+	w.active.size += int64(n)
+	w.bytes.Add(int64(n))
+	w.appended.Store(seq)
+	w.appends.Add(1)
+	if !w.fsync {
+		// Without fsync, "durable" degrades to "handed to the OS"; the
+		// in-order store keeps the counters consistent.
+		w.synced.Store(seq)
+		w.mu.Unlock()
+		return seq, nil
+	}
+	w.mu.Unlock()
+	if err := w.syncTo(seq); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// syncTo makes every record up to at least seq durable. The group-commit
+// rendezvous: whoever holds syncMu flushes and syncs the whole written
+// prefix; late arrivals usually find their seq already covered.
+func (w *wal) syncTo(seq uint64) error {
+	if w.synced.Load() >= seq {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= seq {
+		return nil // a concurrent commit carried us
+	}
+	w.mu.Lock()
+	target := w.nextSeq - 1
+	err := w.bw.Flush()
+	if err != nil {
+		w.werr = err
+	}
+	f := w.f
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	w.synced.Store(target)
+	return nil
+}
+
+// rotate seals the active segment (flushed and fsynced) and starts a new one
+// at the current head. Checkpoints call it first so the checkpoint boundary
+// never lands mid-segment — every sealed segment is fully covered by the
+// next checkpoint and can be deleted wholesale.
+func (w *wal) rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.werr != nil {
+		return w.werr
+	}
+	if w.active.size == 0 {
+		return nil // nothing in the active segment; reuse it
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.werr = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	w.synced.Store(w.nextSeq - 1)
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, w.active)
+	return w.openActive(segment{first: w.nextSeq, path: segPath(w.dir, w.nextSeq)}, 0)
+}
+
+// dropCoveredBy deletes sealed segments whose entire range is at or below
+// seq. Segment i's last record is segment i+1's first minus one (the active
+// segment bounding the final sealed one).
+func (w *wal) dropCoveredBy(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.sealed[:0]
+	var firstErr error
+	for i, s := range w.sealed {
+		nextFirst := w.active.first
+		if i+1 < len(w.sealed) {
+			nextFirst = w.sealed[i+1].first
+		}
+		if len(kept) == 0 && nextFirst-1 <= seq {
+			if err := os.Remove(s.path); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			w.bytes.Add(-s.size)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.sealed = kept
+	return firstErr
+}
+
+// replay streams every record with sequence number > from, in order, to fn.
+// It reads the segment files directly; call only while no appends are in
+// flight (recovery) or after flushing.
+func (w *wal) replay(from uint64, fn func(Record) error) error {
+	w.mu.Lock()
+	segs := append(append([]segment(nil), w.sealed...), w.active)
+	if err := w.bw.Flush(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	for _, seg := range segs {
+		if w.appended.Load() < seg.first {
+			continue // empty active segment
+		}
+		_, err := scanSegment(seg, func(rec Record) error {
+			if rec.Seq <= from {
+				return nil
+			}
+			return fn(rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close flushes, syncs and closes the active segment.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.bw.Flush()
+	if err == nil {
+		err = w.f.Sync()
+		w.fsyncs.Add(1)
+		w.synced.Store(w.nextSeq - 1)
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// segments reports the number of live segment files.
+func (w *wal) segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sealed) + 1
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

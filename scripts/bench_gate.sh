@@ -24,14 +24,25 @@
 # goal-directed fraction are gated, the BenchmarkDatalog* microbenchmarks
 # are smoke-run, and the comparison lands in the same history file.
 #
+# The durable store gets the same treatment too: the store experiment runs
+# twice, and the buffered WAL append rate, the longest-tail replay rate and
+# the durable-vs-memory query ratio are gated — at a wider threshold
+# (BENCH_GATE_STORE_THRESHOLD), because sub-100ms IO measurements on a
+# shared machine are noisier than the second-long query sweeps. An absolute
+# floor backs the relative gate: a durable site serving mixed
+# queries+updates below half the in-memory site's rate is broken at any
+# baseline.
+#
 # Tunables (env):
 #   BENCH_GATE_SCALE            graph scale factor          (default 0.25)
 #   BENCH_GATE_CONCURRENCY      sweep max concurrency       (default 4)
 #   BENCH_GATE_SEED             graph seed                  (default 11)
 #   BENCH_GATE_REPEATS          runs averaged per point     (default 2)
 #   BENCH_GATE_THRESHOLD        noise floor, fraction       (default 0.25)
+#   BENCH_GATE_STORE_THRESHOLD  store-series noise floor    (default 0.5)
 #   BENCH_GATE_BASELINE         pre-built baseline file     (default: run a sweep)
 #   BENCH_GATE_DATALOG_BASELINE pre-built datalog baseline  (default: run the experiment)
+#   BENCH_GATE_STORE_BASELINE   pre-built store baseline    (default: run the experiment)
 #   BENCH_GATE_HISTORY          history file to append to   (default BENCH_history.jsonl)
 #   BENCH_GATE_PROFILE_DIR      contention profile output   (default bench-profiles)
 set -eu
@@ -43,6 +54,7 @@ conc=${BENCH_GATE_CONCURRENCY:-4}
 seed=${BENCH_GATE_SEED:-11}
 repeats=${BENCH_GATE_REPEATS:-2}
 threshold=${BENCH_GATE_THRESHOLD:-0.25}
+storethreshold=${BENCH_GATE_STORE_THRESHOLD:-0.5}
 history=${BENCH_GATE_HISTORY:-BENCH_history.jsonl}
 profiledir=${BENCH_GATE_PROFILE_DIR:-bench-profiles}
 
@@ -109,11 +121,34 @@ awk -F'[:,]' '/"speedup_planned_vs_seminaive"/ {
 echo "== datalog microbenchmarks (smoke) =="
 go test -run '^$' -bench '^BenchmarkDatalog' -benchtime 1x ./internal/datalog
 
+echo "== store: baseline and current runs =="
+stbaseline=${BENCH_GATE_STORE_BASELINE:-}
+if [ -z "$stbaseline" ]; then
+    stbaseline="$workdir/store-baseline.json"
+    "$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+        -store-out "$stbaseline" store
+fi
+"$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+    -store-out "$workdir/store-current.json" store
+
+echo "== store sanity: durability must stay off the read path =="
+# The relative gate below holds the ratio steady run-over-run; this is the
+# absolute floor — a durable site serving the mixed workload at less than
+# half the in-memory rate means commits or snapshots landed on reads.
+grep -q '"durable_over_memory"' "$workdir/store-current.json" \
+    || { echo "bench_gate: store file records no durable/memory ratio" >&2; exit 1; }
+awk -F'[:,]' '/"durable_over_memory"/ {
+    if ($2 + 0 < 0.5) { printf "bench_gate: durable site at %.2fx of memory, below the 0.5x floor\n", $2; exit 1 }
+    printf "  durable site serves the mixed workload at %.2fx of memory\n", $2
+}' "$workdir/store-current.json"
+
 echo "== gate: current vs baseline (threshold $threshold) =="
 "$bench" -compare "$baseline" -compare-with "$workdir/current.json" \
     -gate-threshold "$threshold" -history "$history"
 "$bench" -compare "$dlbaseline" -compare-with "$workdir/datalog-current.json" \
     -gate-threshold "$threshold" -history "$history"
+"$bench" -compare "$stbaseline" -compare-with "$workdir/store-current.json" \
+    -gate-threshold "$storethreshold" -history "$history"
 
 echo "== gate self-test: an injected 2x slowdown must fail =="
 status=0
