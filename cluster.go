@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"strings"
 	"time"
 
 	"ccp/internal/control"
 	"ccp/internal/dist"
+	"ccp/internal/fleet"
+	"ccp/internal/obs"
 	"ccp/internal/partition"
 )
 
@@ -47,6 +50,18 @@ type ClusterOptions struct {
 	// CircuitCooldown is how long an open circuit rejects calls before
 	// probing the site again. 0 selects the default (1s).
 	CircuitCooldown time.Duration
+	// MaxInFlight, when > 0, enables coordinator-side admission control:
+	// at most this many queries execute at once, up to MaxQueuedQueries
+	// arrivals wait (each at most MaxQueueWait) for a slot, and everything
+	// beyond that is shed immediately with an *OverloadError instead of
+	// piling onto a saturated serving tier. 0 disables the gate entirely.
+	MaxInFlight int
+	// MaxQueuedQueries bounds the admission wait queue (with MaxInFlight
+	// set). 0 selects the default (2×MaxInFlight).
+	MaxQueuedQueries int
+	// MaxQueueWait bounds how long one arrival waits for an execution slot
+	// before being shed (with MaxInFlight set). 0 selects the default (50ms).
+	MaxQueueWait time.Duration
 	// Observer, when non-nil, instruments the whole cluster-side query
 	// path: coordinator latency/phase histograms and cache counters,
 	// per-site transport metrics (remote clusters), site evaluation and
@@ -77,6 +92,9 @@ type (
 	DeadlineError = dist.DeadlineError
 	// CancelledError: the caller cancelled the query before it completed.
 	CancelledError = dist.CancelledError
+	// OverloadError: the coordinator's admission gate shed the query before
+	// it started (see ClusterOptions.MaxInFlight).
+	OverloadError = dist.OverloadError
 )
 
 // ErrCircuitOpen is found (via errors.Is) inside a TransportError when a
@@ -161,7 +179,7 @@ func NewClusterFromAssignment(g *Graph, assign []int, k int, opts ClusterOptions
 }
 
 func (o ClusterOptions) distOptions() dist.Options {
-	return dist.Options{
+	opts := dist.Options{
 		UseCache:    o.UseCache,
 		Workers:     o.CoordinatorWorkers,
 		Concurrency: o.Concurrency,
@@ -169,6 +187,15 @@ func (o ClusterOptions) distOptions() dist.Options {
 		Observer:    o.Observer,
 		Logger:      o.Logger,
 	}
+	if o.MaxInFlight > 0 {
+		opts.AdmissionGate = fleet.NewGate(fleet.GateConfig{
+			MaxInFlight:  o.MaxInFlight,
+			MaxQueue:     o.MaxQueuedQueries,
+			MaxQueueWait: o.MaxQueueWait,
+			Observer:     o.Observer,
+		})
+	}
+	return opts
 }
 
 // NewClusterFromPartitioning serves an existing partitioning in-process.
@@ -221,12 +248,93 @@ func ConnectCluster(ctx context.Context, addrs []string, opts ClusterOptions) (*
 	return &Cluster{coord: coord, numSites: len(addrs), clients: clients}, nil
 }
 
+// ParseReplicaAddrs splits one -sites style spec into per-site replica
+// address lists: sites are comma-separated, and within a site the leader and
+// its follower replicas are joined with "+" — for example
+// "lead0:7001+f0a:7101,lead1:7002" is two sites, the first with one follower.
+func ParseReplicaAddrs(spec string) [][]string {
+	var sites [][]string
+	for _, s := range strings.Split(spec, ",") {
+		var addrs []string
+		for _, a := range strings.Split(s, "+") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) > 0 {
+			sites = append(sites, addrs)
+		}
+	}
+	return sites
+}
+
+// ConnectReplicatedCluster is ConnectCluster over replica sets: each site is
+// a leader address plus any number of follower replica addresses (started
+// with ccpd -replica-of). Reads are routed to the least-loaded healthy
+// replica and verified fresh against the site's write watermark (a stale or
+// failing follower falls back to the leader in the same call); writes go to
+// leaders only. A site given as a single address behaves exactly like a
+// ConnectCluster site.
+func ConnectReplicatedCluster(ctx context.Context, sites [][]string, opts ClusterOptions) (*Cluster, error) {
+	cfg := dist.ClientConfig{
+		DialTimeout:      opts.DialTimeout,
+		FailureThreshold: opts.FailureThreshold,
+		Cooldown:         opts.CircuitCooldown,
+		Observer:         opts.Observer,
+		Logger:           opts.Logger,
+	}
+	var clients []dist.SiteClient
+	closeAll := func() {
+		for _, cl := range clients {
+			if c, ok := cl.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+	}
+	for _, addrs := range sites {
+		if len(addrs) == 0 {
+			closeAll()
+			return nil, fmt.Errorf("ccp: empty replica address list")
+		}
+		members := make([]dist.SiteClient, 0, len(addrs))
+		for i, addr := range addrs {
+			c, err := dist.DialConfig(ctx, addr, cfg)
+			if err != nil {
+				// A dead leader fails the connect; a dead follower is routed
+				// around — the whole point of replicas is that losing one
+				// must not take queries down with it.
+				if i > 0 && ctx.Err() == nil {
+					obs.LoggerOr(opts.Logger).Warn("follower replica unreachable, serving without it",
+						"addr", addr, "err", err)
+					continue
+				}
+				for _, m := range members {
+					m.(*dist.RemoteClient).Close()
+				}
+				closeAll()
+				return nil, fmt.Errorf("ccp: connecting site %s: %w", addr, err)
+			}
+			members = append(members, c)
+		}
+		if len(members) == 1 {
+			clients = append(clients, members[0])
+			continue
+		}
+		clients = append(clients, fleet.NewReplicaSet(members[0], members[1:],
+			fleet.ReplicaSetConfig{Observer: opts.Observer, Logger: opts.Logger}))
+	}
+	coord := dist.NewCoordinator(clients, opts.distOptions())
+	return &Cluster{coord: coord, numSites: len(sites), clients: clients}, nil
+}
+
 // Close releases the cluster's site connections. In-flight queries fail with
 // a *TransportError; the remote sites themselves keep running. Closing an
 // in-process cluster is a no-op. Safe to call more than once.
 func (c *Cluster) Close() error {
 	for _, cl := range c.clients {
-		if rc, ok := cl.(*dist.RemoteClient); ok {
+		// Remote clients and replica sets hold connections; in-process
+		// LocalClients have nothing to release.
+		if rc, ok := cl.(interface{ Close() error }); ok {
 			rc.Close()
 		}
 	}

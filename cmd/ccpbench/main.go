@@ -8,10 +8,12 @@
 //
 // Experiments: fig8a fig8b fig8c fig8d fig8e fig8f fig8g fig8h nettraffic
 // riad serial ablations fig9a fig9b throughput contrast updates datalog
-// store, or "all". The datalog experiment writes its three-engine
+// store fleet, or "all". The datalog experiment writes its three-engine
 // comparison to BENCH_datalog.json (see -datalog-out); the store experiment
 // writes its WAL/recovery/snapshot measurements to BENCH_store.json (see
-// -store-out).
+// -store-out); the fleet experiment writes its replica read-throughput,
+// replication-lag and admission measurements to BENCH_fleet.json (see
+// -fleet-out).
 //
 // With -concurrency n > 1, the throughput experiment sweeps batch
 // concurrency 1, 2, 4, ... up to n and writes the qps rows to
@@ -47,6 +49,8 @@ func main() {
 		"file the datalog experiment writes its engine comparison to (empty = don't write)")
 	storeOut := flag.String("store-out", "BENCH_store.json",
 		"file the store experiment writes its WAL/recovery/snapshot measurements to (empty = don't write)")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json",
+		"file the fleet experiment writes its replica-throughput/lag/admission measurements to (empty = don't write)")
 	fullRescan := flag.Bool("full-rescan", false,
 		"use the full-rescan reduction engine instead of the frontier engine (ablation abl-frontier)")
 	compare := flag.String("compare", "",
@@ -102,6 +106,8 @@ func main() {
 			err = runDatalogBench(cfg, *datalogOut)
 		} else if name == "store" {
 			err = runStoreBench(cfg, *storeOut)
+		} else if name == "fleet" {
+			err = runFleetBench(cfg, *fleetOut)
 		} else {
 			err = run(name, cfg)
 		}
@@ -424,6 +430,59 @@ func runStoreBench(cfg experiments.Config, outPath string) error {
 	return nil
 }
 
+// fleetDoc is the BENCH_fleet.json shape: the elastic-serving-tier
+// measurements under a top-level "read_throughput" key the regression gate
+// auto-detects.
+type fleetDoc struct {
+	Benchmark      string                     `json:"benchmark"`
+	Scale          float64                    `json:"scale"`
+	Seed           int64                      `json:"seed"`
+	Meta           experiments.BenchMeta      `json:"meta"`
+	ReadThroughput []experiments.FleetReadRow `json:"read_throughput"`
+	Lag            any                        `json:"lag"`
+	Admission      any                        `json:"admission"`
+}
+
+// runFleetBench runs the elastic-serving-tier experiment, prints the rows,
+// and (unless outPath is empty) writes the BENCH_fleet.json record the
+// gate compares.
+func runFleetBench(cfg experiments.Config, outPath string) error {
+	res, err := experiments.FleetBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Fleet — WAL-shipped replicas, routing, admission ==\n")
+	for _, r := range res.ReadThroughput {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Printf("  lag: %d updates, max lag %d records, converged in %.1fms (%.0f records/s)\n",
+		res.Lag.Updates, res.Lag.MaxLagRecords, res.Lag.ConvergeMillis, res.Lag.AppliedPerSec)
+	fmt.Printf("  admission: %d offered, %d admitted, %d shed (%.0f%% shed at ~4x overload)\n",
+		res.Admission.Offered, res.Admission.Admitted, res.Admission.Shed, res.Admission.ShedRate*100)
+	if outPath == "" {
+		fmt.Println()
+		return nil
+	}
+	doc := fleetDoc{
+		Benchmark:      "ccpbench fleet",
+		Scale:          cfg.Scale,
+		Seed:           cfg.Seed,
+		Meta:           experiments.CollectMeta(cfg.Seed, cfg.Scale),
+		ReadThroughput: res.ReadThroughput,
+		Lag:            res.Lag,
+		Admission:      res.Admission,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n\n", outPath)
+	return nil
+}
+
 // sweepLevels lists the measured concurrency levels: 1, 2, 4, ... and max
 // itself.
 func sweepLevels(max int) []int {
@@ -441,7 +500,7 @@ func names() []string {
 	return []string{
 		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
 		"nettraffic", "riad", "serial", "ablations", "fig9a", "fig9b", "throughput", "contrast", "updates",
-		"datalog", "store",
+		"datalog", "store", "fleet",
 	}
 }
 
@@ -567,6 +626,8 @@ func run(name string, cfg experiments.Config) error {
 		// Same arrangement as datalog: main routes "store" through
 		// runStoreBench with -store-out; this path just prints.
 		return runStoreBench(cfg, "")
+	case "fleet":
+		return runFleetBench(cfg, "")
 	default:
 		return fmt.Errorf("unknown experiment (want one of %v)", names())
 	}

@@ -11,10 +11,17 @@
 //
 //	ccpcoord -sites a:7001,b:7001 -cache -precompute 12:9441 7:15
 //
+// A site may be a replica set: join the leader and its follower replicas
+// (ccpd -replica-of) with "+", e.g. -sites lead0:7001+f0:7101,lead1:7002.
+// Reads then route to the least-loaded fresh replica with automatic
+// fallback to the leader; writes go to leaders only.
+//
 // With -concurrency n > 1, trailing queries are answered as one batch with
 // up to n queries in flight at once, multiplexed over the site connections.
 // With -timeout d, every query carries deadline d, enforced at the sites;
-// SIGINT/SIGTERM cancels whatever is in flight.
+// SIGINT/SIGTERM cancels whatever is in flight. With -max-inflight n,
+// admission control sheds queries beyond the configured concurrency and
+// queue instead of letting a saturated tier drag every query's tail.
 package main
 
 import (
@@ -38,7 +45,7 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	sites := flag.String("sites", "", "comma-separated worker addresses")
+	sites := flag.String("sites", "", "comma-separated worker addresses; join a leader with its follower replicas using '+' (lead:7001+f0:7101)")
 	cache := flag.Bool("cache", false, "serve non-endpoint sites from their pre-computed reductions")
 	precompute := flag.Bool("precompute", false, "ask all sites to pre-compute before querying")
 	s := flag.Int("s", -1, "source company (alternative to trailing s:t args)")
@@ -48,6 +55,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline, enforced at the sites (0 = none)")
 	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/flight, /debug/pprof (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 0, "record stitched traces of queries slower than this in /varz (0 = disabled)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: queries running at once before new ones queue (0 = unlimited, no admission control)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: queries waiting beyond -max-inflight before shedding (0 = 2x max-inflight)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "admission control: longest a queued query waits before shedding (0 = 50ms)")
 	flightOut := flag.String("flight-out", "", "write the coordinator's flight-recorder dump (JSON) here on exit")
 	lf := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -84,10 +94,13 @@ func main() {
 		}()
 	}
 
-	cluster, err := ccp.ConnectCluster(ctx, strings.Split(*sites, ","), ccp.ClusterOptions{
+	cluster, err := ccp.ConnectReplicatedCluster(ctx, ccp.ParseReplicaAddrs(*sites), ccp.ClusterOptions{
 		UseCache:           *cache,
 		CoordinatorWorkers: *workers,
 		Concurrency:        *concurrency,
+		MaxInFlight:        *maxInflight,
+		MaxQueuedQueries:   *maxQueue,
+		MaxQueueWait:       *maxQueueWait,
 		Observer:           observer,
 		Logger:             logger,
 	})

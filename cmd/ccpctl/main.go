@@ -68,6 +68,8 @@ func main() {
 		err = cmdTop(args[1:])
 	case "store":
 		err = cmdStore(args[1:])
+	case "fleet":
+		err = cmdFleet(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -95,6 +97,8 @@ func usage() {
                                                       (refresh-loop cluster health view)
   ccpctl store   -ops host:port[,...] [-json]         (durable-store state per site: epoch,
                                                       durable/checkpoint seq, WAL backlog)
+  ccpctl fleet   -ops host:port[,...] [-json]         (replication topology: leader/follower
+                                                      roles, replica lag, circuits, shed counts)
 global flags (before the subcommand): -log-level debug|info|warn|error, -log-format text|json`)
 }
 

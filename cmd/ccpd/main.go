@@ -9,6 +9,7 @@
 //
 //	ccpd -partition p2.ccpp -listen :7002 [-workers n] [-data-dir dir]
 //	ccpd -graph g.ccpg -parts 4 -site 2 -listen :7002 [-workers n]
+//	ccpd -replica-of lead:7002 -listen :7102 [-workers n]
 //
 // The first form loads a partition file written by `ccpctl split` — each
 // authority holds only its own data, the paper's deployment model. The
@@ -17,12 +18,18 @@
 // With -data-dir the site is durable: updates are write-ahead logged and
 // checkpointed there, and a restart recovers the exact pre-kill graph and
 // epoch instead of reloading the provisioning files.
+//
+// With -replica-of the process is a follower replica instead of a leader:
+// it bootstraps from the durable site at the given address, tails its WAL,
+// and serves reads on -listen (writes are refused). No provisioning files
+// are needed — the leader's snapshot is the seed.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -47,6 +54,7 @@ func main() {
 	listen := flag.String("listen", ":7001", "listen address")
 	workers := flag.Int("workers", 0, "reduction parallelism (0 = GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "", "durable store directory (WAL + checkpoints); updates survive restarts (empty = in-memory only)")
+	replicaOf := flag.String("replica-of", "", "run as a follower replica of the durable site at this address (no partition/graph flags needed)")
 	noSync := flag.Bool("store-no-sync", false, "with -data-dir: skip fsync on commit (faster, loses the last updates on power failure)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/flight, /debug/pprof (empty = disabled)")
@@ -56,6 +64,11 @@ func main() {
 	logger, err := lf.Logger()
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *replicaOf != "" {
+		runFollower(*replicaOf, *listen, *workers, *drain, *opsAddr, logger)
+		return
 	}
 
 	// seed loads the partition from the flags. With -data-dir it only runs
@@ -183,4 +196,58 @@ func main() {
 			fatalf("serving %s: %v", *listen, err)
 		}
 	}
+}
+
+// runFollower is the -replica-of mode: bootstrap a read replica from the
+// leader, serve reads on listen, and replicate until SIGINT/SIGTERM.
+func runFollower(leaderAddr, listen string, workers int, drain time.Duration, opsAddr string, logger *slog.Logger) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	observer := ccp.NewObserver(ccp.ObserverConfig{Process: "replica"})
+	defer cli.DumpFlightOnQuit(observer)()
+
+	bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	fs, err := ccp.StartFollowerSite(bctx, leaderAddr, ccp.FollowerSiteConfig{
+		Listen:   listen,
+		Workers:  workers,
+		Observer: observer,
+		Logger:   logger,
+	})
+	cancel()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	observer.Flight().SetProcess(fmt.Sprintf("replica-%d", fs.SiteID()))
+	applied, leaderSeq := fs.Lag()
+	logger.Info("follower serving", "site", fs.SiteID(), "addr", fs.Addr(),
+		"leader", leaderAddr, "applied_seq", applied, "leader_seq", leaderSeq)
+
+	var ops *ccp.OpsServer
+	if opsAddr != "" {
+		ops, err = ccp.StartOpsServer(opsAddr, observer, func() (bool, any) {
+			applied, leaderSeq := fs.Lag()
+			return true, map[string]uint64{"applied_seq": applied, "leader_seq": leaderSeq}
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger.Info("ops endpoints up", "url", "http://"+ops.Addr(),
+			"endpoints", "/metrics /healthz /varz /debug/flight /debug/pprof")
+	}
+
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	if ops != nil {
+		ops.Shutdown(sctx)
+	}
+	cancel()
+	if err := fs.Close(); err != nil {
+		logger.Error("follower close failed", "err", err)
+		os.Exit(1)
+	}
+	applied, leaderSeq = fs.Lag()
+	logger.Info("shut down cleanly", "site", fs.SiteID(),
+		"applied_seq", applied, "leader_seq", leaderSeq)
 }

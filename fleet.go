@@ -1,0 +1,64 @@
+package ccp
+
+import (
+	"context"
+	"log/slog"
+
+	"ccp/internal/fleet"
+)
+
+// FollowerSiteConfig configures a follower replica started with
+// StartFollowerSite.
+type FollowerSiteConfig struct {
+	// Listen is the address the follower serves read traffic on ("" = warm
+	// standby: the follower replicates but serves nothing).
+	Listen string
+	// Workers is the replica's reduction parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Observer, when non-nil, registers the follower's replication metrics
+	// (applied/leader sequence numbers, lag, pulls, bootstraps) and the
+	// replica site's series on its registry.
+	Observer *Observer
+	// Logger receives the follower's structured diagnostics. Nil discards.
+	Logger *slog.Logger
+}
+
+// FollowerSite is a running read replica of one durable worker site: it
+// bootstraps from the leader's snapshot, tails the leader's WAL (applying
+// every record through the same mutation path crash recovery uses, so its
+// epoch tracks the leader's exactly), and serves the read half of the site
+// protocol. Writes routed to it are refused; a coordinator built with
+// ConnectReplicatedCluster sends it reads only.
+type FollowerSite struct {
+	f *fleet.Follower
+}
+
+// StartFollowerSite dials the leader site at leaderAddr, bootstraps a
+// replica and starts replicating. ctx bounds the initial dial and bootstrap
+// only; replication runs until Close.
+func StartFollowerSite(ctx context.Context, leaderAddr string, cfg FollowerSiteConfig) (*FollowerSite, error) {
+	f, err := fleet.StartFollower(ctx, leaderAddr, fleet.FollowerConfig{
+		Listen:   cfg.Listen,
+		Workers:  cfg.Workers,
+		Observer: cfg.Observer,
+		Logger:   cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FollowerSite{f: f}, nil
+}
+
+// SiteID reports which partition the follower replicates.
+func (s *FollowerSite) SiteID() int { return s.f.SiteID() }
+
+// Addr is the follower's read-serving address ("" for a warm standby).
+func (s *FollowerSite) Addr() string { return s.f.Addr() }
+
+// Lag reports the follower's applied WAL sequence number and the leader's
+// head sequence number; leader − applied is the replication lag in records.
+func (s *FollowerSite) Lag() (applied, leader uint64) { return s.f.Lag() }
+
+// Close stops replication, drains in-flight reads and releases the leader
+// connection.
+func (s *FollowerSite) Close() error { return s.f.Close() }

@@ -15,6 +15,7 @@ import (
 	"ccp/internal/graph"
 	"ccp/internal/obs"
 	"ccp/internal/obs/flight"
+	"ccp/internal/store"
 )
 
 // ClientConfig tunes the transport lifecycle of a RemoteClient: dial and
@@ -630,12 +631,61 @@ func (c *RemoteClient) AdjustCrossIn(ctx context.Context, v graph.NodeID, delta 
 	return resp.Acted, nil
 }
 
+// Epoch fetches the site's current data epoch with an info round trip —
+// the cheap way for a routing tier to refresh its staleness watermark after
+// a write whose response carries no sequence number.
+func (c *RemoteClient) Epoch(ctx context.Context) (uint64, error) {
+	resp, _, err := c.roundTrip(ctx, &request{Op: opInfo})
+	if err != nil {
+		return 0, err
+	}
+	return resp.DurableSeq, nil
+}
+
+// ReplSnapshot fetches the site's consistent bootstrap image for follower
+// replication: the CCPP1-encoded partition plus the WAL sequence number it
+// covers, and the leader's current head sequence for lag accounting.
+func (c *RemoteClient) ReplSnapshot(ctx context.Context) (snapSeq uint64, img []byte, leaderSeq uint64, err error) {
+	resp, _, err := c.roundTrip(ctx, &request{Op: opReplSnapshot})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return resp.SnapSeq, resp.Snapshot, resp.DurableSeq, nil
+}
+
+// ReplPull fetches up to max WAL records with sequence numbers strictly
+// greater than from. wait > 0 asks the site to long-poll that long before
+// answering empty. truncated reports that checkpointing deleted records the
+// caller still needs — re-bootstrap via ReplSnapshot. leaderSeq is the
+// site's head sequence number at answer time.
+func (c *RemoteClient) ReplPull(ctx context.Context, from uint64, max int, wait time.Duration) (recs []store.Record, leaderSeq uint64, truncated bool, err error) {
+	resp, _, err := c.roundTrip(ctx, &request{
+		Op:         opReplPull,
+		FromSeq:    from,
+		MaxRecords: max,
+		WaitNS:     wait.Nanoseconds(),
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if resp.Truncated {
+		return nil, resp.DurableSeq, true, nil
+	}
+	if len(resp.Records) > 0 {
+		if recs, err = store.DecodeRecords(resp.Records); err != nil {
+			return nil, 0, false, &SiteError{SiteID: c.SiteID(), Op: "repl-pull", Msg: err.Error()}
+		}
+	}
+	return recs, resp.DurableSeq, false, nil
+}
+
 // idempotent reports whether an operation may safely be retried after a
 // transport failure whose outcome is unknown. Updates and cross-in deltas
-// mutate site state and must not be replayed.
+// mutate site state and must not be replayed; the replication reads are
+// pure reads.
 func idempotent(o op) bool {
 	switch o {
-	case opEvaluate, opPrecompute, opInfo:
+	case opEvaluate, opPrecompute, opInfo, opReplSnapshot, opReplPull:
 		return true
 	}
 	return false

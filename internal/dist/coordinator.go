@@ -69,6 +69,13 @@ type Options struct {
 	// context already carries. 0 means no per-call bound. A site missing the
 	// deadline fails the query with a *DeadlineError naming the site.
 	SiteTimeout time.Duration
+	// AdmissionGate, when non-nil, is consulted before every query starts:
+	// an admitted query holds its slot until it finishes, a shed query fails
+	// immediately with an *OverloadError and never reaches the sites. Shed
+	// queries are counted separately (ccp_queries_shed_total) and excluded
+	// from the latency histograms so overload does not masquerade as fast
+	// queries. Nil admits everything.
+	AdmissionGate AdmissionGate
 	// Observer, when non-nil, streams coordinator metrics (latency
 	// histograms, per-phase timings, cache hit/miss counters) into its
 	// registry, records flight events for every query, and, when its
@@ -201,6 +208,7 @@ const (
 // nil) without an Observer, where every update is a nil-check no-op.
 type coordMetrics struct {
 	queries, queryErrors                *obs.Counter
+	shedQueries                         *obs.Counter
 	querySeconds                        *obs.Histogram
 	phaseSites, phaseMerge, phaseReduce *obs.Histogram
 	cacheHits, cacheMisses              *obs.Counter
@@ -222,6 +230,7 @@ func newCoordMetrics(o *obs.Observer) coordMetrics {
 	return coordMetrics{
 		queries:      reg.Counter("ccp_queries_total", "Distributed queries answered, including failed ones."),
 		queryErrors:  reg.Counter("ccp_query_errors_total", "Distributed queries that failed."),
+		shedQueries:  reg.Counter("ccp_queries_shed_total", "Queries rejected by the admission gate before starting."),
 		querySeconds: reg.Histogram(MetricQuerySeconds, "End-to-end distributed query latency in seconds.", obs.DefaultLatencyBuckets),
 		phaseSites:   phase("sites"),
 		phaseMerge:   phase("merge"),
@@ -464,6 +473,18 @@ func (c *Coordinator) AnswerTraced(ctx context.Context, q control.Query) (bool, 
 // attaches a per-site transport-health snapshot to the metrics; batch
 // workers pass false and the batch snapshots health once at the end.
 func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace, withHealth bool) (bool, *Metrics, *obs.Trace, error) {
+	// Admission runs before anything is allocated or timed: a shed query
+	// costs one counter and one flight event, and never pollutes the latency
+	// histograms with sub-microsecond "queries".
+	if g := c.opts.AdmissionGate; g != nil {
+		release, err := g.Admit(ctx)
+		if err != nil {
+			c.met.shedQueries.Inc()
+			c.fr.Record(flight.QueryShed, -1, 0, int64(q.S), int64(q.T))
+			return false, &Metrics{DecidedBy: -1}, nil, err
+		}
+		defer release()
+	}
 	start := time.Now()
 	// The flight id correlates this query's events across coordinator and
 	// sites; when the query is traced the trace id doubles as the flight id,

@@ -109,6 +109,31 @@ func ctxError(siteID int, op string, err error) error {
 	return err
 }
 
+// OverloadError reports that the coordinator's admission gate shed the
+// query: the serving tier is saturated and taking the query would blow the
+// tail latency of everything already in flight. The query was never started
+// — callers can safely retry later or surface backpressure upstream.
+type OverloadError struct {
+	// Reason says which limit tripped ("in-flight limit", "queue full",
+	// "queue wait exceeded", ...).
+	Reason string
+	// InFlight and Queued snapshot the gate at shed time.
+	InFlight, Queued int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("dist: overloaded: %s (in-flight %d, queued %d)", e.Reason, e.InFlight, e.Queued)
+}
+
+// AdmissionGate is the coordinator's admission-control hook: Admit blocks
+// (briefly) or sheds, returning a release func to call when the admitted
+// query finishes, or an *OverloadError when the query should be shed.
+// Implementations must be safe for concurrent use. internal/fleet provides
+// the production gate; the zero Options has no gate and admits everything.
+type AdmissionGate interface {
+	Admit(ctx context.Context) (release func(), err error)
+}
+
 // QueryError reports which query of a batch (or which single Answer call)
 // failed. Unwrap exposes the underlying SiteError or TransportError.
 type QueryError struct {

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"ccp/internal/control"
+)
+
+// TestStopAcceptingBeforeDrain exercises the two-phase decommission a
+// replica goes through when it leaves the serving rotation: StopAccepting
+// must refuse new connections (so routing health marks the member down)
+// while connections already established keep answering queries, and only the
+// later Shutdown drains and closes them.
+func TestStopAcceptingBeforeDrain(t *testing.T) {
+	p, err := durableSeed(7, 200, 0)()
+	if err != nil {
+		t.Fatalf("building partition: %v", err)
+	}
+	site := NewSite(p, 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(site, ServerConfig{})
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	ctx := context.Background()
+
+	eval := func(c *RemoteClient) error {
+		pa, _, err := c.Evaluate(ctx, control.Query{S: 0, T: 2}, EvalOptions{ForcePartial: true})
+		if err == nil {
+			pa.Release()
+		}
+		return err
+	}
+
+	c1, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatalf("dial before StopAccepting: %v", err)
+	}
+	defer c1.Close()
+	if err := eval(c1); err != nil {
+		t.Fatalf("evaluate on fresh connection: %v", err)
+	}
+
+	srv.StopAccepting()
+
+	// Out of rotation: a new dial must fail fast, not hang.
+	dctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	if c2, err := DialConfig(dctx, addr, ClientConfig{DialTimeout: 200 * time.Millisecond, MaxRetries: -1}); err == nil {
+		c2.Close()
+		cancel()
+		t.Fatal("dial succeeded after StopAccepting — the replica never left rotation")
+	}
+	cancel()
+
+	// Established connections are not cut off: the queries a client already
+	// has in flight on them (and new ones it issues) still get answers.
+	if err := eval(c1); err != nil {
+		t.Fatalf("established connection stopped serving after StopAccepting: %v", err)
+	}
+
+	// Idempotent, and Shutdown still drains cleanly afterwards.
+	srv.StopAccepting()
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown after StopAccepting: %v", err)
+	}
+	if err := eval(c1); err == nil {
+		t.Fatal("evaluate succeeded after Shutdown — the connection was never drained and closed")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"ccp/internal/control"
 	"ccp/internal/graph"
 	"ccp/internal/obs"
+	"ccp/internal/store"
 )
 
 // ServerConfig tunes a site server's connection lifecycle. The zero value
@@ -80,6 +81,10 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	shutdown  bool
+	// stopAccept refuses new connections while leaving established ones
+	// fully served — the first phase of a graceful decommission (set by
+	// StopAccepting; Shutdown implies it).
+	stopAccept bool
 
 	connWG sync.WaitGroup
 }
@@ -138,7 +143,7 @@ func (s *Server) Stats() ServerStats {
 // fails. It returns nil after a Shutdown-initiated stop.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
-	if s.shutdown {
+	if s.shutdown || s.stopAccept {
 		s.mu.Unlock()
 		return errors.New("dist: server is shut down")
 	}
@@ -147,9 +152,9 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			// A listener closed by Shutdown or by its owner is a clean
-			// stop; established connections keep being served.
-			if s.isShutdown() || errors.Is(err, net.ErrClosed) {
+			// A listener closed by Shutdown/StopAccepting or by its owner is
+			// a clean stop; established connections keep being served.
+			if s.isShutdown() || s.isAcceptStopped() || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("dist: accept: %w", err)
@@ -166,6 +171,31 @@ func (s *Server) isShutdown() bool {
 	return s.shutdown
 }
 
+func (s *Server) isAcceptStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopAccept
+}
+
+// StopAccepting closes the server's listeners and refuses connections from
+// then on, while established connections — and the requests in flight on
+// them — keep being served indefinitely. It is the first phase of a graceful
+// decommission: a replica is taken out of rotation (dials fail, so routing
+// health marks it down) without cutting off the queries it already accepted;
+// Shutdown later drains what remains. Idempotent; Shutdown implies it.
+func (s *Server) StopAccepting() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopAccept {
+		return
+	}
+	s.stopAccept = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.log.Info("server stopped accepting", "site", s.site.ID(), "conns_open", len(s.conns))
+}
+
 // Shutdown stops the server gracefully: listeners close, blocked request
 // reads are kicked loose via an expired read deadline, in-flight requests
 // finish and write their responses, and every connection's reader goroutine
@@ -176,6 +206,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.shutdown
 	s.shutdown = true
+	s.stopAccept = true
 	for l := range s.listeners {
 		l.Close()
 	}
@@ -294,7 +325,9 @@ func (s *Server) serve(ctx context.Context, req *request) *response {
 	siteID := s.site.ID()
 	switch req.Op {
 	case opInfo:
-		return &response{SiteID: siteID}
+		// DurableSeq doubles as the site's current epoch, so a routing tier
+		// can refresh its staleness watermark with a plain info round trip.
+		return &response{SiteID: siteID, DurableSeq: s.site.Epoch()}
 	case opPrecompute:
 		stats, err := s.site.Precompute(ctx)
 		if err != nil {
@@ -330,8 +363,59 @@ func (s *Server) serve(ctx context.Context, req *request) *response {
 		return &response{SiteID: siteID, UpdateRes: res}
 	case opCrossIn:
 		return &response{SiteID: siteID, Acted: s.site.AdjustCrossIn(graph.NodeID(req.S), req.Delta)}
+	case opReplSnapshot:
+		seq, img, err := s.site.ReplicationSnapshot()
+		if err != nil {
+			return errResponse(siteID, err)
+		}
+		return &response{SiteID: siteID, Snapshot: img, SnapSeq: seq, DurableSeq: s.site.LeaderSeq()}
+	case opReplPull:
+		return s.serveReplPull(ctx, req)
 	default:
 		return errResponse(siteID, fmt.Errorf("unknown op %d", req.Op))
+	}
+}
+
+// replPollInterval is the long-poll recheck cadence of opReplPull; a
+// variable so tests can tighten it.
+var replPollInterval = 2 * time.Millisecond
+
+// serveReplPull answers one record-pull request. With WaitNS set and no
+// records past FromSeq yet, it long-polls — rechecking the WAL head until
+// records land, the wait budget runs out, or the request is cancelled — so
+// an idle leader costs the follower one outstanding request instead of a
+// tight poll loop over the wire.
+func (s *Server) serveReplPull(ctx context.Context, req *request) *response {
+	siteID := s.site.ID()
+	max := req.MaxRecords
+	if max <= 0 || max > 8192 {
+		max = 8192
+	}
+	var deadline time.Time
+	if req.WaitNS > 0 {
+		deadline = time.Now().Add(durationNS(req.WaitNS))
+	}
+	for {
+		recs, err := s.site.ReadRecords(req.FromSeq, max)
+		var trunc *store.TruncatedError
+		if errors.As(err, &trunc) {
+			return &response{SiteID: siteID, Truncated: true, DurableSeq: s.site.LeaderSeq()}
+		}
+		if err != nil {
+			return errResponse(siteID, err)
+		}
+		if len(recs) > 0 || deadline.IsZero() || !time.Now().Before(deadline) {
+			return &response{
+				SiteID:     siteID,
+				Records:    store.EncodeRecords(nil, recs),
+				DurableSeq: s.site.LeaderSeq(),
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return errResponse(siteID, ctx.Err())
+		case <-time.After(replPollInterval):
+		}
 	}
 }
 

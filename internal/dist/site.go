@@ -11,6 +11,7 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log/slog"
@@ -45,8 +46,9 @@ type PartialAnswer struct {
 	// cache rather than a live evaluation.
 	FromCache bool
 	// Epoch is the site's data version the answer was computed at; it
-	// changes whenever the site's partition changes. Only meaningful for
-	// cached answers.
+	// changes whenever the site's partition changes. Replica-aware routing
+	// compares it against the leader's last commit to detect stale follower
+	// answers.
 	Epoch uint64
 	// NotModified reports that the coordinator's copy (requested via
 	// EvalOptions.IfEpoch) is still valid; Reduced is nil.
@@ -111,6 +113,11 @@ type Site struct {
 	// effective update is logged before it is acknowledged, and the epoch
 	// is the WAL sequence number — a version that survives restarts.
 	store *store.Store
+
+	// readOnly marks a follower replica: state changes arrive only through
+	// ApplyReplicated, and the direct mutation paths are refused so a
+	// misrouted write cannot fork the replica from its leader.
+	readOnly atomic.Bool
 
 	// scratch pools per-evaluation graph copies; exclusions pools the
 	// per-query exclusion sets. Both reach zero steady-state allocations.
@@ -324,6 +331,81 @@ func (s *Site) applyRecord(rec store.Record) (bool, error) {
 	return false, fmt.Errorf("dist: unknown wal record kind %d", rec.Kind)
 }
 
+// SetReadOnly marks the site as a follower replica: ApplyEdgeUpdate and
+// AdjustCrossIn are refused (writes belong on the leader), and state changes
+// arrive only through ApplyReplicated.
+func (s *Site) SetReadOnly(v bool) { s.readOnly.Store(v) }
+
+// ReadOnly reports whether the site refuses direct writes.
+func (s *Site) ReadOnly() bool { return s.readOnly.Load() }
+
+// ApplyReplicated applies one WAL record shipped from this site's leader,
+// through the same mutation path recovery replay uses. Records must arrive
+// in sequence order. The epoch moves to the record's sequence number exactly
+// when observable state changed — reproducing the leader's epoch assignment
+// bit for bit, which is what makes follower answers interchangeable with the
+// leader's (same fragment, same version number).
+func (s *Site) ApplyReplicated(rec store.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed, err := s.applyRecord(rec)
+	if err != nil {
+		return fmt.Errorf("dist: site %d applying replicated record %d: %w", s.part.ID, rec.Seq, err)
+	}
+	if changed {
+		s.cache = nil
+		s.epoch.Store(rec.Seq)
+	}
+	return nil
+}
+
+// SeedEpoch initializes the site's epoch from a replication bootstrap image
+// covering seq. Call once, before the site serves.
+func (s *Site) SeedEpoch(seq uint64) { s.epoch.Store(seq) }
+
+// ReplicationSnapshot captures a consistent bootstrap image for a follower:
+// the partition serialized in CCPP1 format, plus the WAL sequence number it
+// covers. Only sites with a durable store can be replicated from.
+func (s *Site) ReplicationSnapshot() (uint64, []byte, error) {
+	if s.store == nil {
+		return 0, nil, &SiteError{SiteID: s.part.ID, Op: "repl-snapshot",
+			Msg: "site has no durable store to replicate from"}
+	}
+	// Seq and image are captured atomically under s.mu (appends happen under
+	// the same lock); serialization runs outside it — the COW snapshot stays
+	// consistent no matter how many updates land meanwhile.
+	s.mu.Lock()
+	seq := s.store.AppendedSeq()
+	img := s.part.Snapshot()
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := img.WriteBinary(&buf); err != nil {
+		return 0, nil, fmt.Errorf("dist: site %d serializing bootstrap image: %w", s.part.ID, err)
+	}
+	return seq, buf.Bytes(), nil
+}
+
+// ReadRecords returns up to max WAL records with sequence numbers strictly
+// greater than from, for shipping to a follower. A *store.TruncatedError
+// means checkpointing already deleted segments the follower needs — it must
+// re-bootstrap from ReplicationSnapshot.
+func (s *Site) ReadRecords(from uint64, max int) ([]store.Record, error) {
+	if s.store == nil {
+		return nil, &SiteError{SiteID: s.part.ID, Op: "repl-pull",
+			Msg: "site has no durable store to replicate from"}
+	}
+	return s.store.ReadFrom(from, max)
+}
+
+// LeaderSeq returns the last WAL sequence number assigned by this site —
+// the reference a follower's lag is measured against. Zero without a store.
+func (s *Site) LeaderSeq() uint64 {
+	if s.store == nil {
+		return 0
+	}
+	return s.store.AppendedSeq()
+}
+
 // CloseStore checkpoints and closes the site's durable store — a clean
 // shutdown, after which the next boot replays nothing. It is idempotent
 // and a no-op for a site without a store. Callers drain queries first;
@@ -334,6 +416,18 @@ func (s *Site) CloseStore() error {
 		return nil
 	}
 	return s.store.Close()
+}
+
+// Checkpoint forces a durable-store checkpoint immediately — sealing the
+// active WAL segment and deleting segments the new checkpoint fully covers.
+// A no-op for a site without a store. Tests and deployment tooling use it
+// to bound the WAL tail on demand instead of waiting for the background
+// triggers.
+func (s *Site) Checkpoint() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Checkpoint()
 }
 
 // StoreStats returns the durable store's counters; ok is false for a site
@@ -557,6 +651,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 				SiteID:  s.part.ID,
 				Ans:     a,
 				Elapsed: time.Since(start),
+				Epoch:   sn.epoch,
 			}
 			s.observeEval(pa, opts, "site.decide", false)
 			return pa, nil
@@ -572,6 +667,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 					SiteID:  s.part.ID,
 					Ans:     control.True,
 					Elapsed: time.Since(start),
+					Epoch:   sn.epoch,
 				}
 				s.observeEval(pa, opts, "site.datalog", false)
 				return pa, nil
@@ -611,6 +707,7 @@ func (s *Site) Evaluate(ctx context.Context, q control.Query, opts EvalOptions) 
 		Ans:     res.Ans,
 		Stats:   res.Stats,
 		Elapsed: time.Since(start),
+		Epoch:   sn.epoch,
 	}
 	if opts.ForcePartial {
 		pa.Ans = control.Unknown

@@ -65,6 +65,10 @@ func (s *Site) commit(rec store.Record) (uint64, error) {
 // mutation itself is partition.ApplyStake — the same path WAL replay takes,
 // so a recovered site reproduces exactly the state this call built.
 func (s *Site) ApplyEdgeUpdate(up StakeUpdate) (UpdateResult, error) {
+	if s.readOnly.Load() {
+		return UpdateResult{}, &SiteError{SiteID: s.part.ID, Op: "update",
+			Msg: "read-only follower replica: writes go to the leader"}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sr, err := s.part.ApplyStake(up.Owner, up.Owned, up.Weight, up.Remove)
@@ -102,6 +106,9 @@ func (s *Site) ApplyEdgeUpdate(up StakeUpdate) (UpdateResult, error) {
 // made durable — recovery needs the count — but does not touch the epoch,
 // snapshots or caches: the observable data did not change.
 func (s *Site) AdjustCrossIn(v graph.NodeID, delta int) bool {
+	if s.readOnly.Load() {
+		return false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	acted, changed := s.part.AdjustCrossIn(v, delta)

@@ -31,6 +31,11 @@ const (
 	opInfo
 	opUpdate
 	opCrossIn
+	// opReplSnapshot fetches a consistent (seq, partition image) pair for
+	// follower bootstrap; opReplPull fetches a batch of WAL records past a
+	// sequence number. Both are served only by sites with a durable store.
+	opReplSnapshot
+	opReplPull
 )
 
 // opName names an op for error reporting.
@@ -46,6 +51,10 @@ func opName(o op) string {
 		return "update"
 	case opCrossIn:
 		return "cross-in"
+	case opReplSnapshot:
+		return "repl-snapshot"
+	case opReplPull:
+		return "repl-pull"
 	default:
 		return fmt.Sprintf("op%d", o)
 	}
@@ -81,6 +90,12 @@ type request struct {
 	// opUpdate / opCrossIn payloads.
 	Update StakeUpdate
 	Delta  int
+	// opReplPull payload: return up to MaxRecords WAL records with sequence
+	// numbers strictly greater than FromSeq. WaitNS > 0 asks the site to
+	// long-poll that long for new records before answering empty.
+	FromSeq    uint64
+	MaxRecords int
+	WaitNS     int64
 }
 
 // response is the site -> client message.
@@ -113,6 +128,16 @@ type response struct {
 	// (request.TraceID != 0), with StartNS relative to the site's own
 	// request start; the coordinator re-bases them when stitching.
 	Spans []obs.Span
+	// Replication payloads. Records is a frame-encoded WAL record batch
+	// (store.EncodeRecords); Snapshot a CCPP1 partition image covering
+	// SnapSeq. DurableSeq is the site's durable sequence number at answer
+	// time — the follower's lag reference. Truncated tells a puller the
+	// records it needs were deleted by checkpointing: re-bootstrap.
+	Records    []byte
+	Snapshot   []byte
+	SnapSeq    uint64
+	DurableSeq uint64
+	Truncated  bool
 }
 
 // Error classification codes carried in response.Code.
@@ -288,6 +313,15 @@ func (c *LocalClient) AdjustCrossIn(ctx context.Context, v graph.NodeID, delta i
 // Health implements HealthReporter: an in-process site is always reachable.
 func (c *LocalClient) Health() SiteHealth {
 	return SiteHealth{SiteID: c.Site.ID(), Connected: true}
+}
+
+// Epoch returns the site's current data epoch — the in-process counterpart
+// of RemoteClient.Epoch, so routing tiers can treat both uniformly.
+func (c *LocalClient) Epoch(ctx context.Context) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, ctxError(c.Site.ID(), "info", err)
+	}
+	return c.Site.Epoch(), nil
 }
 
 // countWriter counts bytes written to it.

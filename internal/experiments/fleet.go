@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccp/internal/control"
+	"ccp/internal/dist"
+	"ccp/internal/fleet"
+	"ccp/internal/gen"
+	"ccp/internal/graph"
+	"ccp/internal/partition"
+	"ccp/internal/store"
+)
+
+// FleetReadRow is one read-throughput measurement: n replicas (the leader
+// plus n−1 followers) behind replica-aware routing, driven by a fixed pool
+// of concurrent clients.
+type FleetReadRow struct {
+	Replicas int     `json:"replicas"`
+	Queries  int     `json:"queries"`
+	QPS      float64 `json:"qps"`
+	// SpeedupVsOne is this row's throughput over the 1-replica row — the
+	// capacity replica routing actually buys (0 on the baseline row).
+	SpeedupVsOne float64 `json:"speedup_vs_one_replica,omitempty"`
+}
+
+func (r FleetReadRow) String() string {
+	s := fmt.Sprintf("replicas=%d  %8.0f q/s", r.Replicas, r.QPS)
+	if r.SpeedupVsOne > 0 {
+		s += fmt.Sprintf("  (%.2fx of one replica)", r.SpeedupVsOne)
+	}
+	return s
+}
+
+// FleetBenchResult measures the elastic serving tier end to end over real
+// loopback TCP: read throughput with and without a WAL-shipped follower
+// behind the replica set, replication lag while a write burst streams
+// through the leader's WAL, and the admission gate's shed behavior at
+// saturation.
+type FleetBenchResult struct {
+	ReadThroughput []FleetReadRow `json:"read_throughput"`
+	Lag            struct {
+		// Updates is the size of the write burst committed at the leader.
+		Updates int `json:"updates"`
+		// MaxLagRecords is the worst leader−follower gap sampled during the
+		// burst; ConvergeMillis the time from the last commit until the
+		// follower had applied every record.
+		MaxLagRecords  uint64  `json:"max_lag_records"`
+		ConvergeMillis float64 `json:"converge_ms"`
+		// AppliedPerSec is the follower's replication throughput over the
+		// whole burst (first commit to convergence).
+		AppliedPerSec float64 `json:"applied_per_sec"`
+	} `json:"lag"`
+	Admission struct {
+		// Offered is the total admission attempts; Admitted and Shed split
+		// it. ShedRate = Shed/Offered — how much of a ~4x overload the gate
+		// refuses instead of queueing into collapse.
+		Offered  int     `json:"offered"`
+		Admitted int     `json:"admitted"`
+		Shed     int     `json:"shed"`
+		ShedRate float64 `json:"shed_rate"`
+	} `json:"admission"`
+}
+
+// fleetServiceWindow is the paced replica's per-request service time. On a
+// single-core bench runner every replica shares one CPU, so raw loopback
+// throughput cannot show routing fan-out; pacing makes per-replica capacity
+// explicit — one request at a time, each holding the replica for a fixed
+// window — which is the quantity replica-aware routing actually scales.
+const fleetServiceWindow = 4 * time.Millisecond
+
+// pacedClient models a site with bounded service capacity: a 1-slot
+// semaphore serializes requests and each holds the slot for the service
+// window on top of the real evaluation.
+type pacedClient struct {
+	dist.SiteClient
+	slot chan struct{}
+}
+
+func newPaced(c dist.SiteClient) *pacedClient {
+	return &pacedClient{SiteClient: c, slot: make(chan struct{}, 1)}
+}
+
+func (p *pacedClient) Evaluate(ctx context.Context, q control.Query, opts dist.EvalOptions) (*dist.PartialAnswer, int64, error) {
+	select {
+	case p.slot <- struct{}{}:
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+	defer func() { <-p.slot }()
+	time.Sleep(fleetServiceWindow)
+	return p.SiteClient.Evaluate(ctx, q, opts)
+}
+
+// Close forwards to the wrapped client's connection if it has one.
+func (p *pacedClient) Close() error {
+	if c, ok := p.SiteClient.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// FleetBench runs the elastic-serving-tier experiment: a durable leader
+// site served over loopback TCP, a real follower bootstrapped from its
+// snapshot and tailing its WAL, replica-aware routing in front of both.
+func FleetBench(cfg Config) (*FleetBenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FleetBenchResult{}
+	ctx := context.Background()
+
+	nodes := cfg.scaled(1000)
+	g := gen.Random(nodes, 3*nodes, cfg.Seed)
+	pi, err := partition.ByContiguous(g, 2)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "ccpbench-fleet-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	leader, err := dist.OpenDurableSite(dir,
+		func() (*partition.Partition, error) { return pi.Parts[0].Snapshot(), nil },
+		cfg.Workers, store.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer leader.CloseStore()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := dist.NewServer(leader, dist.ServerConfig{})
+	go srv.Serve(ln)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(sctx)
+		cancel()
+	}()
+	leaderAddr := ln.Addr().String()
+
+	follower, err := fleet.StartFollower(ctx, leaderAddr, fleet.FollowerConfig{
+		Listen:  "127.0.0.1:0",
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer follower.Close()
+
+	// --- Read throughput, 1 vs 2 paced replicas behind the replica set.
+	queries := cfg.scaled(240)
+	qrng := rand.New(rand.NewSource(cfg.Seed + 7))
+	qs := make([]control.Query, queries)
+	for i := range qs {
+		qs[i] = pickQuery(g, qrng)
+	}
+	readQPS := func(replicas int) (float64, error) {
+		lc, err := dist.Dial(ctx, leaderAddr)
+		if err != nil {
+			return 0, err
+		}
+		var followers []dist.SiteClient
+		if replicas > 1 {
+			fc, err := dist.Dial(ctx, follower.Addr())
+			if err != nil {
+				lc.Close()
+				return 0, err
+			}
+			followers = append(followers, newPaced(fc))
+		}
+		rs := fleet.NewReplicaSet(newPaced(lc), followers, fleet.ReplicaSetConfig{})
+		defer rs.Close()
+		const drivers = 8
+		var next atomic.Int64
+		var firstErr atomic.Value
+		start := time.Now()
+		var wg sync.WaitGroup
+		for d := 0; d < drivers; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(qs) {
+						return
+					}
+					pa, _, err := rs.Evaluate(ctx, qs[i], dist.EvalOptions{ForcePartial: true})
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					pa.Release()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err, _ := firstErr.Load().(error); err != nil {
+			return 0, err
+		}
+		return float64(queries) / elapsed.Seconds(), nil
+	}
+	qps1, err := readQPS(1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fleet 1-replica run: %w", err)
+	}
+	qps2, err := readQPS(2)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fleet 2-replica run: %w", err)
+	}
+	res.ReadThroughput = []FleetReadRow{
+		{Replicas: 1, Queries: queries, QPS: qps1},
+		{Replicas: 2, Queries: queries, QPS: qps2, SpeedupVsOne: qps2 / qps1},
+	}
+
+	// --- Replication lag under a write burst committed at the leader.
+	updates := cfg.scaled(2000)
+	wrng := rand.New(rand.NewSource(cfg.Seed + 99))
+	var maxLag atomic.Uint64
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-t.C:
+				applied, leaderSeq := follower.Lag()
+				if lag := leaderSeq - applied; leaderSeq > applied && lag > maxLag.Load() {
+					maxLag.Store(lag)
+				}
+			}
+		}
+	}()
+	burstStart := time.Now()
+	for i := 0; i < updates; i++ {
+		rec := storeBenchRecord(wrng, nodes)
+		up := dist.StakeUpdate{Owner: graph.NodeID(rec.Owner), Owned: graph.NodeID(rec.Owned), Weight: rec.Weight}
+		if _, err := leader.ApplyEdgeUpdate(up); err != nil {
+			close(stopSampler)
+			return nil, err
+		}
+	}
+	convergeStart := time.Now()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = follower.WaitForSeq(wctx, leader.LeaderSeq())
+	cancel()
+	close(stopSampler)
+	<-samplerDone
+	if err != nil {
+		return nil, fmt.Errorf("experiments: follower never converged after the write burst: %w", err)
+	}
+	res.Lag.Updates = updates
+	res.Lag.MaxLagRecords = maxLag.Load()
+	res.Lag.ConvergeMillis = float64(time.Since(convergeStart).Microseconds()) / 1e3
+	res.Lag.AppliedPerSec = float64(updates) / time.Since(burstStart).Seconds()
+
+	// --- Admission at saturation: 16 clients offer ~4x the gate's capacity
+	// (4 slots × 500µs hold); the gate must shed the excess instead of
+	// queueing it into collapse.
+	gate := fleet.NewGate(fleet.GateConfig{
+		MaxInFlight:  4,
+		MaxQueue:     4,
+		MaxQueueWait: 2 * time.Millisecond,
+	})
+	const clients = 16
+	per := cfg.scaled(150)
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				release, err := gate.Admit(ctx)
+				if err != nil {
+					shed.Add(1)
+					continue
+				}
+				time.Sleep(500 * time.Microsecond)
+				release()
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	res.Admission.Offered = clients * per
+	res.Admission.Admitted = int(admitted.Load())
+	res.Admission.Shed = int(shed.Load())
+	res.Admission.ShedRate = float64(shed.Load()) / float64(clients*per)
+	return res, nil
+}

@@ -104,16 +104,36 @@ type storeFile struct {
 	} `json:"snapshot"`
 }
 
+// fleetFile mirrors the BENCH_fleet.json shape ccpbench writes
+// (cmd/ccpbench fleetDoc); only the fields the gate reads.
+type fleetFile struct {
+	ReadThroughput []struct {
+		Replicas int     `json:"replicas"`
+		QPS      float64 `json:"qps"`
+		Speedup  float64 `json:"speedup_vs_one_replica"`
+	} `json:"read_throughput"`
+	Lag struct {
+		ConvergeMillis float64 `json:"converge_ms"`
+		AppliedPerSec  float64 `json:"applied_per_sec"`
+	} `json:"lag"`
+	Admission struct {
+		ShedRate float64 `json:"shed_rate"`
+	} `json:"admission"`
+}
+
 // ExtractSeries pulls the comparable series out of a bench JSON document,
 // auto-detecting its shape: a BENCH_throughput.json concurrency sweep
 // (queries-per-minute gated, p95 informational), a BENCH_reduction.json
 // record (after-state ns/op, gated, lower is better), a
 // BENCH_datalog.json engine comparison (planned-vs-semi-naive speedup and
-// goal fraction gated, per-engine ns/query informational), or a
+// goal fraction gated, per-engine ns/query informational), a
 // BENCH_store.json durable-store record (buffered WAL append throughput,
 // replay throughput at the longest tail, and the durable-vs-memory query
 // ratio gated; fsync-bound series informational — they track the device,
-// not the code).
+// not the code), or a BENCH_fleet.json elastic-serving record (the
+// multi-replica read speedup gated — it comes from paced replicas, so it
+// measures the routing, not the machine; absolute qps, lag convergence and
+// shed rate informational).
 func ExtractSeries(data []byte) ([]Series, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -207,8 +227,36 @@ func ExtractSeries(data []byte) ([]Series, error) {
 			out = append(out, Series{Name: "store/durable_over_memory_qps",
 				Value: doc.Snapshot.Ratio, HigherIsBetter: true, Gated: true})
 		}
+	case probe["read_throughput"] != nil:
+		var doc fleetFile
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("experiments: parsing fleet file: %w", err)
+		}
+		for _, r := range doc.ReadThroughput {
+			out = append(out, Series{Name: fmt.Sprintf("fleet/read_qps/r%d", r.Replicas),
+				Value: r.QPS, HigherIsBetter: true})
+			if r.Replicas > 1 && r.Speedup > 0 {
+				out = append(out, Series{Name: fmt.Sprintf("fleet/read_speedup/r%d", r.Replicas),
+					Value: r.Speedup, HigherIsBetter: true, Gated: true})
+			}
+		}
+		if doc.Lag.AppliedPerSec > 0 {
+			out = append(out, Series{Name: "fleet/lag_applied_per_sec",
+				Value: doc.Lag.AppliedPerSec, HigherIsBetter: true})
+		}
+		if doc.Lag.ConvergeMillis > 0 {
+			out = append(out, Series{Name: "fleet/lag_converge_ms",
+				Value: doc.Lag.ConvergeMillis})
+		}
+		if doc.Admission.ShedRate > 0 {
+			// Informational: under a deliberate ~4x overload a healthy gate
+			// sheds most of the excess, but the exact rate tracks scheduler
+			// timing, not code quality.
+			out = append(out, Series{Name: "fleet/shed_rate",
+				Value: doc.Admission.ShedRate, HigherIsBetter: true})
+		}
 	default:
-		return nil, fmt.Errorf("experiments: unrecognized bench file shape (want a \"rows\", \"benchmarks\", \"engines\" or \"wal\" document)")
+		return nil, fmt.Errorf("experiments: unrecognized bench file shape (want a \"rows\", \"benchmarks\", \"engines\", \"wal\" or \"read_throughput\" document)")
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("experiments: bench file holds no comparable series")

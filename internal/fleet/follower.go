@@ -1,0 +1,386 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccp/internal/dist"
+	"ccp/internal/obs"
+	"ccp/internal/obs/flight"
+	"ccp/internal/partition"
+)
+
+// FollowerConfig tunes a follower replica. The zero value selects the
+// defaults noted on each field.
+type FollowerConfig struct {
+	// Listen is the address the follower serves read traffic on ("" = do not
+	// serve; the follower still replicates, useful for warm standbys and
+	// tests that drive the site directly).
+	Listen string
+	// Workers is the replica site's reduction parallelism (0 = GOMAXPROCS).
+	Workers int
+	// PullMax is the record-batch cap per replication pull. Default 2048.
+	PullMax int
+	// PullWait is the long-poll budget per pull: how long the leader holds
+	// an empty pull open waiting for new records. Default 200ms.
+	PullWait time.Duration
+	// RetryInterval is the pause after a failed pull (leader unreachable)
+	// before the loop tries again. Default 100ms.
+	RetryInterval time.Duration
+	// Client tunes the transport to the leader (dial timeout, retries,
+	// circuit breaker). The zero value selects the production defaults.
+	Client dist.ClientConfig
+	// Observer, when non-nil, registers the follower's metrics (applied and
+	// leader sequence numbers, lag, pulls, bootstraps) on its registry and
+	// records replication flight events.
+	Observer *obs.Observer
+	// Logger receives the follower's structured diagnostics. Nil discards.
+	Logger *slog.Logger
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.PullMax <= 0 {
+		c.PullMax = 2048
+	}
+	if c.PullWait <= 0 {
+		c.PullWait = 200 * time.Millisecond
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// followerMetrics are the follower's registered series — zero-valued (all
+// nil) without an Observer, where every update is a nil-check no-op.
+type followerMetrics struct {
+	pulls      *obs.Counter
+	applied    *obs.Counter
+	bootstraps *obs.Counter
+	truncated  *obs.Counter
+}
+
+// Follower is a read replica of one durable leader site: it bootstraps from
+// the leader's consistent snapshot image, then tails the leader's WAL over
+// the normal site transport (long-polled pulls), applying each record
+// through the same mutation path recovery replay uses — so its epoch tracks
+// the leader's exactly. When the leader's checkpointing truncates records
+// the follower still needs, it falls back to a fresh snapshot bootstrap
+// instead of erroring. With Listen set it serves the read half of the site
+// protocol itself; writes are refused (the site is read-only).
+type Follower struct {
+	cfg    FollowerConfig
+	leader *dist.RemoteClient
+	addr   string // resolved serving address, "" when not serving
+
+	// site is the current replica site; re-bootstrap replaces it (and the
+	// server wrapping it) wholesale, which is what makes the swap safe: the
+	// old site keeps serving its in-flight evaluations untouched.
+	site atomic.Pointer[dist.Site]
+
+	applied   atomic.Uint64 // last WAL seq applied (or covered by bootstrap)
+	leaderSeq atomic.Uint64 // leader's head seq at the last exchange
+
+	mu  sync.Mutex
+	srv *dist.Server
+	// servedBase carries the request totals of retired server generations,
+	// so the exported counter survives re-bootstrap server swaps.
+	servedBase int64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	met followerMetrics
+	fr  *flight.Recorder
+	log *slog.Logger
+}
+
+// StartFollower dials the leader, bootstraps a replica of its site, starts
+// serving reads (when cfg.Listen is set), and begins tailing the leader's
+// WAL. ctx bounds the initial dial and bootstrap only; the replication loop
+// runs until Close.
+func StartFollower(ctx context.Context, leaderAddr string, cfg FollowerConfig) (*Follower, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Client.Observer == nil {
+		cfg.Client.Observer = cfg.Observer
+	}
+	if cfg.Client.Logger == nil {
+		cfg.Client.Logger = cfg.Logger
+	}
+	f := &Follower{
+		cfg:  cfg,
+		fr:   cfg.Observer.Flight(),
+		log:  obs.LoggerOr(cfg.Logger),
+		done: make(chan struct{}),
+	}
+	leader, err := dist.DialConfig(ctx, leaderAddr, cfg.Client)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dialing leader %s: %w", leaderAddr, err)
+	}
+	f.leader = leader
+	if err := f.bootstrap(ctx); err != nil {
+		leader.Close()
+		return nil, err
+	}
+	if reg := cfg.Observer.Registry(); reg != nil {
+		l := obs.Label{Key: "site", Value: strconv.Itoa(leader.SiteID())}
+		f.met = followerMetrics{
+			pulls: reg.Counter("ccp_fleet_pulls_total",
+				"Replication pulls completed against the leader.", l),
+			applied: reg.Counter("ccp_fleet_records_applied_total",
+				"Leader WAL records applied on this follower.", l),
+			bootstraps: reg.Counter("ccp_fleet_bootstraps_total",
+				"Snapshot bootstraps (initial and truncation-forced).", l),
+			truncated: reg.Counter("ccp_fleet_truncations_total",
+				"Pulls answered 'truncated': the leader checkpointed past records this follower still needed.", l),
+		}
+		f.met.bootstraps.Inc() // the initial bootstrap above
+		reg.GaugeFunc("ccp_fleet_applied_seq",
+			"Last leader WAL sequence number applied on this follower.",
+			func() float64 { return float64(f.applied.Load()) }, l)
+		reg.GaugeFunc("ccp_fleet_leader_seq",
+			"Leader's WAL head sequence number at the last replication exchange.",
+			func() float64 { return float64(f.leaderSeq.Load()) }, l)
+		reg.GaugeFunc("ccp_fleet_lag_records",
+			"Replication lag: leader head seq minus follower applied seq.",
+			func() float64 {
+				applied, leader := f.Lag()
+				return float64(leader - applied)
+			}, l)
+		reg.GaugeFunc("ccp_fleet_epoch",
+			"The follower site's data epoch (tracks the leader's under replication).",
+			func() float64 { return float64(f.site.Load().Epoch()) }, l)
+		// The follower cannot use Server.Observe (register-once, but the
+		// server is replaced on every re-bootstrap); this counter folds all
+		// server generations together instead.
+		reg.CounterFunc("ccp_server_requests_total",
+			"Requests served by the follower's read server (all ops, across re-bootstraps).",
+			f.servedTotal)
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			leader.Close()
+			return nil, fmt.Errorf("fleet: follower cannot bind %s: %w", cfg.Listen, err)
+		}
+		// Pin the resolved address so a re-bootstrap restart reclaims the
+		// same port (":0" must not wander).
+		f.addr = ln.Addr().String()
+		f.serveOn(ln, f.site.Load())
+	}
+	rctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	go f.run(rctx)
+	return f, nil
+}
+
+// bootstrap fetches the leader's snapshot image and installs a fresh
+// read-only replica site seeded at the image's covered sequence number.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	snapSeq, img, leaderSeq, err := f.leader.ReplSnapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("fleet: bootstrap snapshot: %w", err)
+	}
+	p, err := partition.ReadPartition(bytes.NewReader(img))
+	if err != nil {
+		return fmt.Errorf("fleet: decoding bootstrap image: %w", err)
+	}
+	site := dist.NewSite(p, f.cfg.Workers)
+	site.SetLogger(f.cfg.Logger)
+	site.SeedEpoch(snapSeq)
+	site.SetReadOnly(true)
+	f.site.Store(site)
+	f.applied.Store(snapSeq)
+	f.leaderSeq.Store(leaderSeq)
+	f.fr.Record(flight.ReplBootstrap, int32(p.ID), 0, int64(snapSeq), int64(len(img)))
+	f.log.Info("follower bootstrapped", "site", p.ID, "snap_seq", snapSeq,
+		"leader_seq", leaderSeq, "image_bytes", len(img))
+	return nil
+}
+
+// serveOn starts (or restarts) the follower's read server for site on ln,
+// replacing any previous server. The old server, if any, is shut down first
+// — it drains its in-flight evaluations against the old site.
+func (f *Follower) serveOn(ln net.Listener, site *dist.Site) {
+	srv := dist.NewServer(site, dist.ServerConfig{Logger: f.cfg.Logger})
+	f.mu.Lock()
+	if f.srv != nil {
+		f.servedBase += f.srv.Stats().Requests
+	}
+	f.srv = srv
+	f.mu.Unlock()
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			f.log.Warn("follower serve stopped", "err", err)
+		}
+	}()
+}
+
+// rebootstrap replaces the replica with a fresh snapshot of the leader —
+// the truncation fallback. When serving, the old server is drained and a
+// new one takes over the same address, so the outage window is one listen
+// round-trip; routing health covers the gap.
+func (f *Follower) rebootstrap(ctx context.Context) error {
+	f.mu.Lock()
+	old := f.srv
+	f.mu.Unlock()
+	if old != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		old.Shutdown(sctx)
+		cancel()
+	}
+	if err := f.bootstrap(ctx); err != nil {
+		return err
+	}
+	f.met.bootstraps.Inc()
+	if f.addr != "" {
+		ln, err := net.Listen("tcp", f.addr)
+		if err != nil {
+			return fmt.Errorf("fleet: follower cannot rebind %s: %w", f.addr, err)
+		}
+		f.serveOn(ln, f.site.Load())
+	}
+	return nil
+}
+
+// run is the replication loop: long-poll the leader for records past the
+// applied watermark, apply them in order, re-bootstrap on truncation, retry
+// on transport failures. Exits when ctx is cancelled (Close).
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	siteID := int32(f.leader.SiteID())
+	for ctx.Err() == nil {
+		recs, leaderSeq, truncated, err := f.leader.ReplPull(ctx,
+			f.applied.Load(), f.cfg.PullMax, f.cfg.PullWait)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			f.log.Warn("replication pull failed", "site", siteID, "err", err)
+			if !sleepCtx(ctx, f.cfg.RetryInterval) {
+				return
+			}
+			continue
+		}
+		f.leaderSeq.Store(leaderSeq)
+		f.met.pulls.Inc()
+		f.fr.Record(flight.ReplPull, siteID, 0, int64(leaderSeq), int64(len(recs)))
+		if truncated {
+			f.met.truncated.Inc()
+			f.log.Info("leader truncated records this follower needs; re-bootstrapping",
+				"site", siteID, "applied", f.applied.Load(), "leader_seq", leaderSeq)
+			if err := f.rebootstrap(ctx); err != nil {
+				f.log.Error("re-bootstrap failed", "site", siteID, "err", err)
+				if !sleepCtx(ctx, f.cfg.RetryInterval) {
+					return
+				}
+			}
+			continue
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		site := f.site.Load()
+		bad := false
+		for _, rec := range recs {
+			if err := site.ApplyReplicated(rec); err != nil {
+				// A record the replica cannot apply means it diverged from
+				// the leader (or the image raced something it should not
+				// have); a fresh bootstrap is the safe recovery.
+				f.log.Error("replicated record failed to apply; re-bootstrapping",
+					"site", siteID, "seq", rec.Seq, "err", err)
+				if rerr := f.rebootstrap(ctx); rerr != nil {
+					f.log.Error("re-bootstrap failed", "site", siteID, "err", rerr)
+				}
+				bad = true
+				break
+			}
+			f.applied.Store(rec.Seq)
+		}
+		if bad {
+			continue
+		}
+		f.met.applied.Add(int64(len(recs)))
+		f.fr.Record(flight.ReplApply, siteID, 0, int64(f.applied.Load()), int64(len(recs)))
+	}
+}
+
+// servedTotal sums requests served across every server generation.
+func (f *Follower) servedTotal() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.servedBase
+	if f.srv != nil {
+		n += f.srv.Stats().Requests
+	}
+	return float64(n)
+}
+
+// sleepCtx pauses for d, reporting false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Site returns the current replica site (replaced wholesale on
+// re-bootstrap). In-process callers evaluate against it directly.
+func (f *Follower) Site() *dist.Site { return f.site.Load() }
+
+// SiteID returns the partition id this follower replicates.
+func (f *Follower) SiteID() int { return f.leader.SiteID() }
+
+// Addr is the follower's read-serving address ("" when not serving).
+func (f *Follower) Addr() string { return f.addr }
+
+// Lag reports the follower's applied sequence number and the leader's head
+// sequence number from the most recent exchange; leader − applied is the
+// replication lag in records.
+func (f *Follower) Lag() (applied, leader uint64) {
+	applied = f.applied.Load()
+	leader = f.leaderSeq.Load()
+	if leader < applied {
+		// The gauge read raced a bootstrap; clamp rather than underflow.
+		leader = applied
+	}
+	return applied, leader
+}
+
+// WaitForSeq blocks until the follower has applied at least seq, polling
+// the replication watermark, or until ctx ends.
+func (f *Follower) WaitForSeq(ctx context.Context, seq uint64) error {
+	for f.applied.Load() < seq {
+		if !sleepCtx(ctx, time.Millisecond) {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Close stops the replication loop, shuts down the read server (draining
+// in-flight evaluations), and releases the leader connection.
+func (f *Follower) Close() error {
+	f.cancel()
+	<-f.done
+	f.mu.Lock()
+	srv := f.srv
+	f.mu.Unlock()
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}
+	return f.leader.Close()
+}

@@ -1,0 +1,220 @@
+// Package fleet implements the elastic serving tier over the distributed
+// runtime of internal/dist: WAL-shipped follower replicas of durable sites
+// (Follower), replica-aware routing of reads across a leader and its
+// followers (ReplicaSet), and coordinator-side admission control (Gate).
+//
+// The consistency argument is the epoch: on a durable site the epoch is the
+// WAL sequence number of the last record that changed observable state, and
+// a follower applying the leader's records through the same mutation path
+// reproduces that assignment bit for bit. A follower answer stamped with an
+// epoch at or past the routing tier's write watermark is therefore
+// interchangeable with the leader's own answer; anything older is stale and
+// is re-issued to the leader.
+package fleet
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccp/internal/dist"
+	"ccp/internal/obs"
+)
+
+// GateConfig tunes the coordinator's admission gate. The zero value selects
+// the defaults noted on each field.
+type GateConfig struct {
+	// MaxInFlight is the number of queries allowed to execute at once.
+	// Default 64.
+	MaxInFlight int
+	// MaxQueue is how many arrivals may wait for a slot before newcomers are
+	// shed outright. Default 2×MaxInFlight.
+	MaxQueue int
+	// MaxQueueWait bounds how long one arrival waits for a slot before it is
+	// shed. Default 50ms.
+	MaxQueueWait time.Duration
+	// TargetP99, when set, sheds arrivals that would have to queue while the
+	// rolling p99 of recent query service times exceeds it — queueing behind
+	// a slow tier only makes the tail worse. 0 disables the latency signal.
+	TargetP99 time.Duration
+	// Observer, when non-nil, registers the gate's metrics (admissions,
+	// sheds by reason, queue depth/wait, rolling p99) on its registry.
+	Observer *obs.Observer
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 50 * time.Millisecond
+	}
+	return c
+}
+
+// latencyWindow holds the service times of the most recent admitted queries
+// for the rolling-p99 overload signal.
+const latencyWindow = 128
+
+// Gate is a coordinator-side admission controller implementing
+// dist.AdmissionGate: a fixed pool of execution slots, a bounded wait queue
+// in front of it, and a rolling-latency signal that stops the queue from
+// growing when the tier is already slow. Safe for concurrent use.
+type Gate struct {
+	cfg   GateConfig
+	slots chan struct{}
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	lmu    sync.Mutex
+	window [latencyWindow]time.Duration
+	wn     int // samples recorded (caps at latencyWindow)
+	wi     int // next write index
+
+	met gateMetrics
+}
+
+// gateMetrics are the gate's registered series — zero-valued (all nil)
+// without an Observer, where every update is a nil-check no-op.
+type gateMetrics struct {
+	admitted  *obs.Counter
+	shedFull  *obs.Counter
+	shedWait  *obs.Counter
+	shedP99   *obs.Counter
+	queueWait *obs.Histogram
+}
+
+// NewGate builds an admission gate.
+func NewGate(cfg GateConfig) *Gate {
+	cfg = cfg.withDefaults()
+	g := &Gate{cfg: cfg, slots: make(chan struct{}, cfg.MaxInFlight)}
+	if reg := cfg.Observer.Registry(); reg != nil {
+		shed := func(reason string) *obs.Counter {
+			return reg.Counter("ccp_admission_shed_total",
+				"Queries shed by the admission gate, by tripped limit.",
+				obs.Label{Key: "reason", Value: reason})
+		}
+		g.met = gateMetrics{
+			admitted: reg.Counter("ccp_admission_admitted_total",
+				"Queries admitted by the admission gate."),
+			shedFull: shed("queue_full"),
+			shedWait: shed("queue_wait"),
+			shedP99:  shed("p99_over_target"),
+			queueWait: reg.Histogram("ccp_admission_queue_wait_seconds",
+				"Time admitted queries spent waiting for an execution slot.",
+				obs.DefaultLatencyBuckets),
+		}
+		reg.GaugeFunc("ccp_admission_inflight",
+			"Admitted queries currently holding an execution slot.",
+			func() float64 { return float64(g.inflight.Load()) })
+		reg.GaugeFunc("ccp_admission_queued",
+			"Arrivals currently waiting for an execution slot.",
+			func() float64 { return float64(g.queued.Load()) })
+		reg.GaugeFunc("ccp_admission_p99_seconds",
+			"Rolling p99 of recent admitted-query service times.",
+			func() float64 { return g.p99().Seconds() })
+	}
+	return g
+}
+
+// Admit implements dist.AdmissionGate: it returns a release func once the
+// caller holds an execution slot, or a *dist.OverloadError when the query
+// should be shed. A free slot admits immediately; otherwise the arrival
+// queues up to MaxQueueWait unless the queue is full or the rolling p99 is
+// already past target.
+func (g *Gate) Admit(ctx context.Context) (func(), error) {
+	select {
+	case g.slots <- struct{}{}:
+		g.met.admitted.Inc()
+		return g.release(time.Now()), nil
+	default:
+	}
+	// No free slot: the arrival must queue. Queueing while the tier is
+	// already past its latency target only deepens the tail, so shed first.
+	if g.cfg.TargetP99 > 0 && g.p99() > g.cfg.TargetP99 {
+		g.met.shedP99.Inc()
+		return nil, g.overloaded("rolling p99 over target")
+	}
+	if q := g.queued.Add(1); int(q) > g.cfg.MaxQueue {
+		g.queued.Add(-1)
+		g.met.shedFull.Inc()
+		return nil, g.overloaded("queue full")
+	}
+	defer g.queued.Add(-1)
+	waitStart := time.Now()
+	t := time.NewTimer(g.cfg.MaxQueueWait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.met.queueWait.Observe(time.Since(waitStart).Seconds())
+		g.met.admitted.Inc()
+		return g.release(time.Now()), nil
+	case <-t.C:
+		g.met.shedWait.Inc()
+		return nil, g.overloaded("queue wait exceeded")
+	case <-ctx.Done():
+		g.met.shedWait.Inc()
+		return nil, g.overloaded("caller gave up while queued")
+	}
+}
+
+// overloaded builds the typed shed error with a point-in-time snapshot.
+func (g *Gate) overloaded(reason string) error {
+	return &dist.OverloadError{
+		Reason:   reason,
+		InFlight: len(g.slots),
+		Queued:   int(g.queued.Load()),
+	}
+}
+
+// release hands back the slot exactly once and feeds the query's service
+// time into the rolling-latency window.
+func (g *Gate) release(start time.Time) func() {
+	g.inflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.inflight.Add(-1)
+			<-g.slots
+			g.observeLatency(time.Since(start))
+		})
+	}
+}
+
+func (g *Gate) observeLatency(d time.Duration) {
+	g.lmu.Lock()
+	g.window[g.wi] = d
+	g.wi = (g.wi + 1) % latencyWindow
+	if g.wn < latencyWindow {
+		g.wn++
+	}
+	g.lmu.Unlock()
+}
+
+// p99 computes the rolling 99th percentile of recent service times. It runs
+// only off the hot path (queueing arrivals and metric scrapes), so a copy
+// and sort of at most 128 samples is fine.
+func (g *Gate) p99() time.Duration {
+	g.lmu.Lock()
+	n := g.wn
+	buf := make([]time.Duration, n)
+	copy(buf, g.window[:n])
+	g.lmu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (n*99 + 99) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}
+
+var _ dist.AdmissionGate = (*Gate)(nil)

@@ -84,6 +84,20 @@ const (
 	// of WAL records replayed past the checkpoint, A2 the replay duration in
 	// nanoseconds.
 	RecoverReplay
+	// QueryShed marks a query rejected by the coordinator's admission gate
+	// before it started; A1/A2 carry the query's source and target node ids.
+	QueryShed
+	// ReplBootstrap marks a follower replica bootstrapping from the leader's
+	// checkpoint image; A1 is the image's covered sequence number, A2 the
+	// image bytes.
+	ReplBootstrap
+	// ReplApply marks a batch of WAL records applied on a follower; A1 is
+	// the follower's applied sequence after the batch, A2 the batch size.
+	ReplApply
+	// ReplPull is the follower-side record of one pull round-trip; A1 is the
+	// leader's durable sequence, A2 the number of records shipped (0 for an
+	// empty long-poll).
+	ReplPull
 	numTypes
 )
 
@@ -107,6 +121,10 @@ var typeNames = [numTypes]string{
 	WALAppend:     "wal.append",
 	CkptBuild:     "ckpt.build",
 	RecoverReplay: "recover.replay",
+	QueryShed:     "query.shed",
+	ReplBootstrap: "repl.bootstrap",
+	ReplApply:     "repl.apply",
+	ReplPull:      "repl.pull",
 }
 
 // String names the event type ("query.start", "circuit", ...).
@@ -218,6 +236,14 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("dur=%v bytes=%d", time.Duration(e.A1), e.A2)
 	case RecoverReplay:
 		return fmt.Sprintf("replayed=%d dur=%v", e.A1, time.Duration(e.A2))
+	case QueryShed:
+		return fmt.Sprintf("s=%d t=%d", e.A1, e.A2)
+	case ReplBootstrap:
+		return fmt.Sprintf("seq=%d bytes=%d", e.A1, e.A2)
+	case ReplApply:
+		return fmt.Sprintf("applied=%d batch=%d", e.A1, e.A2)
+	case ReplPull:
+		return fmt.Sprintf("leader=%d recs=%d", e.A1, e.A2)
 	default:
 		return fmt.Sprintf("a1=%d a2=%d", e.A1, e.A2)
 	}

@@ -33,6 +33,12 @@
 # queries+updates below half the in-memory site's rate is broken at any
 # baseline.
 #
+# The elastic serving tier gets the same treatment: the fleet experiment
+# runs twice (real loopback replication — durable leader, WAL-tailing
+# follower, replica-aware routing over paced clients), and the 2-replica
+# read speedup is gated relatively plus held to an absolute 1.5x floor —
+# routing that cannot scale paced replicas is broken at any baseline.
+#
 # Tunables (env):
 #   BENCH_GATE_SCALE            graph scale factor          (default 0.25)
 #   BENCH_GATE_CONCURRENCY      sweep max concurrency       (default 4)
@@ -43,6 +49,7 @@
 #   BENCH_GATE_BASELINE         pre-built baseline file     (default: run a sweep)
 #   BENCH_GATE_DATALOG_BASELINE pre-built datalog baseline  (default: run the experiment)
 #   BENCH_GATE_STORE_BASELINE   pre-built store baseline    (default: run the experiment)
+#   BENCH_GATE_FLEET_BASELINE   pre-built fleet baseline    (default: run the experiment)
 #   BENCH_GATE_HISTORY          history file to append to   (default BENCH_history.jsonl)
 #   BENCH_GATE_PROFILE_DIR      contention profile output   (default bench-profiles)
 set -eu
@@ -142,6 +149,28 @@ awk -F'[:,]' '/"durable_over_memory"/ {
     printf "  durable site serves the mixed workload at %.2fx of memory\n", $2
 }' "$workdir/store-current.json"
 
+echo "== fleet: baseline and current runs =="
+flbaseline=${BENCH_GATE_FLEET_BASELINE:-}
+if [ -z "$flbaseline" ]; then
+    flbaseline="$workdir/fleet-baseline.json"
+    "$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+        -fleet-out "$flbaseline" fleet
+fi
+"$bench" -scale "$scale" -seed "$seed" -repeats "$repeats" \
+    -fleet-out "$workdir/fleet-current.json" fleet
+
+echo "== fleet sanity: two replicas must out-serve one =="
+# The speedup is also gated relatively below; this is the absolute floor —
+# the replicas are paced (fixed per-request service window), so a 2-replica
+# set below 1.5x of one replica means the routing tier, not the machine,
+# failed to spread the reads.
+grep -q '"speedup_vs_one_replica"' "$workdir/fleet-current.json" \
+    || { echo "bench_gate: fleet file records no replica speedup" >&2; exit 1; }
+awk -F'[:,]' '/"speedup_vs_one_replica"/ {
+    if ($2 + 0 < 1.5) { printf "bench_gate: 2-replica read speedup %.2fx below the 1.5x floor\n", $2; exit 1 }
+    printf "  2 replicas serve reads at %.2fx of one\n", $2
+}' "$workdir/fleet-current.json"
+
 echo "== gate: current vs baseline (threshold $threshold) =="
 "$bench" -compare "$baseline" -compare-with "$workdir/current.json" \
     -gate-threshold "$threshold" -history "$history"
@@ -149,6 +178,8 @@ echo "== gate: current vs baseline (threshold $threshold) =="
     -gate-threshold "$threshold" -history "$history"
 "$bench" -compare "$stbaseline" -compare-with "$workdir/store-current.json" \
     -gate-threshold "$storethreshold" -history "$history"
+"$bench" -compare "$flbaseline" -compare-with "$workdir/fleet-current.json" \
+    -gate-threshold "$threshold" -history "$history"
 
 echo "== gate self-test: an injected 2x slowdown must fail =="
 status=0

@@ -35,6 +35,7 @@ go test -race -shuffle=on -timeout 10m \
     ./internal/par/... \
     ./internal/datalog/... \
     ./internal/dist/... \
+    ./internal/fleet/... \
     ./internal/store/... \
     ./internal/obs/... \
     ./internal/obs/flight/...
