@@ -53,7 +53,10 @@ func main() {
 	workers := flag.Int("workers", 0, "coordinator reduction parallelism")
 	concurrency := flag.Int("concurrency", 1, "batch queries kept in flight at once (>1 answers the trailing queries as one concurrent batch)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline, enforced at the sites (0 = none)")
-	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/flight, /debug/pprof (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /audit, /slo, /debug/flight, /debug/pprof (empty = disabled)")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability SLO objective (fraction of queries answered without error)")
+	sloLatency := flag.Float64("slo-latency", 0.99, "latency SLO objective (fraction of queries under -slo-latency-target)")
+	sloTarget := flag.Duration("slo-latency-target", 250*time.Millisecond, "latency SLO target per query")
 	slowQuery := flag.Duration("slow-query", 0, "record stitched traces of queries slower than this in /varz (0 = disabled)")
 	maxInflight := flag.Int("max-inflight", 0, "admission control: queries running at once before new ones queue (0 = unlimited, no admission control)")
 	maxQueue := flag.Int("max-queue", 0, "admission control: queries waiting beyond -max-inflight before shedding (0 = 2x max-inflight)")
@@ -76,6 +79,7 @@ func main() {
 	// The observer (and its flight recorder) is always on; the ops HTTP
 	// surface and the slow-query log remain opt-in.
 	observer := ccp.NewObserver(ccp.ObserverConfig{SlowQueryThreshold: *slowQuery, Process: "coord"})
+	ccp.RegisterBuildInfo(observer.Registry(), "coordinator")
 	defer cli.DumpFlightOnQuit(observer)()
 	if *flightOut != "" {
 		defer func() {
@@ -110,6 +114,47 @@ func main() {
 	defer cluster.Close()
 	logger.Info("connected", "sites", cluster.Sites())
 
+	// The auditor re-checks the coordinator's conservation laws (snapshot
+	// cache, admission accounting) on a background interval and tracks the
+	// query SLOs: availability over the error-free fraction, latency over
+	// the fraction under the target. Both burn multi-window error budgets
+	// exported as ccp_slo_* and served on /slo.
+	auditor := ccp.NewAuditor(ccp.AuditConfig{Observer: observer})
+	for _, p := range cluster.AuditProbes() {
+		auditor.Register(p)
+	}
+	reg := observer.Registry()
+	qTotal := reg.Counter("ccp_queries_total", "Distributed queries answered, including failed ones.")
+	qErrors := reg.Counter("ccp_query_errors_total", "Distributed queries that failed.")
+	auditor.RegisterSLO(ccp.SLOConfig{
+		Name:      "query_availability",
+		Objective: *sloAvail,
+		Source: func() (good, total float64) {
+			t := float64(qTotal.Value())
+			return t - float64(qErrors.Value()), t
+		},
+	})
+	latencyHist := reg.Histogram("ccp_query_seconds",
+		"End-to-end distributed query latency in seconds.", nil)
+	target := sloTarget.Seconds()
+	auditor.RegisterSLO(ccp.SLOConfig{
+		Name:      "query_latency",
+		Objective: *sloLatency,
+		Source: func() (good, total float64) {
+			s := latencyHist.Snapshot()
+			var under uint64
+			for i, b := range s.Bounds {
+				if b > target {
+					break
+				}
+				under += s.Counts[i]
+			}
+			return float64(under), float64(s.Count)
+		},
+	})
+	auditor.Start()
+	defer auditor.Close()
+
 	if *opsAddr != "" {
 		// Healthy means every site is reachable right now: connected with a
 		// closed circuit. Degraded (503) surfaces the first broken transport
@@ -125,13 +170,13 @@ func main() {
 				}
 			}
 			return ok, health
-		})
+		}, auditor.Endpoints()...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer ops.Shutdown(context.Background())
 		logger.Info("ops endpoints up", "url", "http://"+ops.Addr(),
-			"endpoints", "/metrics /healthz /varz /debug/flight /debug/pprof")
+			"endpoints", "/metrics /healthz /varz /audit /slo /debug/flight /debug/pprof")
 	}
 
 	// queryCtx derives one query's context, carrying the -timeout deadline.

@@ -70,6 +70,8 @@ func main() {
 		err = cmdStore(args[1:])
 	case "fleet":
 		err = cmdFleet(args[1:])
+	case "doctor":
+		err = cmdDoctor(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -99,6 +101,10 @@ func usage() {
                                                       durable/checkpoint seq, WAL backlog)
   ccpctl fleet   -ops host:port[,...] [-json]         (replication topology: leader/follower
                                                       roles, replica lag, circuits, shed counts)
+  ccpctl doctor  -ops host:port[,...] [-in file,...] [-json]
+                                                      (cluster-wide audit: joins /varz, /audit,
+                                                      /slo; cross-checks epochs, caches, gates;
+                                                      exits nonzero on any red check)
 global flags (before the subcommand): -log-level debug|info|warn|error, -log-format text|json`)
 }
 
@@ -299,9 +305,9 @@ func queryDatalogGlobal(g *ccp.Graph, s, t ccp.NodeID) (bool, *datalog.Explain, 
 // verbose it prints the stitched cross-site trace and a per-site span
 // summary.
 func queryDist(g *ccp.Graph, s, t ccp.NodeID, parts int, verbose bool) error {
-	cluster, err := ccp.NewLocalCluster(g, parts, ccp.ClusterOptions{
-		Observer: ccp.NewObserver(ccp.ObserverConfig{}),
-	})
+	observer := ccp.NewObserver(ccp.ObserverConfig{})
+	ccp.RegisterBuildInfo(observer.Registry(), "ctl")
+	cluster, err := ccp.NewLocalCluster(g, parts, ccp.ClusterOptions{Observer: observer})
 	if err != nil {
 		return err
 	}

@@ -95,7 +95,7 @@ func cmdStore(args []string) error {
 				appends:  m["ccp_store_appends_total"],
 				fsyncs:   m["ccp_store_fsyncs_total"],
 				ckpts:    m["ccp_store_checkpoints_total"],
-				reply:    m["ccp_store_recovered_records"],
+				reply:    m["ccp_store_recovered_records_total"],
 			})
 		}
 		if !found {

@@ -57,7 +57,8 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "run as a follower replica of the durable site at this address (no partition/graph flags needed)")
 	noSync := flag.Bool("store-no-sync", false, "with -data-dir: skip fsync on commit (faster, loses the last updates on power failure)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /debug/flight, /debug/pprof (empty = disabled)")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP address serving /metrics, /healthz, /varz, /audit, /slo, /debug/flight, /debug/pprof (empty = disabled)")
+	maxLag := flag.Uint64("max-lag", 100000, "with -replica-of: replication-lag ceiling in records; /healthz turns 503 and the divergence probe fires beyond it (0 = no ceiling)")
 	lf := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	if *replicaOf != "" {
-		runFollower(*replicaOf, *listen, *workers, *drain, *opsAddr, logger)
+		runFollower(*replicaOf, *listen, *workers, *drain, *opsAddr, *maxLag, logger)
 		return
 	}
 
@@ -148,18 +149,28 @@ func main() {
 	// HTTP surface is opt-in.
 	observer := ccp.NewObserver(ccp.ObserverConfig{Process: fmt.Sprintf("site-%d", srv.SiteID())})
 	srv.Observe(observer)
+	ccp.RegisterBuildInfo(observer.Registry(), "leader")
 	defer cli.DumpFlightOnQuit(observer)()
+
+	// The auditor continuously re-verifies the site's durable state: every
+	// pass re-checks checkpoint CRCs and a rotating budget of WAL segments,
+	// so silent on-disk corruption surfaces as a probe violation instead of
+	// a failed recovery months later.
+	auditor := ccp.NewAuditor(ccp.AuditConfig{Observer: observer})
+	auditor.Register(srv.StoreScrubProbe(4))
+	auditor.Start()
+	defer auditor.Close()
 
 	var ops *ccp.OpsServer
 	if *opsAddr != "" {
 		ops, err = ccp.StartOpsServer(*opsAddr, observer, func() (bool, any) {
 			return true, srv.Stats()
-		})
+		}, auditor.Endpoints()...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		logger.Info("ops endpoints up", "url", "http://"+ops.Addr(),
-			"endpoints", "/metrics /healthz /varz /debug/flight /debug/pprof")
+			"endpoints", "/metrics /healthz /varz /audit /slo /debug/flight /debug/pprof")
 	}
 
 	serveErr := make(chan error, 1)
@@ -200,11 +211,12 @@ func main() {
 
 // runFollower is the -replica-of mode: bootstrap a read replica from the
 // leader, serve reads on listen, and replicate until SIGINT/SIGTERM.
-func runFollower(leaderAddr, listen string, workers int, drain time.Duration, opsAddr string, logger *slog.Logger) {
+func runFollower(leaderAddr, listen string, workers int, drain time.Duration, opsAddr string, maxLag uint64, logger *slog.Logger) {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	observer := ccp.NewObserver(ccp.ObserverConfig{Process: "replica"})
+	ccp.RegisterBuildInfo(observer.Registry(), "follower")
 	defer cli.DumpFlightOnQuit(observer)()
 
 	bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
@@ -223,17 +235,38 @@ func runFollower(leaderAddr, listen string, workers int, drain time.Duration, op
 	logger.Info("follower serving", "site", fs.SiteID(), "addr", fs.Addr(),
 		"leader", leaderAddr, "applied_seq", applied, "leader_seq", leaderSeq)
 
+	// The auditor watches the replication watermarks: divergence from the
+	// leader (applied ahead of the leader's head, epoch ahead of applied, a
+	// rewind without a re-bootstrap) or lag beyond the ceiling fires the
+	// fleet.divergence probe.
+	auditor := ccp.NewAuditor(ccp.AuditConfig{Observer: observer})
+	auditor.Register(fs.DivergenceProbe(maxLag))
+	auditor.Start()
+	defer auditor.Close()
+
 	var ops *ccp.OpsServer
 	if opsAddr != "" {
-		ops, err = ccp.StartOpsServer(opsAddr, observer, func() (bool, any) {
+		// /healthz on a follower reports the replication role and lag, and
+		// turns 503 once the replica falls more than maxLag records behind —
+		// load balancers stop routing reads to a stale replica.
+		health := func() (bool, any) {
 			applied, leaderSeq := fs.Lag()
-			return true, map[string]uint64{"applied_seq": applied, "leader_seq": leaderSeq}
-		})
+			lag := leaderSeq - applied
+			return maxLag == 0 || lag <= maxLag, map[string]any{
+				"role":        "follower",
+				"site":        fs.SiteID(),
+				"applied_seq": applied,
+				"leader_seq":  leaderSeq,
+				"lag_records": lag,
+				"max_lag":     maxLag,
+			}
+		}
+		ops, err = ccp.StartOpsServer(opsAddr, observer, health, auditor.Endpoints()...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		logger.Info("ops endpoints up", "url", "http://"+ops.Addr(),
-			"endpoints", "/metrics /healthz /varz /debug/flight /debug/pprof")
+			"endpoints", "/metrics /healthz /varz /audit /slo /debug/flight /debug/pprof")
 	}
 
 	<-ctx.Done()

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"strconv"
+
+	"ccp/internal/obs"
+	"ccp/internal/obs/audit"
+)
+
+// observeCache exports the coordinator's per-site cached-partial epochs as
+// ccp_coord_cached_epoch{site} gauges (0 = no cached copy). `ccpctl doctor`
+// cross-checks them against the serving sites' ccp_site_epoch: a cached
+// epoch ahead of its site's is a partial answer from a future that never
+// happened — corruption no single process can see alone.
+func (c *Coordinator) observeCache(o *obs.Observer) {
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	for siteID, slot := range c.slots {
+		slot := slot
+		reg.GaugeFunc("ccp_coord_cached_epoch",
+			"Epoch of the coordinator's cached partial answer for the site (0 = none cached).",
+			func() float64 {
+				if e := c.pcache[slot].Load(); e != nil {
+					return float64(e.epoch)
+				}
+				return 0
+			}, obs.Label{Key: "site", Value: strconv.Itoa(siteID)})
+	}
+}
+
+// ConservationProbe returns the coordinator's audit probe over the
+// snapshot-cache conservation law: every query that reaches the merge path
+// is exactly one of snapshot hit, build, or miss, so
+// hits + builds + misses == merged must hold. The per-query deltas are
+// published one counter at a time after each query, so the probe judges
+// only via audit.CheckStable — a mismatch that persists while the counters
+// are quiescent is lost accounting (a worker dropped or double-counted a
+// query), a moving one is a query mid-publish.
+func (c *Coordinator) ConservationProbe() audit.Probe {
+	return audit.Probe{
+		Name: "coord.conservation",
+		Check: func() audit.Result {
+			return audit.CheckStable(0, func() ([]int64, audit.Result) {
+				hits := c.met.snapshotHits.Value()
+				builds := c.met.snapshotBuilds.Value()
+				misses := c.met.snapshotMisses.Value()
+				merged := c.met.mergedQueries.Value()
+				vals := []int64{hits, builds, misses, merged}
+				if hits+builds+misses != merged {
+					return vals, audit.Violation(
+						"snapshot hits %d + builds %d + misses %d != merged queries %d",
+						hits, builds, misses, merged)
+				}
+				return vals, audit.OK("hits %d + builds %d + misses %d = merged %d",
+					hits, builds, misses, merged)
+			})
+		},
+	}
+}
+
+// StoreScrubProbe returns a durable site's audit probe: one bounded Scrub
+// pass (sampled CRC re-verification of WAL segments and checkpoints on the
+// live data-dir) per evaluation. Returns a no-op passing probe for a
+// memory-only site.
+func (s *Site) StoreScrubProbe(maxSegments int) audit.Probe {
+	return audit.Probe{
+		Name: "store.scrub",
+		Check: func() audit.Result {
+			if s.store == nil {
+				return audit.OK("memory-only site, nothing to scrub")
+			}
+			res := s.store.Scrub(maxSegments)
+			if !res.OK() {
+				return audit.Violation("%s", res.Summary())
+			}
+			return audit.OK("%s", res.Summary())
+		},
+	}
+}

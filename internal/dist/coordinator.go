@@ -124,6 +124,11 @@ type Metrics struct {
 	// SnapshotBuilds counts queries that merged their cached partials into
 	// a new skeleton and published it for later queries to hit.
 	SnapshotBuilds int
+	// SnapshotMisses counts merged queries with too few cached partials
+	// (< 2) to be worth a reusable skeleton. Every merged query is exactly
+	// one of hit, build, or miss — the conservation law the audit probe
+	// checks.
+	SnapshotMisses int
 	// MergedQueries counts queries that reached the coordinator merge path
 	// at all (no site decided them early) — the denominator of the
 	// snapshot hit rate.
@@ -156,6 +161,7 @@ func (m *Metrics) AddQuery(q *Metrics) {
 	m.CoordCacheHits += q.CoordCacheHits
 	m.SnapshotHits += q.SnapshotHits
 	m.SnapshotBuilds += q.SnapshotBuilds
+	m.SnapshotMisses += q.SnapshotMisses
 	m.MergedQueries += q.MergedQueries
 	m.SitesQueried += q.SitesQueried
 	m.Stats.Add(q.Stats)
@@ -214,6 +220,7 @@ type coordMetrics struct {
 	cacheHits, cacheMisses              *obs.Counter
 	coordCacheHits, snapshotHits        *obs.Counter
 	snapshotBuilds, snapshotEvictions   *obs.Counter
+	snapshotMisses                      *obs.Counter
 	shardWaits, mergedQueries           *obs.Counter
 	payloadBytes                        *obs.Counter
 	batchInflight                       *obs.Gauge
@@ -247,6 +254,8 @@ func newCoordMetrics(o *obs.Observer) coordMetrics {
 			"Merged-graph snapshots built and published for reuse."),
 		snapshotEvictions: reg.Counter("ccp_coord_snapshot_evictions_total",
 			"Merged-graph snapshots evicted when a cache shard filled up."),
+		snapshotMisses: reg.Counter("ccp_coord_snapshot_misses_total",
+			"Merged queries with too few cached partials for a reusable skeleton."),
 		shardWaits: reg.Counter("ccp_coord_shard_waits_total",
 			"Snapshot-cache shard lock acquisitions that found the shard already locked."),
 		mergedQueries: reg.Counter("ccp_coord_merged_queries_total",
@@ -332,6 +341,7 @@ func NewCoordinator(clients []SiteClient, opts Options) *Coordinator {
 	for i := range c.snaps {
 		c.snaps[i].entries = make(map[string]*mergedSnapshot, maxSnapshotsPerShard)
 	}
+	c.observeCache(opts.Observer)
 	return c
 }
 
@@ -515,6 +525,7 @@ func (c *Coordinator) answer(ctx context.Context, q control.Query, wantTrace, wi
 	c.met.coordCacheHits.Add(int64(m.CoordCacheHits))
 	c.met.snapshotHits.Add(int64(m.SnapshotHits))
 	c.met.snapshotBuilds.Add(int64(m.SnapshotBuilds))
+	c.met.snapshotMisses.Add(int64(m.SnapshotMisses))
 	c.met.mergedQueries.Add(int64(m.MergedQueries))
 	c.met.payloadBytes.Add(m.Bytes)
 	if tr == nil {
@@ -731,6 +742,7 @@ func (c *Coordinator) eval(ctx context.Context, q control.Query, qstart time.Tim
 			scratch.Reset()
 			mg = scratch
 		}
+		m.SnapshotMisses++
 		c.fr.Record(flight.SnapMiss, -1, fid, int64(len(cached)), 0)
 		rest = append(cached, rest...)
 	}

@@ -197,6 +197,7 @@ func Throughput(cfg Config) (ThroughputResult, error) {
 		concurrency = 1
 	}
 	observer := obs.NewObserver(obs.ObserverConfig{})
+	obs.RegisterBuildInfo(observer.Registry(), "bench")
 	coord := dist.NewCoordinator(clients, dist.Options{
 		UseCache:    true,
 		Workers:     cfg.Workers,

@@ -87,6 +87,7 @@ type Follower struct {
 
 	applied   atomic.Uint64 // last WAL seq applied (or covered by bootstrap)
 	leaderSeq atomic.Uint64 // leader's head seq at the last exchange
+	boots     atomic.Uint64 // lifetime bootstraps (initial + truncation-forced)
 
 	mu  sync.Mutex
 	srv *dist.Server
@@ -199,6 +200,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	f.site.Store(site)
 	f.applied.Store(snapSeq)
 	f.leaderSeq.Store(leaderSeq)
+	f.boots.Add(1)
 	f.fr.Record(flight.ReplBootstrap, int32(p.ID), 0, int64(snapSeq), int64(len(img)))
 	f.log.Info("follower bootstrapped", "site", p.ID, "snap_seq", snapSeq,
 		"leader_seq", leaderSeq, "image_bytes", len(img))
@@ -341,6 +343,11 @@ func (f *Follower) Site() *dist.Site { return f.site.Load() }
 
 // SiteID returns the partition id this follower replicates.
 func (f *Follower) SiteID() int { return f.leader.SiteID() }
+
+// Bootstraps reports how many snapshot bootstraps this follower has done
+// (at least 1: the initial one). The divergence probe uses it to tell a
+// legitimate watermark reset (re-bootstrap) from a rewind.
+func (f *Follower) Bootstraps() uint64 { return f.boots.Load() }
 
 // Addr is the follower's read-serving address ("" when not serving).
 func (f *Follower) Addr() string { return f.addr }

@@ -71,6 +71,7 @@ type Gate struct {
 
 	queued   atomic.Int64
 	inflight atomic.Int64
+	pending  atomic.Int64 // arrivals currently inside Admit (counted in offered, outcome open)
 
 	lmu    sync.Mutex
 	window [latencyWindow]time.Duration
@@ -80,9 +81,12 @@ type Gate struct {
 	met gateMetrics
 }
 
-// gateMetrics are the gate's registered series — zero-valued (all nil)
-// without an Observer, where every update is a nil-check no-op.
+// gateMetrics are the gate's series. The counters are always live (bare,
+// unregistered handles without an Observer) so the accounting invariant
+// offered == admitted + shed + pending holds and is checkable regardless of
+// instrumentation; only the histogram degrades to a nil no-op.
 type gateMetrics struct {
+	offered   *obs.Counter
 	admitted  *obs.Counter
 	shedFull  *obs.Counter
 	shedWait  *obs.Counter
@@ -94,6 +98,13 @@ type gateMetrics struct {
 func NewGate(cfg GateConfig) *Gate {
 	cfg = cfg.withDefaults()
 	g := &Gate{cfg: cfg, slots: make(chan struct{}, cfg.MaxInFlight)}
+	g.met = gateMetrics{
+		offered:  &obs.Counter{},
+		admitted: &obs.Counter{},
+		shedFull: &obs.Counter{},
+		shedWait: &obs.Counter{},
+		shedP99:  &obs.Counter{},
+	}
 	if reg := cfg.Observer.Registry(); reg != nil {
 		shed := func(reason string) *obs.Counter {
 			return reg.Counter("ccp_admission_shed_total",
@@ -101,6 +112,8 @@ func NewGate(cfg GateConfig) *Gate {
 				obs.Label{Key: "reason", Value: reason})
 		}
 		g.met = gateMetrics{
+			offered: reg.Counter("ccp_admission_offered_total",
+				"Arrivals presented to the admission gate (admitted + shed + pending)."),
 			admitted: reg.Counter("ccp_admission_admitted_total",
 				"Queries admitted by the admission gate."),
 			shedFull: shed("queue_full"),
@@ -129,6 +142,9 @@ func NewGate(cfg GateConfig) *Gate {
 // queues up to MaxQueueWait unless the queue is full or the rolling p99 is
 // already past target.
 func (g *Gate) Admit(ctx context.Context) (func(), error) {
+	g.met.offered.Inc()
+	g.pending.Add(1)
+	defer g.pending.Add(-1)
 	select {
 	case g.slots <- struct{}{}:
 		g.met.admitted.Inc()

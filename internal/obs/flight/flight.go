@@ -98,33 +98,42 @@ const (
 	// leader's durable sequence, A2 the number of records shipped (0 for an
 	// empty long-poll).
 	ReplPull
+	// AuditViolation marks an invariant probe reporting a violation; A1 is
+	// the probe's registry index, A2 the probe's lifetime violation count.
+	AuditViolation
+	// SLOBreach marks an SLO's fast+slow burn rates both crossing their
+	// thresholds (entering breach); A1 is the SLO's registry index, A2 the
+	// fast-window burn rate in thousandths.
+	SLOBreach
 	numTypes
 )
 
 var typeNames = [numTypes]string{
-	QueryStart:    "query.start",
-	QueryEnd:      "query.end",
-	SiteRPC:       "site.rpc",
-	SiteEval:      "site.eval",
-	Retry:         "retry",
-	Redial:        "redial",
-	Circuit:       "circuit",
-	ReduceRound:   "reduce.round",
-	Update:        "update",
-	SlowQuery:     "slow.query",
-	SnapHit:       "snap.hit",
-	SnapMiss:      "snap.miss",
-	SnapBuild:     "snap.build",
-	SnapEvict:     "snap.evict",
-	SnapDrop:      "snap.drop",
-	ShardWait:     "shard.wait",
-	WALAppend:     "wal.append",
-	CkptBuild:     "ckpt.build",
-	RecoverReplay: "recover.replay",
-	QueryShed:     "query.shed",
-	ReplBootstrap: "repl.bootstrap",
-	ReplApply:     "repl.apply",
-	ReplPull:      "repl.pull",
+	QueryStart:     "query.start",
+	QueryEnd:       "query.end",
+	SiteRPC:        "site.rpc",
+	SiteEval:       "site.eval",
+	Retry:          "retry",
+	Redial:         "redial",
+	Circuit:        "circuit",
+	ReduceRound:    "reduce.round",
+	Update:         "update",
+	SlowQuery:      "slow.query",
+	SnapHit:        "snap.hit",
+	SnapMiss:       "snap.miss",
+	SnapBuild:      "snap.build",
+	SnapEvict:      "snap.evict",
+	SnapDrop:       "snap.drop",
+	ShardWait:      "shard.wait",
+	WALAppend:      "wal.append",
+	CkptBuild:      "ckpt.build",
+	RecoverReplay:  "recover.replay",
+	QueryShed:      "query.shed",
+	ReplBootstrap:  "repl.bootstrap",
+	ReplApply:      "repl.apply",
+	ReplPull:       "repl.pull",
+	AuditViolation: "audit.violation",
+	SLOBreach:      "slo.breach",
 }
 
 // String names the event type ("query.start", "circuit", ...).
@@ -244,6 +253,10 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("applied=%d batch=%d", e.A1, e.A2)
 	case ReplPull:
 		return fmt.Sprintf("leader=%d recs=%d", e.A1, e.A2)
+	case AuditViolation:
+		return fmt.Sprintf("probe=%d violations=%d", e.A1, e.A2)
+	case SLOBreach:
+		return fmt.Sprintf("slo=%d burn=%d.%03dx", e.A1, e.A2/1000, e.A2%1000)
 	default:
 		return fmt.Sprintf("a1=%d a2=%d", e.A1, e.A2)
 	}

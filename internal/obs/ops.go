@@ -16,6 +16,16 @@ import (
 // circuit opened, not just that one did.
 type HealthFunc func() (ok bool, detail any)
 
+// Endpoint mounts one extra handler on the ops mux — how subsystems that obs
+// must not import (the audit engine's /audit and /slo) expose themselves on
+// the same listener as /metrics and /healthz.
+type Endpoint struct {
+	// Path is the mux pattern ("/audit").
+	Path string
+	// Handler serves the path.
+	Handler http.Handler
+}
+
 // OpsServer is the operational HTTP endpoint of a ccpd / ccpcoord process:
 //
 //	/metrics      Prometheus text exposition of the registry
@@ -23,6 +33,7 @@ type HealthFunc func() (ok bool, detail any)
 //	/varz         JSON snapshot of every series (+ slow-query traces)
 //	/debug/pprof  the standard Go profiling handlers
 //
+// plus any extra Endpoints (the audit engine mounts /audit and /slo).
 // It binds eagerly (so a bad -ops-addr fails at startup, not at first
 // scrape) and shuts down gracefully alongside the process's main drain.
 type OpsServer struct {
@@ -34,14 +45,14 @@ type OpsServer struct {
 // StartOps binds addr and serves the operational endpoints in a background
 // goroutine until Shutdown. health may be nil (always healthy, no detail);
 // o may be nil (empty metrics, no slow log).
-func StartOps(addr string, o *Observer, health HealthFunc) (*OpsServer, error) {
+func StartOps(addr string, o *Observer, health HealthFunc, extra ...Endpoint) (*OpsServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: cannot bind ops address %s: %w", addr, err)
 	}
 	s := &OpsServer{
 		l:    l,
-		srv:  &http.Server{Handler: Handler(o, health), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: Handler(o, health, extra...), ReadHeaderTimeout: 5 * time.Second},
 		done: make(chan error, 1),
 	}
 	go func() { s.done <- s.srv.Serve(l) }()
@@ -60,8 +71,13 @@ func (s *OpsServer) Shutdown(ctx context.Context) error {
 
 // Handler builds the ops endpoint mux — exported so tests (and embedders
 // with their own HTTP server) can mount it without a second listener.
-func Handler(o *Observer, health HealthFunc) http.Handler {
+func Handler(o *Observer, health HealthFunc, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
+	for _, e := range extra {
+		if e.Path != "" && e.Handler != nil {
+			mux.Handle(e.Path, e.Handler)
+		}
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.Registry().WritePrometheus(w)

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"ccp/internal/partition"
+)
+
+// appendSome appends n random records and returns the last sequence.
+func appendSome(t *testing.T, s *Store, rng *rand.Rand, n int) uint64 {
+	t.Helper()
+	var seq uint64
+	for i := 0; i < n; i++ {
+		var err error
+		if seq, err = s.Append(randomRecord(rng)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return seq
+}
+
+// flipByte XORs one byte of the file at off (negative counts from the end).
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if off < 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += fi.Size()
+	}
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubCleanStore(t *testing.T) {
+	dir := t.TempDir()
+	live, rng := testPartition(t, 11)
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	var lastSeq uint64
+	var mu sync.Mutex
+	s.Start(func() (uint64, *partition.Partition) {
+		mu.Lock()
+		defer mu.Unlock()
+		return lastSeq, live.Snapshot()
+	})
+	mu.Lock()
+	lastSeq = appendSome(t, s, rng, 100)
+	mu.Unlock()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	mu.Lock()
+	lastSeq = appendSome(t, s, rng, 50)
+	mu.Unlock()
+
+	res := s.Scrub(0)
+	if !res.OK() {
+		t.Fatalf("clean store scrub found: %v", res.Errors)
+	}
+	if res.Records != 150 {
+		t.Fatalf("scrubbed %d records, want 150", res.Records)
+	}
+	if res.Checkpoints == 0 {
+		t.Fatal("no checkpoints verified")
+	}
+	if res.Segments < 2 {
+		t.Fatalf("scrubbed %d segments, want >= 2 (checkpoint rotated)", res.Segments)
+	}
+}
+
+func TestScrubDetectsWALCorruption(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(12))
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	appendSome(t, s, rng, 80)
+	if res := s.Scrub(0); !res.OK() { // flushes; establishes a clean baseline
+		t.Fatalf("baseline scrub: %v", res.Errors)
+	}
+
+	// Flip one byte mid-log: the frame's CRC no longer matches what the
+	// recovery path would read.
+	s.wal.mu.Lock()
+	path := s.wal.active.path
+	s.wal.mu.Unlock()
+	flipByte(t, path, int64(40*frameLen+7))
+
+	res := s.Scrub(0)
+	if res.OK() {
+		t.Fatal("scrub passed over a corrupted WAL frame")
+	}
+	if !strings.Contains(res.Errors[0], path) || !strings.Contains(res.Errors[0], "offset") {
+		t.Fatalf("error does not name the segment and offset: %q", res.Errors[0])
+	}
+	if res.Summary() != res.Errors[0] {
+		t.Fatalf("Summary() = %q, want first error", res.Summary())
+	}
+}
+
+func TestScrubDetectsCheckpointCorruption(t *testing.T) {
+	dir := t.TempDir()
+	live, rng := testPartition(t, 13)
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	var lastSeq uint64
+	s.Start(func() (uint64, *partition.Partition) { return lastSeq, live.Snapshot() })
+	lastSeq = appendSome(t, s, rng, 60)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	cks, err := listCheckpoints(dir)
+	if err != nil || len(cks) == 0 {
+		t.Fatalf("listCheckpoints: %v (%d found)", err, len(cks))
+	}
+	flipByte(t, cks[0].path, -10) // inside the CRC-covered payload
+
+	res := s.Scrub(0)
+	if res.OK() {
+		t.Fatal("scrub passed over a corrupted checkpoint")
+	}
+	if !strings.Contains(res.Errors[0], "checksum mismatch") {
+		t.Fatalf("error = %q, want checksum mismatch", res.Errors[0])
+	}
+}
+
+func TestScrubBudgetRotatesAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(14))
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	// Three segments: two sealed by explicit rotation plus the active one.
+	for i := 0; i < 2; i++ {
+		appendSome(t, s, rng, 20)
+		if err := s.wal.rotate(); err != nil {
+			t.Fatalf("rotate: %v", err)
+		}
+	}
+	appendSome(t, s, rng, 20)
+
+	res := s.Scrub(1)
+	if !res.OK() || res.Segments != 1 || res.Skipped != 2 {
+		t.Fatalf("budgeted pass = %+v, want 1 segment scanned, 2 skipped", res)
+	}
+	// The cursor sweeps: three budgeted passes cover all 60 records.
+	records := res.Records
+	for i := 0; i < 2; i++ {
+		r := s.Scrub(1)
+		if !r.OK() {
+			t.Fatalf("pass %d: %v", i+2, r.Errors)
+		}
+		records += r.Records
+	}
+	if records != 60 {
+		t.Fatalf("three budgeted passes scanned %d records, want all 60", records)
+	}
+}
+
+func TestScrubDuringConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				if _, err := s.Append(randomRecord(rng)); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	go func() { wg.Wait(); close(done) }()
+	// Scrub continuously until the writers drain, then once more over the
+	// settled log.
+	for {
+		if res := s.Scrub(0); !res.OK() {
+			t.Fatalf("scrub under load: %v", res.Errors)
+		}
+		select {
+		case <-done:
+			res := s.Scrub(0)
+			if !res.OK() {
+				t.Fatalf("final scrub: %v", res.Errors)
+			}
+			if res.Records != 2000 {
+				t.Fatalf("final scrub saw %d records, want 2000", res.Records)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestScrubClosedStore(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(15))
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendSome(t, s, rng, 10)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res := s.Scrub(0); !res.OK() {
+		t.Fatalf("scrub after close: %v", res.Errors)
+	}
+}

@@ -91,13 +91,14 @@ type Store struct {
 	ckptBytes   int64
 	ckptWALBase int64 // lifetime-append bytes when the last checkpoint ran
 
-	ckpts    atomic.Uint64
-	replayed int
-	base     *partition.Partition
-	source   func() (uint64, *partition.Partition)
-	closed   atomic.Bool
-	bgStop   chan struct{}
-	bgDone   chan struct{}
+	ckpts       atomic.Uint64
+	scrubCursor atomic.Uint64 // rotates which segments a bounded Scrub covers
+	replayed    int
+	base        *partition.Partition
+	source      func() (uint64, *partition.Partition)
+	closed      atomic.Bool
+	bgStop      chan struct{}
+	bgDone      chan struct{}
 }
 
 // Open opens (creating if needed) the store in dir and prepares recovery:
@@ -425,7 +426,7 @@ func (s *Store) Observe(o *obs.Observer, site int) {
 	reg.CounterFunc("ccp_store_checkpoints_total",
 		"Checkpoints written.",
 		func() float64 { return float64(s.ckpts.Load()) }, l)
-	reg.CounterFunc("ccp_store_recovered_records",
+	reg.CounterFunc("ccp_store_recovered_records_total",
 		"WAL records replayed by the boot recovery.",
 		func() float64 { return float64(s.replayed) }, l)
 }

@@ -63,9 +63,10 @@ func NewObserver(cfg ObserverConfig) *Observer { return obs.NewObserver(cfg) }
 
 // StartOpsServer binds addr (e.g. ":9090") and serves the operational
 // endpoints for o in a background goroutine until Shutdown. health may be
-// nil (always healthy); o may be nil (empty metrics).
-func StartOpsServer(addr string, o *Observer, health HealthFunc) (*OpsServer, error) {
-	return obs.StartOps(addr, o, health)
+// nil (always healthy); o may be nil (empty metrics). extra endpoints (an
+// Auditor's Endpoints(), typically) are mounted on the same mux.
+func StartOpsServer(addr string, o *Observer, health HealthFunc, extra ...OpsEndpoint) (*OpsServer, error) {
+	return obs.StartOps(addr, o, health, extra...)
 }
 
 // NewLogger builds a structured logger writing to w at the given level in

@@ -38,6 +38,7 @@ go test -race -shuffle=on -timeout 10m \
     ./internal/fleet/... \
     ./internal/store/... \
     ./internal/obs/... \
+    ./internal/obs/audit/... \
     ./internal/obs/flight/...
 
 echo "ok: all checks passed"

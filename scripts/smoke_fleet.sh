@@ -17,6 +17,13 @@
 #     reports zero replication lag through `ccpctl fleet`;
 #   - the fleet view renders: `ccpctl fleet` shows the leader/follower roles
 #     and lag from the live /varz endpoints, in table and JSON form;
+#   - the follower's /healthz reports its role and replication lag as JSON
+#     (the -max-lag ceiling is plumbed through and echoed back);
+#   - the audit surface holds: the coordinator exports ccp_slo_* burn-rate
+#     series mid-batch, and `ccpctl doctor` joins every process's /varz,
+#     /audit and /slo into a green cluster-wide verdict — including the
+#     store scrubber over the leader's real WAL and the cross-process
+#     leader/follower epoch agreement no single process can check;
 #   - clean shutdown: leaders and the follower drain and exit 0 on SIGTERM.
 set -eu
 
@@ -44,6 +51,7 @@ site1_port=17903
 site1_ops=17904
 repl_port=17905
 repl_ops=17906
+coord_ops=17907
 
 wait_healthz() {
     for i in $(seq 1 50); do
@@ -72,7 +80,7 @@ wait_healthz $lead0_ops
 wait_healthz $site1_ops
 
 start_follower() {
-    "$workdir/ccpd" -replica-of "127.0.0.1:$lead0_port" \
+    "$workdir/ccpd" -replica-of "127.0.0.1:$lead0_port" -max-lag 100000 \
         -listen "127.0.0.1:$repl_port" \
         -ops-addr "127.0.0.1:$repl_ops" >>"$workdir/follower.log" 2>&1 &
     repl_pid=$!
@@ -81,6 +89,13 @@ start_follower() {
 }
 echo "== start follower replica of the leader =="
 start_follower
+
+echo "== follower /healthz reports role and replication lag as JSON =="
+curl -sf "http://127.0.0.1:$repl_ops/healthz" >"$workdir/repl_health.json"
+for field in '"role":"follower"' '"lag_records"' '"applied_seq"' '"max_lag":100000'; do
+    grep -q "$field" "$workdir/repl_health.json" \
+        || { echo "follower /healthz is missing $field:" >&2; cat "$workdir/repl_health.json" >&2; exit 1; }
+done
 
 # A deterministic spread of queries; repeated batches reuse it.
 queries=$(awk 'BEGIN{for(i=0;i<200;i++) printf "%d:%d ", (i*13)%2000, (i*7+100)%2000}')
@@ -153,6 +168,70 @@ served=$(curl -sf "http://127.0.0.1:$repl_ops/metrics" \
 [ -n "$served" ] && [ "$served" -gt 0 ] \
     || { echo "restarted follower served no requests (got '$served')" >&2; exit 1; }
 echo "  restarted follower answered $served requests"
+
+echo "== batch 5: coordinator /varz exports SLO burn-rate series mid-run =="
+# shellcheck disable=SC2086
+"$workdir/ccpcoord" -sites "$sites" -concurrency 2 -timeout 5s \
+    -max-inflight 32 -ops-addr "127.0.0.1:$coord_ops" \
+    $queries >"$workdir/batch5.log" 2>&1 &
+batch5_pid=$!
+slo_seen=""
+for i in $(seq 1 200); do
+    if curl -sf "http://127.0.0.1:$coord_ops/varz" 2>/dev/null \
+        | grep -q '"ccp_slo_burn_rate"'; then
+        slo_seen=yes
+        break
+    fi
+    if ! kill -0 "$batch5_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.05
+done
+wait "$batch5_pid" \
+    || { echo "batch 5 failed queries" >&2; cat "$workdir/batch5.log" >&2; exit 1; }
+[ -n "$slo_seen" ] \
+    || { echo "coordinator /varz never showed ccp_slo_burn_rate mid-run" >&2; exit 1; }
+echo "  ccp_slo_burn_rate live in the coordinator's /varz"
+
+echo "== ccpctl doctor: the whole fleet is green =="
+"$workdir/ccpctl" doctor \
+    -ops "127.0.0.1:$lead0_ops,127.0.0.1:$repl_ops,127.0.0.1:$site1_ops" \
+    >"$workdir/doctor.txt" 2>&1 \
+    || { echo "doctor went red on a healthy fleet:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+grep -q "checks: 0 red" "$workdir/doctor.txt" \
+    || { echo "doctor summary is not clean:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+grep -q "probe:store.scrub" "$workdir/doctor.txt" \
+    || { echo "doctor never scrubbed the leader's WAL:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+grep -q "probe:fleet.divergence" "$workdir/doctor.txt" \
+    || { echo "doctor never checked the follower's divergence probe:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+grep -q "epoch:site" "$workdir/doctor.txt" \
+    || { echo "doctor ran no cross-process epoch check:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+cat "$workdir/doctor.txt"
+
+echo "== ccpctl doctor: an injected frozen replica turns it red =="
+# A follower stuck behind its leader at zero replication lag is silent
+# divergence: no single process sees it, the cross-process join must.
+cat >"$workdir/frozen.json" <<'EOF'
+[
+  {"addr": "leader:9001", "varz": {"metrics": [
+    {"name": "ccp_site_epoch", "type": "gauge", "labels": "site=\"0\"", "value": 500}
+  ]}},
+  {"addr": "follower:9002", "varz": {"metrics": [
+    {"name": "ccp_fleet_epoch", "type": "gauge", "labels": "site=\"0\"", "value": 200},
+    {"name": "ccp_fleet_applied_seq", "type": "gauge", "labels": "site=\"0\"", "value": 200},
+    {"name": "ccp_fleet_leader_seq", "type": "gauge", "labels": "site=\"0\"", "value": 200},
+    {"name": "ccp_fleet_lag_records", "type": "gauge", "labels": "site=\"0\"", "value": 0}
+  ]}}
+]
+EOF
+if "$workdir/ccpctl" doctor -in "$workdir/frozen.json" >"$workdir/doctor_red.txt" 2>&1; then
+    echo "doctor exited zero over a frozen replica:" >&2
+    cat "$workdir/doctor_red.txt" >&2
+    exit 1
+fi
+grep -q "RED" "$workdir/doctor_red.txt" && grep -q "at zero lag" "$workdir/doctor_red.txt" \
+    || { echo "doctor red run did not name the frozen replica:" >&2; cat "$workdir/doctor_red.txt" >&2; exit 1; }
+echo "  doctor red with the silent divergence named"
 
 echo "== graceful shutdown drains every role =="
 for pid in $repl_pid $lead0_pid $site1_pid; do

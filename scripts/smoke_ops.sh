@@ -8,7 +8,10 @@
 # the load-bearing series present, /healthz answers 200, /varz and
 # /debug/flight round-trip as JSON through their real consumers (ccpctl top
 # and ccpctl flight), and `ccpctl flight` merges the coordinator and both
-# site recorders into one cross-process timeline.
+# site recorders into one cross-process timeline. It ends with the audit
+# surface: the coordinator's /varz must carry ccp_slo_* burn-rate series
+# mid-run, `ccpctl doctor` must judge the healthy fleet green, and a
+# deliberately diverged replica document must turn it red.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,26 +60,37 @@ for port in $site0_ops_port $site1_ops_port; do
 done
 
 echo "== run queries through ccpcoord (ops + slow-query log + flight dump on) =="
+# A 200-query batch (rather than a handful) keeps the coordinator alive long
+# enough that the mid-run scrapes below are required, not best-effort.
+queries=$(awk 'BEGIN{for(i=0;i<200;i++) printf "%d:%d ", (i*13)%2000, (i*7+100)%2000}')
+# shellcheck disable=SC2086
 "$workdir/ccpcoord" -sites "127.0.0.1:$site0_port,127.0.0.1:$site1_port" \
-    -ops-addr "127.0.0.1:$coord_ops_port" -slow-query 1ns \
+    -ops-addr "127.0.0.1:$coord_ops_port" -slow-query 1ns -concurrency 2 \
     -flight-out "$workdir/coord_flight.json" \
-    0:100 5:250 17:3 >"$workdir/ccpcoord.log" 2>&1 &
+    $queries >"$workdir/ccpcoord.log" 2>&1 &
 coord_pid=$!
 
-# The coordinator exits when its queries finish; scrape while it runs.
+# The coordinator exits when its queries finish; scrape /metrics and /varz
+# while it runs.
 coord_metrics=""
-for i in $(seq 1 50); do
-    if coord_metrics=$(curl -sf "http://127.0.0.1:$coord_ops_port/metrics" 2>/dev/null) \
-        && [ -n "$coord_metrics" ]; then
+coord_varz=""
+for i in $(seq 1 200); do
+    if [ -z "$coord_metrics" ]; then
+        coord_metrics=$(curl -sf "http://127.0.0.1:$coord_ops_port/metrics" 2>/dev/null) || coord_metrics=""
+    fi
+    if [ -z "$coord_varz" ]; then
+        coord_varz=$(curl -sf "http://127.0.0.1:$coord_ops_port/varz" 2>/dev/null) || coord_varz=""
+    fi
+    if [ -n "$coord_metrics" ] && [ -n "$coord_varz" ]; then
         break
     fi
     if ! kill -0 "$coord_pid" 2>/dev/null; then
         break
     fi
-    sleep 0.1
+    sleep 0.05
 done
 wait "$coord_pid" || { echo "ccpcoord failed" >&2; cat "$workdir/ccpcoord.log" >&2; exit 1; }
-cat "$workdir/ccpcoord.log"
+tail -2 "$workdir/ccpcoord.log"
 
 # check_prometheus <file> — every non-comment line must match the text
 # exposition sample grammar: name{labels} value.
@@ -97,28 +111,47 @@ require_series() {
     fi
 }
 
+# check_hygiene <file> — every counter the process exports must end in
+# _total and every histogram must carry a unit suffix, judged from the
+# # TYPE lines of the exposition itself.
+check_hygiene() {
+    bad=$(awk '$1=="#" && $2=="TYPE" && $4=="counter" && $3 !~ /_total$/ {print $3}
+               $1=="#" && $2=="TYPE" && $4=="histogram" && $3 !~ /(_seconds|_size|_bytes)$/ {print $3}' "$1")
+    if [ -n "$bad" ]; then
+        echo "metric names in $1 violate the _total/_seconds convention:" >&2
+        echo "$bad" >&2
+        exit 1
+    fi
+}
+
 echo "== scrape + validate ccpd /metrics and /healthz =="
 for port in $site0_ops_port $site1_ops_port; do
     curl -sf "http://127.0.0.1:$port/metrics" >"$workdir/site_metrics.txt"
     check_prometheus "$workdir/site_metrics.txt"
+    check_hygiene "$workdir/site_metrics.txt"
     require_series "$workdir/site_metrics.txt" ccp_server_requests_total
     require_series "$workdir/site_metrics.txt" ccp_site_evaluate_seconds_count
+    require_series "$workdir/site_metrics.txt" ccp_build_info
     health=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$port/healthz")
     [ "$health" = 200 ] || { echo "ccpd :$port /healthz = $health, want 200" >&2; exit 1; }
     curl -sf "http://127.0.0.1:$port/varz" | grep -q '"metrics"' \
         || { echo "ccpd :$port /varz payload looks wrong" >&2; exit 1; }
 done
 
-echo "== validate coordinator /metrics (scraped mid-run) =="
-if [ -n "$coord_metrics" ]; then
-    printf '%s\n' "$coord_metrics" >"$workdir/coord_metrics.txt"
-    check_prometheus "$workdir/coord_metrics.txt"
-    require_series "$workdir/coord_metrics.txt" ccp_queries_total
-else
-    # The queries can finish before the first scrape lands on slow CI
-    # machines; the ccpd-side checks above still covered the full format.
-    echo "  (coordinator exited before a scrape landed; skipped)"
-fi
+echo "== validate coordinator /metrics and /varz (scraped mid-run) =="
+[ -n "$coord_metrics" ] \
+    || { echo "never scraped the coordinator /metrics mid-run" >&2; cat "$workdir/ccpcoord.log" >&2; exit 1; }
+printf '%s\n' "$coord_metrics" >"$workdir/coord_metrics.txt"
+check_prometheus "$workdir/coord_metrics.txt"
+check_hygiene "$workdir/coord_metrics.txt"
+require_series "$workdir/coord_metrics.txt" ccp_queries_total
+require_series "$workdir/coord_metrics.txt" ccp_slo_burn_rate
+require_series "$workdir/coord_metrics.txt" ccp_slo_budget_remaining
+require_series "$workdir/coord_metrics.txt" ccp_build_info
+[ -n "$coord_varz" ] \
+    || { echo "never scraped the coordinator /varz mid-run" >&2; exit 1; }
+printf '%s\n' "$coord_varz" | grep -q '"ccp_slo_burn_rate"' \
+    || { echo "coordinator /varz has no SLO burn-rate series" >&2; exit 1; }
 
 echo "== /varz round-trips through its real consumer (ccpctl top) =="
 "$workdir/ccpctl" top \
@@ -148,6 +181,38 @@ for proc in coord site-0 site-1; do
 done
 grep -q "query.start" "$workdir/timeline.txt" \
     || { echo "merged timeline has no query.start event:" >&2; cat "$workdir/timeline.txt" >&2; exit 1; }
+
+echo "== ccpctl doctor: healthy cluster is green =="
+"$workdir/ccpctl" doctor -ops "127.0.0.1:$site0_ops_port,127.0.0.1:$site1_ops_port" \
+    >"$workdir/doctor.txt" 2>&1 \
+    || { echo "doctor went red on a healthy cluster:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+grep -q "checks: 0 red" "$workdir/doctor.txt" \
+    || { echo "doctor summary is not clean:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+grep -q "probe:store.scrub" "$workdir/doctor.txt" \
+    || { echo "doctor ran no store scrub probe:" >&2; cat "$workdir/doctor.txt" >&2; exit 1; }
+
+echo "== ccpctl doctor: a deliberately diverged replica turns it red =="
+cat >"$workdir/diverged.json" <<'EOF'
+[
+  {"addr": "leader:9001", "varz": {"metrics": [
+    {"name": "ccp_site_epoch", "type": "gauge", "labels": "site=\"0\"", "value": 100}
+  ]}},
+  {"addr": "follower:9002", "varz": {"metrics": [
+    {"name": "ccp_fleet_epoch", "type": "gauge", "labels": "site=\"0\"", "value": 120},
+    {"name": "ccp_fleet_applied_seq", "type": "gauge", "labels": "site=\"0\"", "value": 120},
+    {"name": "ccp_fleet_leader_seq", "type": "gauge", "labels": "site=\"0\"", "value": 120},
+    {"name": "ccp_fleet_lag_records", "type": "gauge", "labels": "site=\"0\"", "value": 0}
+  ]}}
+]
+EOF
+if "$workdir/ccpctl" doctor -in "$workdir/diverged.json" >"$workdir/doctor_red.txt" 2>&1; then
+    echo "doctor exited zero over a diverged replica:" >&2
+    cat "$workdir/doctor_red.txt" >&2
+    exit 1
+fi
+grep -q "RED" "$workdir/doctor_red.txt" && grep -q "ahead of leader" "$workdir/doctor_red.txt" \
+    || { echo "doctor red run did not name the divergence:" >&2; cat "$workdir/doctor_red.txt" >&2; exit 1; }
+echo "  doctor red with the epoch divergence named"
 
 echo "== graceful shutdown drains the ops servers =="
 for pid in $site_pids; do
